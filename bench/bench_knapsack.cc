@@ -1,0 +1,52 @@
+// Extension B (DESIGN.md §3): optimal baselines versus the paper's greedy
+// allocators. KS-RA is the exact 0/1 knapsack over the paper's §3
+// full-or-nothing formulation; DP-RA additionally allows partial windows
+// and is optimal for the serial steady-access objective. The table shows
+// how little the greedy ratio heuristic loses on its own objective — and
+// that CPA-RA can still execute fewer cycles than both optima, because
+// eliminating the most accesses is not the same as minimizing the critical
+// path with concurrent operand fetches.
+#include <iostream>
+
+#include "driver/pipeline.h"
+#include "kernels/kernels.h"
+#include "support/str.h"
+#include "support/table.h"
+
+int main() {
+  using namespace srra;
+
+  std::cout << "Exact knapsack vs greedy allocators (budget 64)\n\n";
+  Table table({"Kernel", "Algorithm", "Registers", "Saved accesses", "Exec cycles",
+               "vs KS-RA cycles"});
+
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel model(nk.kernel.clone());
+    const std::vector<Algorithm> algorithms{Algorithm::kKnapsack, Algorithm::kOptimalDp,
+                                            Algorithm::kFrRa, Algorithm::kPrRa,
+                                            Algorithm::kCpaRa};
+    std::int64_t ks_cycles = 0;
+    for (Algorithm alg : algorithms) {
+      const DesignPoint p = run_pipeline(model, alg);
+      std::int64_t saved = 0;
+      for (int g = 0; g < model.group_count(); ++g) {
+        // Value achieved under the knapsack's own objective: total-mode
+        // access elimination for the registers actually granted.
+        saved += model.accesses(g, 1, CountMode::kTotal) -
+                 model.accesses(g, p.allocation.at(g), CountMode::kTotal);
+      }
+      if (alg == Algorithm::kKnapsack) ks_cycles = p.cycles.exec_cycles;
+      const double ratio = static_cast<double>(p.cycles.exec_cycles) /
+                           static_cast<double>(ks_cycles);
+      table.add_row({nk.name, algorithm_name(alg), std::to_string(p.allocation.total()),
+                     with_commas(saved), with_commas(p.cycles.exec_cycles),
+                     alg == Algorithm::kKnapsack ? "1.000" : to_fixed(ratio, 3)});
+    }
+    table.add_separator();
+  }
+  table.render(std::cout);
+  std::cout << "\n(<1.000 = fewer cycles than the access-count-optimal knapsack;\n"
+            << " the paper's point: eliminating the most accesses is not the same\n"
+            << " as minimizing the critical path.)\n";
+  return 0;
+}

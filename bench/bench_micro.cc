@@ -1,0 +1,118 @@
+// Google-benchmark microbenchmarks: compile-time cost of the analyses and
+// allocators themselves (the paper notes CPA-RA's worst case is exponential
+// but that real critical graphs are tiny — these timings quantify that).
+#include <benchmark/benchmark.h>
+
+#include "analysis/model.h"
+#include "core/cpa_ra.h"
+#include "core/greedy.h"
+#include "core/knapsack.h"
+#include "dfg/cuts.h"
+#include "ir/parser.h"
+#include "kernels/kernels.h"
+#include "sched/cycle_model.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace srra;
+
+Kernel kernel_by_index(int index) {
+  switch (index) {
+    case 0: return kernels::paper_example();
+    case 1: return kernels::fir();
+    case 2: return kernels::dec_fir();
+    case 3: return kernels::mat();
+    case 4: return kernels::imi();
+    case 5: return kernels::pat();
+    default: return kernels::bic();
+  }
+}
+
+const char* kernel_name(int index) {
+  static const char* names[] = {"example", "fir", "dec_fir", "mat", "imi", "pat", "bic"};
+  return names[index];
+}
+
+void BM_ParseKernel(benchmark::State& state) {
+  const std::string source = kernels::kernel_source(kernel_name(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_kernel(source));
+  }
+}
+BENCHMARK(BM_ParseKernel)->DenseRange(0, 6);
+
+void BM_ReuseAnalysis(benchmark::State& state) {
+  const Kernel kernel = kernel_by_index(static_cast<int>(state.range(0)));
+  const auto groups = collect_ref_groups(kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_all_reuse(kernel, groups));
+  }
+}
+BENCHMARK(BM_ReuseAnalysis)->DenseRange(0, 6);
+
+void BM_AllocateFr(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  (void)allocate_fr(model, 64);  // warm the access-count cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocate_fr(model, 64));
+  }
+}
+BENCHMARK(BM_AllocateFr)->DenseRange(0, 6);
+
+void BM_AllocateCpa(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  (void)allocate_cpa(model, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocate_cpa(model, 64));
+  }
+}
+BENCHMARK(BM_AllocateCpa)->DenseRange(0, 6);
+
+void BM_AllocateKnapsack(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  (void)allocate_knapsack(model, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocate_knapsack(model, 64));
+  }
+}
+BENCHMARK(BM_AllocateKnapsack)->DenseRange(0, 6);
+
+void BM_CycleModel(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  const Allocation a = allocate_cpa(model, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_cycles(model, a));
+  }
+  state.SetItemsProcessed(state.iterations() * model.kernel().iteration_count());
+}
+BENCHMARK(BM_CycleModel)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+void BM_MachineSimulator(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  const Allocation a = allocate_cpa(model, 64);
+  for (auto _ : state) {
+    ArrayStore store(model.kernel());
+    store.randomize(1);
+    benchmark::DoNotOptimize(run_machine(model, a, store));
+  }
+  state.SetItemsProcessed(state.iterations() * model.kernel().iteration_count());
+}
+BENCHMARK(BM_MachineSimulator)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+void BM_FindCuts(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  const Dfg dfg = Dfg::build(model.kernel(), model.groups());
+  const LatencyModel latency;
+  const std::vector<std::int64_t> regs(static_cast<std::size_t>(model.group_count()), 1);
+  const auto weights = node_weights(dfg, model, regs, latency);
+  const CriticalGraph cg = critical_graph(dfg, weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_cuts(dfg, cg, weights));
+  }
+}
+BENCHMARK(BM_FindCuts)->DenseRange(0, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+#include "analysis/intlin.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace srra {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  a = a < 0 ? -a : a;
+  b = b < 0 ? -b : b;
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+void normalize_primitive(std::vector<std::int64_t>& v) {
+  std::int64_t g = 0;
+  for (std::int64_t x : v) g = gcd64(g, x);
+  if (g <= 1) return;
+  for (std::int64_t& x : v) x /= g;
+}
+
+std::vector<std::vector<std::int64_t>> integer_nullspace(const IntMatrix& m) {
+  check(m.rows >= 0 && m.cols > 0, "nullspace needs a matrix with columns");
+  // Fraction-free (Bareiss-style) row echelon form on a working copy.
+  IntMatrix w = m;
+  std::vector<int> pivot_col_of_row;  // echelon structure
+  int row = 0;
+  for (int col = 0; col < w.cols && row < w.rows; ++col) {
+    // Find a pivot row.
+    int pivot = -1;
+    for (int r = row; r < w.rows; ++r) {
+      if (w.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    if (pivot != row) {
+      for (int c = 0; c < w.cols; ++c) std::swap(w.at(pivot, c), w.at(row, c));
+    }
+    // Eliminate below: r' = r * p - (r[col]) * pivot_row, then reduce by gcd
+    // to keep entries small.
+    const std::int64_t p = w.at(row, col);
+    for (int r = row + 1; r < w.rows; ++r) {
+      const std::int64_t f = w.at(r, col);
+      if (f == 0) continue;
+      std::int64_t g = 0;
+      for (int c = 0; c < w.cols; ++c) {
+        w.at(r, c) = w.at(r, c) * p - f * w.at(row, c);
+        g = gcd64(g, w.at(r, c));
+      }
+      if (g > 1) {
+        for (int c = 0; c < w.cols; ++c) w.at(r, c) /= g;
+      }
+    }
+    pivot_col_of_row.push_back(col);
+    ++row;
+  }
+  const int rank = row;
+
+  // Free columns get one basis vector each, solved by back substitution over
+  // rationals kept as integer numerators with a running scale.
+  std::vector<bool> is_pivot_col(static_cast<std::size_t>(w.cols), false);
+  for (int c : pivot_col_of_row) is_pivot_col[static_cast<std::size_t>(c)] = true;
+
+  std::vector<std::vector<std::int64_t>> basis;
+  for (int free_col = 0; free_col < w.cols; ++free_col) {
+    if (is_pivot_col[static_cast<std::size_t>(free_col)]) continue;
+    // Solve w * x = 0 with x[free_col] = D (a common denominator we grow as
+    // needed) and all other free columns 0.
+    std::vector<std::int64_t> x(static_cast<std::size_t>(w.cols), 0);
+    x[static_cast<std::size_t>(free_col)] = 1;
+    // Back-substitute pivot rows from bottom to top. Multiply the whole
+    // vector when a division would not be exact.
+    for (int r = rank - 1; r >= 0; --r) {
+      const int pc = pivot_col_of_row[static_cast<std::size_t>(r)];
+      std::int64_t sum = 0;
+      for (int c = pc + 1; c < w.cols; ++c) sum += w.at(r, c) * x[static_cast<std::size_t>(c)];
+      const std::int64_t p = w.at(r, pc);
+      // Need x[pc] = -sum / p exactly; scale x if p does not divide sum.
+      const std::int64_t g = gcd64(sum, p);
+      const std::int64_t scale = (g == 0) ? 1 : (p < 0 ? -p : p) / g;
+      if (scale != 1) {
+        for (std::int64_t& v : x) v *= scale;
+        sum *= scale;
+      }
+      x[static_cast<std::size_t>(pc)] = -sum / p;
+    }
+    normalize_primitive(x);
+    basis.push_back(std::move(x));
+  }
+  return basis;
+}
+
+}  // namespace srra

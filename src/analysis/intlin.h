@@ -1,0 +1,35 @@
+// Small integer linear algebra for reuse analysis: the integer nullspace of
+// an access matrix yields the candidate reuse distance vectors (iteration
+// differences that touch the same array element).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace srra {
+
+/// Dense integer matrix, row-major.
+struct IntMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<std::int64_t> data;
+
+  IntMatrix() = default;
+  IntMatrix(int r, int c) : rows(r), cols(c), data(static_cast<std::size_t>(r) * c, 0) {}
+
+  std::int64_t& at(int r, int c) { return data[static_cast<std::size_t>(r) * cols + c]; }
+  std::int64_t at(int r, int c) const { return data[static_cast<std::size_t>(r) * cols + c]; }
+};
+
+/// gcd of two values (non-negative result, gcd(0,0) == 0).
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Divides a vector by the gcd of its entries (no-op for the zero vector).
+void normalize_primitive(std::vector<std::int64_t>& v);
+
+/// Integer basis of the nullspace of `m` (vectors x with m*x == 0), computed
+/// by fraction-free Gaussian elimination. Each basis vector is primitive
+/// (entries have gcd 1). The basis size equals cols - rank(m).
+std::vector<std::vector<std::int64_t>> integer_nullspace(const IntMatrix& m);
+
+}  // namespace srra

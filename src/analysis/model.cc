@@ -1,0 +1,62 @@
+#include "analysis/model.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace srra {
+
+RefModel::RefModel(Kernel kernel, ModelOptions options)
+    : kernel_(std::move(kernel)), options_(options) {
+  kernel_.validate();
+  groups_ = collect_ref_groups(kernel_);
+  reuse_ = analyze_all_reuse(kernel_, groups_);
+}
+
+std::int64_t RefModel::beta_full(int g) const {
+  check(g >= 0 && g < group_count(), "group id out of range");
+  return reuse_[static_cast<std::size_t>(g)].beta_full();
+}
+
+const GroupCounts& RefModel::counts(int g, std::int64_t regs) const {
+  check(g >= 0 && g < group_count(), "group id out of range");
+  const auto key = std::make_pair(g, regs);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const GroupCounts counts = count_group_accesses(
+      kernel_, groups_[static_cast<std::size_t>(g)], reuse_[static_cast<std::size_t>(g)],
+      regs, options_);
+  return cache_.emplace(key, counts).first->second;
+}
+
+std::int64_t RefModel::accesses(int g, std::int64_t regs, CountMode mode) const {
+  const GroupCounts& c = counts(g, regs);
+  return mode == CountMode::kSteady ? c.steady_total() : c.total();
+}
+
+std::int64_t RefModel::saved(int g) const {
+  const std::int64_t base = accesses(g, 0, CountMode::kTotal);
+  const std::int64_t full = accesses(g, beta_full(g), CountMode::kTotal);
+  return base - full;
+}
+
+double RefModel::bc_ratio(int g) const {
+  const std::int64_t b = beta_full(g);
+  if (b <= 0) return 0.0;
+  return static_cast<double>(saved(g)) / static_cast<double>(b);
+}
+
+std::vector<int> RefModel::sorted_by_benefit() const {
+  std::vector<int> order(groups_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ra = bc_ratio(a);
+    const double rb = bc_ratio(b);
+    if (ra != rb) return ra > rb;
+    return groups_[static_cast<std::size_t>(a)].first_order <
+           groups_[static_cast<std::size_t>(b)].first_order;
+  });
+  return order;
+}
+
+}  // namespace srra

@@ -1,0 +1,67 @@
+// RefModel: one-stop analysis facade for a kernel. Owns the reference
+// groups, their reuse summaries, and cached access counts; provides the
+// benefit/cost metric the greedy allocators sort by (paper §4):
+//
+//   B/C(ref) = saved(ref) / beta_full(ref)
+//   saved(ref) = accesses(ref, no holding) - accesses(ref, beta_full),
+//
+// counted in "total" mode (window fill/flush traffic included), which makes
+// a reference with no exploitable reuse worth exactly 0.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/refs.h"
+#include "analysis/reuse.h"
+#include "analysis/walker.h"
+#include "ir/kernel.h"
+
+namespace srra {
+
+/// Counting mode for access totals.
+enum class CountMode {
+  kSteady,  ///< peeled fill/flush traffic excluded (execution accounting)
+  kTotal,   ///< everything (benefit metric)
+};
+
+/// Analysis facade owning one kernel.
+class RefModel {
+ public:
+  explicit RefModel(Kernel kernel, ModelOptions options = {});
+
+  const Kernel& kernel() const { return kernel_; }
+  const std::vector<RefGroup>& groups() const { return groups_; }
+  const std::vector<ReuseInfo>& reuse() const { return reuse_; }
+  const ModelOptions& options() const { return options_; }
+  int group_count() const { return static_cast<int>(groups_.size()); }
+
+  /// Registers for full scalar replacement of group `g`.
+  std::int64_t beta_full(int g) const;
+
+  /// RAM accesses of group `g` when it owns `regs` registers (cached).
+  std::int64_t accesses(int g, std::int64_t regs, CountMode mode) const;
+
+  /// Full counter detail (cached alongside accesses()).
+  const GroupCounts& counts(int g, std::int64_t regs) const;
+
+  /// Accesses eliminated by full scalar replacement (total mode).
+  std::int64_t saved(int g) const;
+
+  /// Benefit/cost ratio used by the greedy allocators.
+  double bc_ratio(int g) const;
+
+  /// Group ids sorted by descending B/C, ties broken by first occurrence
+  /// order in the body (the paper's sorted reference list).
+  std::vector<int> sorted_by_benefit() const;
+
+ private:
+  Kernel kernel_;
+  ModelOptions options_;
+  std::vector<RefGroup> groups_;
+  std::vector<ReuseInfo> reuse_;
+  mutable std::map<std::pair<int, std::int64_t>, GroupCounts> cache_;
+};
+
+}  // namespace srra

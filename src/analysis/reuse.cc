@@ -1,0 +1,170 @@
+#include "analysis/reuse.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/intlin.h"
+#include "support/error.h"
+
+namespace srra {
+
+std::int64_t ReuseInfo::beta_at(int level) const {
+  for (const CarryLevel& cl : levels) {
+    if (cl.level == level) return cl.beta;
+  }
+  return -1;
+}
+
+std::int64_t element_at(const Kernel& kernel, const ArrayAccess& access,
+                        std::span<const std::int64_t> iteration) {
+  const ArrayDecl& decl = kernel.array(access.array_id);
+  std::int64_t flat = 0;
+  for (int d = 0; d < decl.rank(); ++d) {
+    const std::int64_t idx = access.subscripts[static_cast<std::size_t>(d)].evaluate(iteration);
+    flat = flat * decl.dims[static_cast<std::size_t>(d)] + idx;
+  }
+  return flat;
+}
+
+namespace {
+
+// Builds the access matrix: one row per array dimension, one column per loop
+// level; entry = subscript coefficient.
+IntMatrix access_matrix(const Kernel& kernel, const ArrayAccess& access) {
+  const int rank = static_cast<int>(access.subscripts.size());
+  IntMatrix m(rank, kernel.depth());
+  for (int r = 0; r < rank; ++r) {
+    for (int l = 0; l < kernel.depth(); ++l) {
+      m.at(r, l) = access.subscripts[static_cast<std::size_t>(r)].coeff(l);
+    }
+  }
+  return m;
+}
+
+// A distance vector is feasible if some pair of iterations in the space is
+// separated by it: |d_l| must be at most trip_l - 1 at every level.
+bool feasible(std::span<const std::int64_t> d, std::span<const std::int64_t> trips) {
+  for (std::size_t l = 0; l < d.size(); ++l) {
+    const std::int64_t mag = d[l] < 0 ? -d[l] : d[l];
+    if (mag > trips[l] - 1) return false;
+  }
+  return true;
+}
+
+// Lexicographically positive: first nonzero entry is positive.
+int first_nonzero(std::span<const std::int64_t> d) {
+  for (std::size_t l = 0; l < d.size(); ++l) {
+    if (d[l] != 0) return static_cast<int>(l);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::int64_t window_size(const Kernel& kernel, const ArrayAccess& access, int level) {
+  const int depth = kernel.depth();
+  std::vector<std::int64_t> iter(static_cast<std::size_t>(depth));
+  for (int l = 0; l <= level; ++l) iter[static_cast<std::size_t>(l)] = kernel.loop(l).value_at(0);
+
+  std::unordered_set<std::int64_t> elements;
+  // Odometer over levels level+1 .. depth-1.
+  std::vector<std::int64_t> counter(static_cast<std::size_t>(depth), 0);
+  while (true) {
+    for (int l = level + 1; l < depth; ++l) {
+      iter[static_cast<std::size_t>(l)] = kernel.loop(l).value_at(counter[static_cast<std::size_t>(l)]);
+    }
+    elements.insert(element_at(kernel, access, iter));
+    int l = depth - 1;
+    for (; l > level; --l) {
+      auto& c = counter[static_cast<std::size_t>(l)];
+      if (++c < kernel.loop(l).trip_count()) break;
+      c = 0;
+    }
+    if (l <= level) break;
+  }
+  return static_cast<std::int64_t>(elements.size());
+}
+
+ReuseInfo analyze_reuse(const Kernel& kernel, const RefGroup& group) {
+  ReuseInfo info;
+  info.group = group.id;
+
+  const IntMatrix a = access_matrix(kernel, group.access);
+  const auto basis = integer_nullspace(a);
+  if (basis.empty()) return info;
+
+  const std::vector<std::int64_t> trips = kernel.trip_counts();
+  const int depth = kernel.depth();
+
+  // Enumerate small integer combinations of basis vectors and keep the
+  // feasible, lexicographically positive distance vectors. Coefficients in
+  // [-4, 4] cover every access pattern arising from practical affine
+  // subscripts (coefficients are small integers after normalization).
+  constexpr std::int64_t kCoeffRange = 4;
+  const std::size_t k = basis.size();
+  std::vector<std::int64_t> coeff(k, -kCoeffRange);
+  std::vector<std::vector<std::int64_t>> candidates;
+  while (true) {
+    std::vector<std::int64_t> d(static_cast<std::size_t>(depth), 0);
+    for (std::size_t b = 0; b < k; ++b) {
+      for (int l = 0; l < depth; ++l) {
+        d[static_cast<std::size_t>(l)] += coeff[b] * basis[b][static_cast<std::size_t>(l)];
+      }
+    }
+    normalize_primitive(d);
+    const int fn = first_nonzero(d);
+    if (fn >= 0 && d[static_cast<std::size_t>(fn)] > 0 && feasible(d, trips)) {
+      candidates.push_back(std::move(d));
+    }
+    // Odometer over coefficients.
+    std::size_t b = 0;
+    for (; b < k; ++b) {
+      if (++coeff[b] <= kCoeffRange) break;
+      coeff[b] = -kCoeffRange;
+    }
+    if (b == k) break;
+  }
+  if (candidates.empty()) return info;
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  // Mark carrying levels (outermost first) and pick the canonical distance:
+  // the candidate with the outermost first-nonzero, smallest magnitudes.
+  std::vector<bool> carries(static_cast<std::size_t>(depth), false);
+  for (const auto& d : candidates) carries[static_cast<std::size_t>(first_nonzero(d))] = true;
+
+  const auto magnitude_key = [](const std::vector<std::int64_t>& d) {
+    std::vector<std::int64_t> key;
+    key.reserve(d.size());
+    for (std::int64_t v : d) key.push_back(v < 0 ? -v : v);
+    return key;
+  };
+  const std::vector<std::int64_t>* best = nullptr;
+  for (const auto& d : candidates) {
+    if (best == nullptr) {
+      best = &d;
+      continue;
+    }
+    const int fd = first_nonzero(d);
+    const int fb = first_nonzero(*best);
+    if (fd < fb || (fd == fb && magnitude_key(d) < magnitude_key(*best))) best = &d;
+  }
+  info.distance = *best;
+
+  for (int l = 0; l < depth; ++l) {
+    if (!carries[static_cast<std::size_t>(l)]) continue;
+    info.levels.push_back(CarryLevel{l, window_size(kernel, group.access, l)});
+  }
+  return info;
+}
+
+std::vector<ReuseInfo> analyze_all_reuse(const Kernel& kernel,
+                                         const std::vector<RefGroup>& groups) {
+  std::vector<ReuseInfo> infos;
+  infos.reserve(groups.size());
+  for (const RefGroup& g : groups) infos.push_back(analyze_reuse(kernel, g));
+  return infos;
+}
+
+}  // namespace srra

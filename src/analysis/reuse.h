@@ -1,0 +1,66 @@
+// Data reuse analysis for affine array references (Callahan/Carr/Kennedy
+// style, as used by So & Hall and the paper). For each reference group we
+// compute:
+//  * which loop levels carry temporal reuse (a feasible iteration-difference
+//    vector in the nullspace of the access matrix, first nonzero at that
+//    level), and
+//  * beta(level): the number of registers needed to fully exploit the reuse
+//    carried at that level = the number of distinct elements the reference
+//    touches during one iteration of that loop.
+// "Full scalar replacement" in the paper's sense uses the outermost carrying
+// level; beta_full() is its beta.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/refs.h"
+#include "ir/kernel.h"
+
+namespace srra {
+
+/// One loop level that carries temporal reuse for a reference group.
+struct CarryLevel {
+  int level = 0;            ///< loop level (0 = outermost)
+  std::int64_t beta = 0;    ///< registers for full exploitation at this level
+};
+
+/// Reuse summary of one reference group.
+struct ReuseInfo {
+  int group = 0;
+  /// Canonical reuse distance vector (smallest feasible, outermost-carrying
+  /// first); empty when the reference has no temporal reuse.
+  std::vector<std::int64_t> distance;
+  /// Carrying levels, outermost first; empty when no reuse.
+  std::vector<CarryLevel> levels;
+
+  bool has_reuse() const { return !levels.empty(); }
+
+  /// Registers required for full scalar replacement (outermost carrying
+  /// level); 1 when the reference has no reuse (the feasibility register).
+  std::int64_t beta_full() const { return levels.empty() ? 1 : levels.front().beta; }
+
+  /// Outermost carrying level, or -1 when no reuse.
+  int outermost_level() const { return levels.empty() ? -1 : levels.front().level; }
+
+  /// beta at `level`, or -1 when that level carries no reuse.
+  std::int64_t beta_at(int level) const;
+};
+
+/// Linearized (row-major) element index of `access` at `iteration`.
+std::int64_t element_at(const Kernel& kernel, const ArrayAccess& access,
+                        std::span<const std::int64_t> iteration);
+
+/// Number of distinct elements `access` touches during one iteration of
+/// loop `level` (the register requirement of a window at that level).
+std::int64_t window_size(const Kernel& kernel, const ArrayAccess& access, int level);
+
+/// Analyzes one reference group.
+ReuseInfo analyze_reuse(const Kernel& kernel, const RefGroup& group);
+
+/// Analyzes every group of the kernel (index-aligned with `groups`).
+std::vector<ReuseInfo> analyze_all_reuse(const Kernel& kernel,
+                                         const std::vector<RefGroup>& groups);
+
+}  // namespace srra

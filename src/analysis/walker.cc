@@ -1,0 +1,371 @@
+#include "analysis/walker.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace srra {
+
+bool is_ram_access(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kFill:
+    case AccessKind::kFlush:
+    case AccessKind::kMissRead:
+    case AccessKind::kMissWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RefStrategy choose_strategy(const ReuseInfo& info, std::int64_t regs,
+                            const ModelOptions& options) {
+  RefStrategy strategy;
+  if (!info.has_reuse() || regs <= 0) return strategy;
+
+  // Full exploitation at the outermost carrying level that fits.
+  for (const CarryLevel& cl : info.levels) {
+    if (cl.beta <= regs) {
+      strategy.carry_level = cl.level;
+      strategy.held_limit = cl.beta;
+      return strategy;
+    }
+  }
+  // Partial exploitation at the outermost carrying level; a single register
+  // is the operand latch and cannot hold a live value (unless overridden).
+  const std::int64_t min_regs = options.single_register_holding ? 1 : 2;
+  if (regs >= min_regs) {
+    strategy.carry_level = info.levels.front().level;
+    strategy.held_limit = regs;
+  }
+  return strategy;
+}
+
+WindowTracker::WindowTracker(const Kernel& kernel, const RefGroup& group,
+                             RefStrategy strategy)
+    : kernel_(kernel), group_(group), strategy_(strategy) {}
+
+bool WindowTracker::at_first_carry_value() const {
+  const int l = strategy_.carry_level;
+  return cur_iter_[static_cast<std::size_t>(l)] == kernel_.loop(l).lower;
+}
+
+bool WindowTracker::at_last_carry_value() const {
+  const int l = strategy_.carry_level;
+  const Loop& loop = kernel_.loop(l);
+  return cur_iter_[static_cast<std::size_t>(l)] == loop.value_at(loop.trip_count() - 1);
+}
+
+void WindowTracker::emit(const EventSink& sink, const AccessEvent& event) {
+  if (sink) sink(event);
+}
+
+void WindowTracker::flush_all(const EventSink& sink, bool steady) {
+  for (const auto& [element, held] : held_) {
+    if (!held.dirty) continue;
+    AccessEvent event;
+    event.kind = AccessKind::kFlush;
+    event.group = group_.id;
+    event.element = element;
+    event.steady = steady;
+    emit(sink, event);
+  }
+  held_.clear();
+}
+
+void WindowTracker::begin_iteration(std::span<const std::int64_t> iteration,
+                                    const EventSink& sink) {
+  wrote_this_iter_.clear();
+  if (!initialized_) {
+    initialized_ = true;
+    cur_iter_.assign(iteration.begin(), iteration.end());
+    return;
+  }
+  if (!strategy_.holds()) {
+    cur_iter_.assign(iteration.begin(), iteration.end());
+    return;
+  }
+  const int l = strategy_.carry_level;
+  bool window_changed = false;
+  for (int i = 0; i < l; ++i) {
+    if (cur_iter_[static_cast<std::size_t>(i)] != iteration[static_cast<std::size_t>(i)]) {
+      window_changed = true;
+      break;
+    }
+  }
+  const bool carry_changed =
+      window_changed || cur_iter_[static_cast<std::size_t>(l)] != iteration[static_cast<std::size_t>(l)];
+  if (window_changed) {
+    // Window-instance boundary: the finishing carry iteration is the loop's
+    // last value (lexicographic order), so these flushes live in back-peeled
+    // code and are steady-state-excluded.
+    flush_all(sink, /*steady=*/!at_last_carry_value());
+    rank_.clear();
+    touch_count_ = 0;
+  } else if (carry_changed) {
+    rank_.clear();
+    touch_count_ = 0;
+  }
+  cur_iter_.assign(iteration.begin(), iteration.end());
+}
+
+AccessEvent WindowTracker::on_access(std::span<const std::int64_t> iteration, bool is_write,
+                                     int stmt, int order, const EventSink& sink) {
+  const std::int64_t element = element_at(kernel_, group_.access, iteration);
+
+  AccessEvent event;
+  event.group = group_.id;
+  event.element = element;
+  event.stmt = stmt;
+  event.order = order;
+
+  // Same-iteration read-after-write is forwarded through the datapath.
+  if (!is_write && wrote_this_iter_.count(element) != 0) {
+    event.kind = AccessKind::kForward;
+    event.steady = false;
+    emit(sink, event);
+    return event;
+  }
+  if (is_write) wrote_this_iter_.insert(element);
+
+  if (!strategy_.holds()) {
+    event.kind = is_write ? AccessKind::kMissWrite : AccessKind::kMissRead;
+    event.steady = true;
+    emit(sink, event);
+    return event;
+  }
+
+  // Rank of the element in this carry-iteration's touch order.
+  int rank = 0;
+  const auto it = rank_.find(element);
+  if (it != rank_.end()) {
+    rank = it->second;
+  } else {
+    rank = touch_count_++;
+    rank_.emplace(element, rank);
+  }
+
+  if (rank >= strategy_.held_limit) {
+    event.kind = is_write ? AccessKind::kMissWrite : AccessKind::kMissRead;
+    event.steady = true;
+    emit(sink, event);
+    return event;
+  }
+
+  ++seq_;
+  const auto held_it = held_.find(element);
+  if (held_it != held_.end()) {
+    held_it->second.last_touch = seq_;
+    if (is_write) held_it->second.dirty = true;
+    event.kind = is_write ? AccessKind::kRegWrite : AccessKind::kRegHit;
+    event.steady = false;
+    emit(sink, event);
+    return event;
+  }
+
+  // Element enters the register file. Evict the least recently used resident
+  // if the file is full (it is dead in a sliding window).
+  if (static_cast<std::int64_t>(held_.size()) >= strategy_.held_limit) {
+    auto victim = held_.begin();
+    for (auto h = held_.begin(); h != held_.end(); ++h) {
+      if (h->second.last_touch < victim->second.last_touch) victim = h;
+    }
+    if (victim->second.dirty) {
+      AccessEvent flush;
+      flush.kind = AccessKind::kFlush;
+      flush.group = group_.id;
+      flush.element = victim->first;
+      flush.steady = !at_last_carry_value();
+      emit(sink, flush);
+    }
+    held_.erase(victim);
+  }
+
+  held_.emplace(element, Held{is_write, seq_});
+  if (is_write) {
+    // Whole-element overwrite: no fill needed.
+    event.kind = AccessKind::kRegWrite;
+    event.steady = false;
+  } else {
+    event.kind = AccessKind::kFill;
+    event.steady = !at_first_carry_value();
+  }
+  emit(sink, event);
+  return event;
+}
+
+void WindowTracker::finish(const EventSink& sink) {
+  if (!initialized_ || !strategy_.holds()) return;
+  flush_all(sink, /*steady=*/!at_last_carry_value());
+}
+
+std::vector<std::int64_t> first_iteration(const Kernel& kernel) {
+  std::vector<std::int64_t> iter;
+  iter.reserve(static_cast<std::size_t>(kernel.depth()));
+  for (int l = 0; l < kernel.depth(); ++l) iter.push_back(kernel.loop(l).lower);
+  return iter;
+}
+
+bool next_iteration(const Kernel& kernel, std::vector<std::int64_t>& iter) {
+  for (int l = kernel.depth() - 1; l >= 0; --l) {
+    const Loop& loop = kernel.loop(l);
+    auto& v = iter[static_cast<std::size_t>(l)];
+    v += loop.step;
+    if (v < loop.upper) return true;
+    v = loop.lower;
+  }
+  return false;
+}
+
+namespace {
+
+// Flat evaluation-ordered list of occurrences across all groups.
+struct FlatOccurrence {
+  int group = 0;
+  int stmt = 0;
+  int order = 0;
+  bool is_write = false;
+};
+
+std::vector<FlatOccurrence> flatten(const std::vector<RefGroup>& groups) {
+  std::vector<FlatOccurrence> flat;
+  for (const RefGroup& g : groups) {
+    for (const RefOccurrence& occ : g.occurrences) {
+      flat.push_back(FlatOccurrence{g.id, occ.stmt, occ.order, occ.is_write});
+    }
+  }
+  std::sort(flat.begin(), flat.end(),
+            [](const FlatOccurrence& a, const FlatOccurrence& b) { return a.order < b.order; });
+  return flat;
+}
+
+}  // namespace
+
+std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
+                                           const std::vector<RefGroup>& groups,
+                                           const std::vector<ReuseInfo>& reuse,
+                                           std::span<const std::int64_t> regs,
+                                           const ModelOptions& options,
+                                           const EventSink& sink) {
+  check(groups.size() == reuse.size(), "groups/reuse size mismatch");
+  check(groups.size() == regs.size(), "groups/regs size mismatch");
+
+  std::vector<GroupCounts> counts(groups.size());
+  const auto counting_sink = [&](const AccessEvent& e) {
+    GroupCounts& c = counts[static_cast<std::size_t>(e.group)];
+    switch (e.kind) {
+      case AccessKind::kMissRead: ++c.miss_reads; break;
+      case AccessKind::kMissWrite: ++c.miss_writes; break;
+      case AccessKind::kFill:
+        ++c.fills;
+        if (e.steady) ++c.steady_fills;
+        break;
+      case AccessKind::kFlush:
+        ++c.flushes;
+        if (e.steady) ++c.steady_flushes;
+        break;
+      case AccessKind::kRegHit: ++c.reg_hits; break;
+      case AccessKind::kRegWrite: ++c.reg_writes; break;
+      case AccessKind::kForward: ++c.forwards; break;
+    }
+    if (sink) sink(e);
+  };
+
+  std::vector<WindowTracker> trackers;
+  trackers.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    trackers.emplace_back(kernel, groups[g],
+                          select_strategy(kernel, groups[g], reuse[g], regs[g], options));
+  }
+  const std::vector<FlatOccurrence> flat = flatten(groups);
+
+  std::vector<std::int64_t> iter = first_iteration(kernel);
+  do {
+    for (WindowTracker& t : trackers) t.begin_iteration(iter, counting_sink);
+    for (const FlatOccurrence& occ : flat) {
+      trackers[static_cast<std::size_t>(occ.group)].on_access(iter, occ.is_write, occ.stmt,
+                                                              occ.order, counting_sink);
+    }
+  } while (next_iteration(kernel, iter));
+  for (WindowTracker& t : trackers) t.finish(counting_sink);
+  return counts;
+}
+
+namespace {
+
+// One tracker pass for a fixed strategy; returns the group's counters.
+GroupCounts run_group_pass(const Kernel& kernel, const RefGroup& group,
+                           RefStrategy strategy) {
+  GroupCounts counts;
+  const EventSink sink = [&](const AccessEvent& e) {
+    switch (e.kind) {
+      case AccessKind::kMissRead: ++counts.miss_reads; break;
+      case AccessKind::kMissWrite: ++counts.miss_writes; break;
+      case AccessKind::kFill:
+        ++counts.fills;
+        if (e.steady) ++counts.steady_fills;
+        break;
+      case AccessKind::kFlush:
+        ++counts.flushes;
+        if (e.steady) ++counts.steady_flushes;
+        break;
+      case AccessKind::kRegHit: ++counts.reg_hits; break;
+      case AccessKind::kRegWrite: ++counts.reg_writes; break;
+      case AccessKind::kForward: ++counts.forwards; break;
+    }
+  };
+  WindowTracker tracker(kernel, group, strategy);
+  std::vector<std::int64_t> iter = first_iteration(kernel);
+  do {
+    tracker.begin_iteration(iter, sink);
+    for (const RefOccurrence& occ : group.occurrences) {
+      tracker.on_access(iter, occ.is_write, occ.stmt, occ.order, sink);
+    }
+  } while (next_iteration(kernel, iter));
+  tracker.finish(sink);
+  return counts;
+}
+
+}  // namespace
+
+RefStrategy select_strategy(const Kernel& kernel, const RefGroup& group,
+                            const ReuseInfo& info, std::int64_t regs,
+                            const ModelOptions& options) {
+  if (!info.has_reuse() || regs <= 0) return RefStrategy{};
+
+  std::vector<RefStrategy> candidates;
+  candidates.push_back(RefStrategy{});  // no holding
+  const std::int64_t min_partial = options.single_register_holding ? 1 : 2;
+  for (const CarryLevel& cl : info.levels) {
+    if (cl.beta <= regs) {
+      candidates.push_back(RefStrategy{cl.level, cl.beta});
+    } else if (regs >= min_partial) {
+      candidates.push_back(RefStrategy{cl.level, regs});
+    }
+  }
+
+  RefStrategy best = candidates.front();
+  GroupCounts best_counts = run_group_pass(kernel, group, best);
+  for (std::size_t c = 1; c < candidates.size(); ++c) {
+    const GroupCounts counts = run_group_pass(kernel, group, candidates[c]);
+    const bool better =
+        counts.steady_total() < best_counts.steady_total() ||
+        (counts.steady_total() == best_counts.steady_total() &&
+         (counts.total() < best_counts.total() ||
+          (counts.total() == best_counts.total() &&
+           candidates[c].carry_level < best.carry_level)));
+    if (better) {
+      best = candidates[c];
+      best_counts = counts;
+    }
+  }
+  return best;
+}
+
+GroupCounts count_group_accesses(const Kernel& kernel, const RefGroup& group,
+                                 const ReuseInfo& reuse, std::int64_t regs,
+                                 const ModelOptions& options) {
+  return run_group_pass(kernel, group, select_strategy(kernel, group, reuse, regs, options));
+}
+
+}  // namespace srra

@@ -1,0 +1,177 @@
+// The normative access model (DESIGN.md §6): a register-window policy shared
+// by the access counters, the cycle model and the machine simulator, so all
+// three agree by construction.
+//
+// A reference group with n registers picks a *strategy*:
+//  * full exploitation at the outermost carrying level whose window fits in
+//    n registers, or
+//  * partial exploitation (hold the first n window elements by first-touch
+//    rank) at the outermost carrying level, when n >= 2, or
+//  * no holding (n < 2 and nothing fits; a single register is the operand
+//    latch, it cannot also hold a live reuse value).
+//
+// The WindowTracker then classifies every access:
+//  * kForward  - read of an element written earlier in the same iteration
+//                (wired through the datapath, never a RAM access);
+//  * kRegHit/kRegWrite - held element, register traffic only;
+//  * kFill     - held element entering the register file (RAM read);
+//                steady-state-excluded when it happens at the first value of
+//                the carrying loop (it lives in pre-peeled code);
+//  * kFlush    - dirty held element leaving the register file (RAM write);
+//                steady-state-excluded at the last value of the carrying
+//                loop (back-peeled code);
+//  * kMissRead/kMissWrite - RAM access, always counted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/refs.h"
+#include "analysis/reuse.h"
+#include "ir/kernel.h"
+
+namespace srra {
+
+/// Classification of one access under the window policy.
+enum class AccessKind { kRegHit, kRegWrite, kFill, kMissRead, kMissWrite, kForward, kFlush };
+
+/// True for kinds that touch RAM (fill/flush/miss).
+bool is_ram_access(AccessKind kind);
+
+/// One classified access (or boundary flush).
+struct AccessEvent {
+  AccessKind kind = AccessKind::kMissRead;
+  int group = -1;
+  std::int64_t element = 0;
+  bool steady = true;   ///< counted under steady-state accounting
+  int stmt = -1;        ///< statement index (-1 for boundary flushes)
+  int order = -1;       ///< occurrence order within the iteration (-1: flush)
+};
+
+using EventSink = std::function<void(const AccessEvent&)>;
+
+/// How a reference group uses its registers.
+struct RefStrategy {
+  int carry_level = -1;        ///< reuse-carrying loop level; -1 = no holding
+  std::int64_t held_limit = 0; ///< how many window elements can be held
+
+  bool holds() const { return carry_level >= 0 && held_limit > 0; }
+};
+
+/// Model switches (see DESIGN.md §6).
+struct ModelOptions {
+  /// Allow a single register to act as a holding register even when no
+  /// carrying level fully fits (default off: it is the operand latch).
+  bool single_register_holding = false;
+};
+
+/// Heuristic strategy choice for `regs` registers: full exploitation at the
+/// outermost carrying level that fits, else a partial window at the
+/// outermost level. Exact for invariance reuse; sliding *write* windows can
+/// do better at an inner level — use select_strategy for those.
+RefStrategy choose_strategy(const ReuseInfo& info, std::int64_t regs,
+                            const ModelOptions& options = {});
+
+/// Empirical strategy selection: evaluates every candidate (no holding,
+/// full at each fitting carrying level, partial at each non-fitting level)
+/// with the window tracker and returns the one with the fewest steady-state
+/// accesses (ties: fewest total accesses, then outermost level). This is
+/// the selection the counters, cycle model, machine simulator and code
+/// generators all use.
+RefStrategy select_strategy(const Kernel& kernel, const RefGroup& group,
+                            const ReuseInfo& info, std::int64_t regs,
+                            const ModelOptions& options = {});
+
+/// Stateful classifier for the accesses of one reference group, driven in
+/// lexicographic iteration order.
+class WindowTracker {
+ public:
+  WindowTracker(const Kernel& kernel, const RefGroup& group, RefStrategy strategy);
+
+  /// Must be called once per iteration before any on_access of the
+  /// iteration; emits eviction flushes for crossed window boundaries.
+  void begin_iteration(std::span<const std::int64_t> iteration, const EventSink& sink);
+
+  /// Classifies one access of the group at the current iteration. May first
+  /// emit a capacity-eviction kFlush through `sink`; the access's own event
+  /// is both returned and sent to `sink`.
+  AccessEvent on_access(std::span<const std::int64_t> iteration, bool is_write, int stmt,
+                        int order, const EventSink& sink);
+
+  /// Emits trailing flushes after the last iteration.
+  void finish(const EventSink& sink);
+
+  const RefStrategy& strategy() const { return strategy_; }
+
+ private:
+  struct Held {
+    bool dirty = false;
+    std::uint64_t last_touch = 0;
+  };
+
+  bool at_first_carry_value() const;
+  bool at_last_carry_value() const;
+  void flush_all(const EventSink& sink, bool steady);
+  void emit(const EventSink& sink, const AccessEvent& event);
+
+  const Kernel& kernel_;
+  const RefGroup& group_;
+  RefStrategy strategy_;
+
+  bool initialized_ = false;
+  std::vector<std::int64_t> cur_iter_;
+  std::unordered_map<std::int64_t, int> rank_;       // per carry-iteration touch ranks
+  int touch_count_ = 0;
+  std::unordered_map<std::int64_t, Held> held_;      // resident elements
+  std::unordered_set<std::int64_t> wrote_this_iter_; // forwarding info
+  std::uint64_t seq_ = 0;
+};
+
+/// Per-group access counters.
+struct GroupCounts {
+  std::int64_t miss_reads = 0;
+  std::int64_t miss_writes = 0;
+  std::int64_t fills = 0;
+  std::int64_t steady_fills = 0;
+  std::int64_t flushes = 0;
+  std::int64_t steady_flushes = 0;
+  std::int64_t reg_hits = 0;
+  std::int64_t reg_writes = 0;
+  std::int64_t forwards = 0;
+
+  /// RAM accesses under steady-state accounting (peeled fill/flush excluded).
+  std::int64_t steady_total() const {
+    return miss_reads + miss_writes + steady_fills + steady_flushes;
+  }
+  /// All RAM accesses, including window fill/flush traffic.
+  std::int64_t total() const { return miss_reads + miss_writes + fills + flushes; }
+};
+
+/// Runs the window policy over the whole iteration space for all groups with
+/// the given per-group register counts; streams every event to `sink`
+/// (pass nullptr to only count) and returns per-group counters.
+std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
+                                           const std::vector<RefGroup>& groups,
+                                           const std::vector<ReuseInfo>& reuse,
+                                           std::span<const std::int64_t> regs,
+                                           const ModelOptions& options = {},
+                                           const EventSink& sink = nullptr);
+
+/// Single-group convenience: counters for `group` with `regs` registers.
+GroupCounts count_group_accesses(const Kernel& kernel, const RefGroup& group,
+                                 const ReuseInfo& reuse, std::int64_t regs,
+                                 const ModelOptions& options = {});
+
+/// Advances `iter` (normalized loop positions are recomputed from values) to
+/// the next lexicographic iteration; returns false when the space is
+/// exhausted. `iter` holds loop *values* (lower + k*step).
+bool next_iteration(const Kernel& kernel, std::vector<std::int64_t>& iter);
+
+/// First iteration vector (all loops at their lower bounds).
+std::vector<std::int64_t> first_iteration(const Kernel& kernel);
+
+}  // namespace srra

@@ -1,0 +1,360 @@
+#include "codegen/c_emitter.h"
+
+#include <sstream>
+
+#include "sim/storage.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+namespace {
+
+// The register-file controller runtime: the C rendition of the window
+// policy in analysis/walker.h (rank tracking per carry iteration, fill on
+// first held touch, LRU rotation, flush of dirty registers).
+constexpr const char* kRuntime = R"(/* ---- srra register-window runtime ---- */
+typedef struct {
+  int64_t cap;            /* held-element limit */
+  int64_t *backing;       /* flat RAM array */
+  int64_t *held_elem; int64_t *held_val; int *held_dirty; uint64_t *held_touch;
+  int64_t held_n;
+  int64_t *rank_elem;     /* touch order of the current carry iteration */
+  int64_t rank_n;
+  int64_t window_key, carry_key;
+  int started;
+  uint64_t seq;
+} srra_rf;
+
+static void srra_rf_flush_all(srra_rf *rf) {
+  for (int64_t h = 0; h < rf->held_n; ++h) {
+    if (rf->held_dirty[h]) rf->backing[rf->held_elem[h]] = rf->held_val[h];
+  }
+  rf->held_n = 0;
+}
+
+static void srra_rf_begin(srra_rf *rf, int64_t window_key, int64_t carry_key) {
+  if (!rf->started) {
+    rf->started = 1;
+    rf->window_key = window_key;
+    rf->carry_key = carry_key;
+    return;
+  }
+  if (window_key != rf->window_key) {
+    srra_rf_flush_all(rf);
+    rf->rank_n = 0;
+  } else if (carry_key != rf->carry_key) {
+    rf->rank_n = 0;
+  }
+  rf->window_key = window_key;
+  rf->carry_key = carry_key;
+}
+
+static int64_t srra_rf_rank(srra_rf *rf, int64_t elem) {
+  for (int64_t r = 0; r < rf->rank_n; ++r) {
+    if (rf->rank_elem[r] == elem) return r;
+  }
+  rf->rank_elem[rf->rank_n] = elem;
+  return rf->rank_n++;
+}
+
+static int64_t srra_rf_slot(srra_rf *rf, int64_t elem) {
+  for (int64_t h = 0; h < rf->held_n; ++h) {
+    if (rf->held_elem[h] == elem) return h;
+  }
+  return -1;
+}
+
+static int64_t srra_rf_make_room(srra_rf *rf) {
+  if (rf->held_n < rf->cap) return rf->held_n++;
+  int64_t victim = 0;
+  for (int64_t h = 1; h < rf->held_n; ++h) {
+    if (rf->held_touch[h] < rf->held_touch[victim]) victim = h;
+  }
+  if (rf->held_dirty[victim]) rf->backing[rf->held_elem[victim]] = rf->held_val[victim];
+  return victim;
+}
+
+static int64_t srra_rf_read(srra_rf *rf, int64_t elem) {
+  if (srra_rf_rank(rf, elem) >= rf->cap) return rf->backing[elem];
+  ++rf->seq;
+  int64_t slot = srra_rf_slot(rf, elem);
+  if (slot >= 0) {
+    rf->held_touch[slot] = rf->seq;
+    return rf->held_val[slot];
+  }
+  slot = srra_rf_make_room(rf);
+  rf->held_elem[slot] = elem;
+  rf->held_val[slot] = rf->backing[elem];  /* fill */
+  rf->held_dirty[slot] = 0;
+  rf->held_touch[slot] = rf->seq;
+  return rf->held_val[slot];
+}
+
+static void srra_rf_write(srra_rf *rf, int64_t elem, int64_t value) {
+  if (srra_rf_rank(rf, elem) >= rf->cap) {
+    rf->backing[elem] = value;
+    return;
+  }
+  ++rf->seq;
+  int64_t slot = srra_rf_slot(rf, elem);
+  if (slot < 0) {
+    slot = srra_rf_make_room(rf);
+    rf->held_elem[slot] = elem;
+  }
+  rf->held_val[slot] = value;
+  rf->held_dirty[slot] = 1;
+  rf->held_touch[slot] = rf->seq;
+}
+
+/* ---- datapath helpers (match the srra simulator semantics) ---- */
+static int64_t srra_div(int64_t a, int64_t b) { return b == 0 ? 0 : a / b; }
+static int64_t srra_shl(int64_t a, int64_t b) { return (b < 0 || b > 62) ? 0 : a << b; }
+static int64_t srra_shr(int64_t a, int64_t b) { return (b < 0 || b > 62) ? 0 : a >> b; }
+static int64_t srra_min(int64_t a, int64_t b) { return a < b ? a : b; }
+static int64_t srra_max(int64_t a, int64_t b) { return a > b ? a : b; }
+static int64_t srra_abs(int64_t a) { return a < 0 ? -a : a; }
+static int64_t srra_trunc(int64_t v, int bits, int sgn) {
+  uint64_t mask = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+  uint64_t n = ((uint64_t)v) & mask;
+  if (sgn && (n & (1ULL << (bits - 1)))) n |= ~mask;
+  return (int64_t)n;
+}
+
+/* ---- deterministic init + checksum (match srra::Rng / store_checksum) ---- */
+static uint64_t srra_rng_state;
+static uint64_t srra_rng_next(void) {
+  srra_rng_state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = srra_rng_state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+)";
+
+std::string c_ident(const std::string& name) { return name + "_data"; }
+
+// Flat row-major index expression for an access.
+std::string flat_index(const Kernel& kernel, const ArrayAccess& access) {
+  const ArrayDecl& decl = kernel.array(access.array_id);
+  const auto names = kernel.loop_names();
+  std::string out;
+  for (int d = 0; d < decl.rank(); ++d) {
+    const std::string sub =
+        cat("(", access.subscripts[static_cast<std::size_t>(d)].to_string(names), ")");
+    if (d == 0) {
+      out = sub;
+    } else {
+      out = cat("(", out, ") * ", decl.dims[static_cast<std::size_t>(d)], " + ", sub);
+    }
+  }
+  return out;
+}
+
+struct Emitter {
+  const RefModel& model;
+  const TransformPlan& plan;
+  const CEmitOptions& options;
+  std::ostringstream os;
+
+  const Kernel& kernel() const { return model.kernel(); }
+
+  bool group_holds(int g) const {
+    return !options.plain && plan.for_group(g).strategy.holds();
+  }
+
+  int group_of(const ArrayAccess& access) const {
+    for (const RefGroup& g : model.groups()) {
+      if (g.access == access) return g.id;
+    }
+    fail("access has no group");
+  }
+
+  std::string read_expr(const ArrayAccess& access) {
+    const int g = group_of(access);
+    const std::string idx = flat_index(kernel(), access);
+    if (group_holds(g)) return cat("srra_rf_read(&rf_g", g, ", ", idx, ")");
+    return cat(c_ident(kernel().array(access.array_id).name), "[", idx, "]");
+  }
+
+  std::string expr_str(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::kConst:
+        return cat("INT64_C(", e.const_value(), ")");
+      case ExprKind::kLoopVar:
+        return kernel().loop(e.loop_level()).var;
+      case ExprKind::kRef:
+        return read_expr(e.access());
+      case ExprKind::kUnOp: {
+        const std::string inner = expr_str(e.operand());
+        switch (e.un_op()) {
+          case UnOpKind::kNeg: return cat("(-(", inner, "))");
+          case UnOpKind::kNot: return cat("(~(", inner, "))");
+          case UnOpKind::kAbs: return cat("srra_abs(", inner, ")");
+        }
+        fail("unknown UnOpKind");
+      }
+      case ExprKind::kBinOp: {
+        const std::string a = expr_str(e.lhs());
+        const std::string b = expr_str(e.rhs());
+        switch (e.bin_op()) {
+          case BinOpKind::kAdd: return cat("(", a, " + ", b, ")");
+          case BinOpKind::kSub: return cat("(", a, " - ", b, ")");
+          case BinOpKind::kMul: return cat("(", a, " * ", b, ")");
+          case BinOpKind::kDiv: return cat("srra_div(", a, ", ", b, ")");
+          case BinOpKind::kAnd: return cat("(", a, " & ", b, ")");
+          case BinOpKind::kOr: return cat("(", a, " | ", b, ")");
+          case BinOpKind::kXor: return cat("(", a, " ^ ", b, ")");
+          case BinOpKind::kShl: return cat("srra_shl(", a, ", ", b, ")");
+          case BinOpKind::kShr: return cat("srra_shr(", a, ", ", b, ")");
+          case BinOpKind::kEq: return cat("((", a, ") == (", b, ") ? 1 : 0)");
+          case BinOpKind::kNe: return cat("((", a, ") != (", b, ") ? 1 : 0)");
+          case BinOpKind::kLt: return cat("((", a, ") < (", b, ") ? 1 : 0)");
+          case BinOpKind::kLe: return cat("((", a, ") <= (", b, ") ? 1 : 0)");
+          case BinOpKind::kMin: return cat("srra_min(", a, ", ", b, ")");
+          case BinOpKind::kMax: return cat("srra_max(", a, ", ", b, ")");
+        }
+        fail("unknown BinOpKind");
+      }
+    }
+    fail("unknown ExprKind");
+  }
+
+  // Combined outer-level window key / carry key expressions for a group.
+  std::string window_key_expr(int carry_level) {
+    if (carry_level == 0) return "0";
+    std::string out = kernel().loop(0).var;
+    for (int l = 1; l < carry_level; ++l) {
+      out = cat("(", out, ") * ", kernel().loop(l).upper, " + ", kernel().loop(l).var);
+    }
+    return out;
+  }
+
+  void emit_arrays() {
+    for (const ArrayDecl& a : kernel().arrays()) {
+      os << "static int64_t " << c_ident(a.name) << "[" << a.element_count() << "];\n";
+    }
+    os << "\n";
+  }
+
+  void emit_regfiles() {
+    if (options.plain) return;
+    for (const GroupPlan& gp : plan.groups) {
+      if (!gp.strategy.holds()) continue;
+      const int g = gp.group;
+      const std::int64_t cap = gp.strategy.held_limit;
+      const std::int64_t ranks = gp.window_elements;
+      const std::string array =
+          c_ident(kernel().array(model.groups()[static_cast<std::size_t>(g)].access.array_id).name);
+      os << "/* " << gp.display << ": " << (gp.full ? "full" : "partial") << " window, "
+         << cap << " registers, carry loop '"
+         << kernel().loop(gp.strategy.carry_level).var << "' */\n";
+      os << "static int64_t rf_g" << g << "_elem[" << cap << "], rf_g" << g << "_val[" << cap
+         << "];\n";
+      os << "static int rf_g" << g << "_dirty[" << cap << "];\n";
+      os << "static uint64_t rf_g" << g << "_touch[" << cap << "];\n";
+      os << "static int64_t rf_g" << g << "_rank[" << ranks << "];\n";
+      os << "static srra_rf rf_g" << g << " = {" << cap << ", " << array << ", rf_g" << g
+         << "_elem, rf_g" << g << "_val, rf_g" << g << "_dirty, rf_g" << g << "_touch, 0, rf_g"
+         << g << "_rank, 0, 0, 0, 0, 0};\n\n";
+    }
+  }
+
+  void emit_kernel_fn() {
+    os << "static void run_kernel(void) {\n";
+    std::string indent = "  ";
+    for (int l = 0; l < kernel().depth(); ++l) {
+      const Loop& loop = kernel().loop(l);
+      os << indent << "for (int64_t " << loop.var << " = " << loop.lower << "; " << loop.var
+         << " < " << loop.upper << "; " << loop.var << " += " << loop.step << ") {\n";
+      indent += "  ";
+    }
+    if (!options.plain) {
+      for (const GroupPlan& gp : plan.groups) {
+        if (!gp.strategy.holds()) continue;
+        os << indent << "srra_rf_begin(&rf_g" << gp.group << ", "
+           << window_key_expr(gp.strategy.carry_level) << ", "
+           << kernel().loop(gp.strategy.carry_level).var << ");\n";
+      }
+    }
+    for (const Stmt& stmt : kernel().body()) {
+      const int g = group_of(stmt.lhs);
+      const ArrayDecl& decl = kernel().array(stmt.lhs.array_id);
+      const std::string value =
+          cat("srra_trunc(", expr_str(*stmt.rhs), ", ", bit_width(decl.type), ", ",
+              is_signed(decl.type) ? 1 : 0, ")");
+      if (group_holds(g)) {
+        os << indent << "srra_rf_write(&rf_g" << g << ", " << flat_index(kernel(), stmt.lhs)
+           << ", " << value << ");\n";
+      } else {
+        os << indent << c_ident(decl.name) << "[" << flat_index(kernel(), stmt.lhs)
+           << "] = " << value << ";\n";
+      }
+    }
+    for (int l = kernel().depth() - 1; l >= 0; --l) {
+      indent.resize(indent.size() - 2);
+      os << indent << "}\n";
+    }
+    if (!options.plain) {
+      for (const GroupPlan& gp : plan.groups) {
+        if (!gp.strategy.holds()) continue;
+        os << "  srra_rf_flush_all(&rf_g" << gp.group << ");\n";
+      }
+    }
+    os << "}\n\n";
+  }
+
+  void emit_main() {
+    os << "int main(void) {\n";
+    os << "  srra_rng_state = UINT64_C(" << options.seed << ");\n";
+    for (const ArrayDecl& a : kernel().arrays()) {
+      os << "  for (int64_t e = 0; e < " << a.element_count() << "; ++e) "
+         << c_ident(a.name) << "[e] = srra_trunc((int64_t)srra_rng_next(), "
+         << bit_width(a.type) << ", " << (is_signed(a.type) ? 1 : 0) << ");\n";
+    }
+    os << "  run_kernel();\n";
+    os << "  uint64_t h = UINT64_C(14695981039346656037);\n";
+    for (const ArrayDecl& a : kernel().arrays()) {
+      os << "  for (int64_t e = 0; e < " << a.element_count() << "; ++e) { h ^= (uint64_t)"
+         << c_ident(a.name) << "[e]; h *= UINT64_C(1099511628211); }\n";
+    }
+    os << "  printf(\"%llu\\n\", (unsigned long long)h);\n";
+    os << "  return 0;\n}\n";
+  }
+
+  std::string run() {
+    os << "/* Generated by srra: kernel '" << kernel().name() << "' under "
+       << plan.allocation.algorithm << " (" << plan.allocation.total() << "/"
+       << plan.allocation.budget << " registers)"
+       << (options.plain ? ", plain (untransformed)" : "") << ". */\n";
+    os << "#include <stdint.h>\n#include <stdio.h>\n\n";
+    os << kRuntime << "\n";
+    emit_arrays();
+    emit_regfiles();
+    emit_kernel_fn();
+    emit_main();
+    return os.str();
+  }
+};
+
+}  // namespace
+
+std::string emit_c(const RefModel& model, const TransformPlan& plan,
+                   const CEmitOptions& options) {
+  Emitter emitter{model, plan, options, {}};
+  return emitter.run();
+}
+
+std::uint64_t store_checksum(const ArrayStore& store, const Kernel& kernel) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (int a = 0; a < static_cast<int>(kernel.arrays().size()); ++a) {
+    const std::int64_t count = kernel.arrays()[static_cast<std::size_t>(a)].element_count();
+    for (std::int64_t e = 0; e < count; ++e) {
+      h ^= static_cast<std::uint64_t>(store.peek(a, e));
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace srra

@@ -1,0 +1,35 @@
+// C code generator: emits a standalone, compilable C translation of a
+// kernel under a scalar-replacement plan. The generated program contains
+//  * one flat global array per kernel array,
+//  * a register-window runtime (the register-file controller the hardware
+//    would implement: rank tracking, fill/flush, LRU rotation) — the same
+//    policy as analysis/walker.h,
+//  * deterministic SplitMix64 initialization identical to
+//    ArrayStore::randomize, and
+//  * an FNV-1a checksum of all arrays printed on exit,
+// so its output can be compared bit-for-bit against the interpreter (the
+// codegen tests compile and execute it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xform/scalar_replace.h"
+
+namespace srra {
+
+/// Emission switches.
+struct CEmitOptions {
+  std::uint64_t seed = 1234;  ///< array initialization seed
+  bool plain = false;         ///< emit the untransformed kernel (no windows)
+};
+
+/// Emits the complete C translation unit.
+std::string emit_c(const RefModel& model, const TransformPlan& plan,
+                   const CEmitOptions& options = {});
+
+/// FNV-1a checksum of every array of `store`, element order — must equal the
+/// number printed by the generated program when seeded identically.
+std::uint64_t store_checksum(const class ArrayStore& store, const Kernel& kernel);
+
+}  // namespace srra

@@ -1,0 +1,20 @@
+// Behavioral VHDL generator: emits the entity the paper's flow would feed
+// into Monet — a sequential FSM datapath with one state per DFG operation /
+// memory access, per-array BlockRAM interfaces, loop counters and the
+// allocated register files. The output is structural documentation of the
+// design (synthesizable in style); the repository does not ship a VHDL
+// simulator, so tests verify structure, not waveforms.
+#pragma once
+
+#include <string>
+
+#include "dfg/latency.h"
+#include "xform/scalar_replace.h"
+
+namespace srra {
+
+/// Emits one VHDL design unit (entity + architecture) for the kernel under
+/// the given plan.
+std::string emit_vhdl(const RefModel& model, const TransformPlan& plan);
+
+}  // namespace srra

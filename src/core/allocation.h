@@ -1,0 +1,38 @@
+// Allocation result type shared by every allocator: the number of registers
+// assigned to each reference group of a kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/model.h"
+
+namespace srra {
+
+/// A register assignment produced by one of the allocation algorithms.
+struct Allocation {
+  std::string algorithm;            ///< e.g. "FR-RA"
+  std::int64_t budget = 0;          ///< register budget it was computed for
+  std::vector<std::int64_t> regs;   ///< registers per reference group
+
+  /// Sum of all per-group assignments.
+  std::int64_t total() const;
+
+  /// Registers for group `g`.
+  std::int64_t at(int g) const;
+
+  /// Checks the paper's structural invariants: every group has at least its
+  /// feasibility register, nothing exceeds beta_full, and the total is
+  /// within budget. Throws srra::Error on violation.
+  void validate(const RefModel& model) const;
+
+  /// "30/1/20/1/1" style summary in group order (benches, logs).
+  std::string distribution() const;
+};
+
+/// The feasibility baseline: one register per reference group (renders the
+/// datapath realizable; exploits no reuse beyond forwarding).
+Allocation feasibility_allocation(const RefModel& model, std::int64_t budget);
+
+}  // namespace srra

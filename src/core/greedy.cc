@@ -1,0 +1,39 @@
+#include "core/greedy.h"
+
+namespace srra {
+
+Allocation allocate_fr(const RefModel& model, std::int64_t budget) {
+  Allocation a = feasibility_allocation(model, budget);
+  a.algorithm = "FR-RA";
+  std::int64_t left = budget - a.total();
+  for (int g : model.sorted_by_benefit()) {
+    if (model.bc_ratio(g) <= 0.0) break;  // no further reference saves anything
+    const std::int64_t need = model.beta_full(g) - a.regs[static_cast<std::size_t>(g)];
+    if (need <= 0 || need > left) continue;
+    a.regs[static_cast<std::size_t>(g)] += need;
+    left -= need;
+  }
+  return a;
+}
+
+Allocation allocate_pr(const RefModel& model, std::int64_t budget) {
+  Allocation a = allocate_fr(model, budget);
+  a.algorithm = "PR-RA";
+  std::int64_t left = budget - a.total();
+  // Pour leftovers into the first not-fully-covered profitable references,
+  // in the same benefit order (the paper assigns them to "the next
+  // reference in the sorted list").
+  for (int g : model.sorted_by_benefit()) {
+    if (left <= 0) break;
+    if (model.bc_ratio(g) <= 0.0) break;
+    auto& r = a.regs[static_cast<std::size_t>(g)];
+    const std::int64_t room = model.beta_full(g) - r;
+    if (room <= 0) continue;
+    const std::int64_t give = std::min(room, left);
+    r += give;
+    left -= give;
+  }
+  return a;
+}
+
+}  // namespace srra

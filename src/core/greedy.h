@@ -1,0 +1,23 @@
+// The two greedy allocators of the paper's Figure 3:
+//
+// FR-RA (Full Reuse Register Allocation): one feasibility register per
+// reference, then walk the references in descending benefit/cost order and
+// give each its full requirement beta_full if it still fits — a reference
+// ends at either beta_full or 1.
+//
+// PR-RA (Partial Reuse Register Allocation): FR-RA, then pour the leftover
+// registers into the next profitable references in the same order (partial
+// reuse), capping each at beta_full.
+#pragma once
+
+#include "core/allocation.h"
+
+namespace srra {
+
+/// Full Reuse Register Allocation (paper Figure 3, variant 1).
+Allocation allocate_fr(const RefModel& model, std::int64_t budget);
+
+/// Partial Reuse Register Allocation (paper Figure 3, variant 2).
+Allocation allocate_pr(const RefModel& model, std::int64_t budget);
+
+}  // namespace srra

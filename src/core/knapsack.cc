@@ -1,0 +1,49 @@
+#include "core/knapsack.h"
+
+#include "support/error.h"
+
+namespace srra {
+
+Allocation allocate_knapsack(const RefModel& model, std::int64_t budget) {
+  Allocation a = feasibility_allocation(model, budget);
+  a.algorithm = "KS-RA";
+  const std::int64_t capacity = budget - a.total();
+
+  struct Item {
+    int group;
+    std::int64_t weight;
+    std::int64_t value;
+  };
+  std::vector<Item> items;
+  for (int g = 0; g < model.group_count(); ++g) {
+    const std::int64_t weight = model.beta_full(g) - 1;
+    const std::int64_t value = model.saved(g);
+    if (weight <= 0 || value <= 0 || weight > capacity) continue;
+    items.push_back(Item{g, weight, value});
+  }
+
+  // dp[c] = best value with capacity c; keep[i][c] records choices.
+  const auto cap = static_cast<std::size_t>(capacity);
+  std::vector<std::int64_t> dp(cap + 1, 0);
+  std::vector<std::vector<bool>> keep(items.size(), std::vector<bool>(cap + 1, false));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto w = static_cast<std::size_t>(items[i].weight);
+    for (std::size_t c = cap + 1; c-- > w;) {
+      const std::int64_t with = dp[c - w] + items[i].value;
+      if (with > dp[c]) {
+        dp[c] = with;
+        keep[i][c] = true;
+      }
+    }
+  }
+
+  std::size_t c = cap;
+  for (std::size_t i = items.size(); i-- > 0;) {
+    if (!keep[i][c]) continue;
+    a.regs[static_cast<std::size_t>(items[i].group)] += items[i].weight;
+    c -= static_cast<std::size_t>(items[i].weight);
+  }
+  return a;
+}
+
+}  // namespace srra

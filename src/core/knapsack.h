@@ -1,0 +1,15 @@
+// Exact 0/1-knapsack allocator: the optimal full-or-nothing assignment under
+// the paper's knapsack formulation (§3): item = reference, weight = extra
+// registers for full scalar replacement, value = eliminated accesses.
+// This is the yardstick the greedy FR-RA approximates (ablation Ext. B).
+#pragma once
+
+#include "core/allocation.h"
+
+namespace srra {
+
+/// Optimal full-or-nothing register allocation by dynamic programming over
+/// the remaining budget (pseudo-polynomial; budgets here are tiny).
+Allocation allocate_knapsack(const RefModel& model, std::int64_t budget);
+
+}  // namespace srra

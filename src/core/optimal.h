@@ -1,0 +1,17 @@
+// Optimal-partial allocator: dynamic programming over the register budget
+// that minimizes the total steady-state RAM access count, allowing any
+// per-reference register count (not just the full-or-nothing knapsack).
+// This bounds what any allocator can achieve under the serial access
+// metric; CPA-RA can still win on *cycles* because the DP objective is
+// blind to operand concurrency and the critical path (ablation Ext. B).
+#pragma once
+
+#include "core/allocation.h"
+
+namespace srra {
+
+/// Minimizes sum_g steady_accesses(g, n_g) s.t. sum n_g <= budget,
+/// 1 <= n_g <= beta_full(g). Pseudo-polynomial in the budget.
+Allocation allocate_optimal_dp(const RefModel& model, std::int64_t budget);
+
+}  // namespace srra

@@ -1,0 +1,50 @@
+#include "core/registry.h"
+
+#include "core/cpa_ra.h"
+#include "core/greedy.h"
+#include "core/knapsack.h"
+#include "core/optimal.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFeasibility: return "feasibility";
+    case Algorithm::kFrRa: return "FR-RA";
+    case Algorithm::kPrRa: return "PR-RA";
+    case Algorithm::kCpaRa: return "CPA-RA";
+    case Algorithm::kKnapsack: return "KS-RA";
+    case Algorithm::kOptimalDp: return "DP-RA";
+  }
+  fail("unknown Algorithm");
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "feasibility") return Algorithm::kFeasibility;
+  if (name == "fr" || name == "FR-RA") return Algorithm::kFrRa;
+  if (name == "pr" || name == "PR-RA") return Algorithm::kPrRa;
+  if (name == "cpa" || name == "CPA-RA") return Algorithm::kCpaRa;
+  if (name == "knapsack" || name == "KS-RA") return Algorithm::kKnapsack;
+  if (name == "dp" || name == "DP-RA") return Algorithm::kOptimalDp;
+  fail(cat("unknown algorithm name: ", name));
+}
+
+Allocation allocate(Algorithm algorithm, const RefModel& model, std::int64_t budget) {
+  switch (algorithm) {
+    case Algorithm::kFeasibility: return feasibility_allocation(model, budget);
+    case Algorithm::kFrRa: return allocate_fr(model, budget);
+    case Algorithm::kPrRa: return allocate_pr(model, budget);
+    case Algorithm::kCpaRa: return allocate_cpa(model, budget);
+    case Algorithm::kKnapsack: return allocate_knapsack(model, budget);
+    case Algorithm::kOptimalDp: return allocate_optimal_dp(model, budget);
+  }
+  fail("unknown Algorithm");
+}
+
+std::vector<Algorithm> paper_variants() {
+  return {Algorithm::kFrRa, Algorithm::kPrRa, Algorithm::kCpaRa};
+}
+
+}  // namespace srra

@@ -1,0 +1,35 @@
+// Allocator registry: the paper's three algorithms plus baselines, selected
+// by enum or name (benches and examples iterate over these).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+
+namespace srra {
+
+/// Available register allocation algorithms.
+enum class Algorithm {
+  kFeasibility,  ///< one register per reference (no reuse exploitation)
+  kFrRa,         ///< Full Reuse RA (paper Fig. 3, v1)
+  kPrRa,         ///< Partial Reuse RA (paper Fig. 3, v2)
+  kCpaRa,        ///< Critical-Path-Aware RA (paper Fig. 4, v3)
+  kKnapsack,     ///< exact 0/1 knapsack (ablation)
+  kOptimalDp,    ///< DP-optimal partial allocation for the serial access metric
+};
+
+/// Short display name, e.g. "CPA-RA".
+std::string algorithm_name(Algorithm algorithm);
+
+/// Parses "feasibility" / "fr" / "pr" / "cpa" / "knapsack" (and the display
+/// names); throws on unknown input.
+Algorithm parse_algorithm(const std::string& name);
+
+/// Runs the chosen algorithm.
+Allocation allocate(Algorithm algorithm, const RefModel& model, std::int64_t budget);
+
+/// The paper's three variants in Table 1 order (v1, v2, v3).
+std::vector<Algorithm> paper_variants();
+
+}  // namespace srra

@@ -1,0 +1,100 @@
+#include "dfg/critical.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace srra {
+
+std::vector<int> CriticalGraph::cg_nodes() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < in_cg.size(); ++i) {
+    if (in_cg[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+CriticalGraph critical_graph(const Dfg& dfg, std::span<const std::int64_t> weights) {
+  const int n = dfg.node_count();
+  check(static_cast<int>(weights.size()) == n, "weights size mismatch");
+
+  CriticalGraph cg;
+  cg.dist_from_source.assign(static_cast<std::size_t>(n), 0);
+  cg.dist_to_sink.assign(static_cast<std::size_t>(n), 0);
+  cg.in_cg.assign(static_cast<std::size_t>(n), false);
+
+  // Node ids are topological by construction.
+  for (int id = 0; id < n; ++id) {
+    const DfgNode& node = dfg.node(id);
+    std::int64_t best = 0;
+    for (int p : node.preds) best = std::max(best, cg.dist_from_source[static_cast<std::size_t>(p)]);
+    cg.dist_from_source[static_cast<std::size_t>(id)] = best + weights[static_cast<std::size_t>(id)];
+  }
+  for (int id = n - 1; id >= 0; --id) {
+    const DfgNode& node = dfg.node(id);
+    std::int64_t best = 0;
+    for (int s : node.succs) best = std::max(best, cg.dist_to_sink[static_cast<std::size_t>(s)]);
+    cg.dist_to_sink[static_cast<std::size_t>(id)] = best + weights[static_cast<std::size_t>(id)];
+  }
+  for (int id = 0; id < n; ++id) {
+    cg.length = std::max(cg.length, cg.dist_from_source[static_cast<std::size_t>(id)]);
+  }
+  for (int id = 0; id < n; ++id) {
+    const std::int64_t through = cg.dist_from_source[static_cast<std::size_t>(id)] +
+                                 cg.dist_to_sink[static_cast<std::size_t>(id)] -
+                                 weights[static_cast<std::size_t>(id)];
+    cg.in_cg[static_cast<std::size_t>(id)] = through == cg.length;
+  }
+  return cg;
+}
+
+namespace {
+
+void extend_paths(const Dfg& dfg, const CriticalGraph& cg,
+                  std::span<const std::int64_t> weights, std::vector<int>& prefix,
+                  std::vector<std::vector<int>>& out, int max_paths) {
+  const int id = prefix.back();
+  const DfgNode& node = dfg.node(id);
+  bool extended = false;
+  for (int succ : node.succs) {
+    if (!cg.in_cg[static_cast<std::size_t>(succ)]) continue;
+    // Stay on a critical path: the successor must continue the longest chain.
+    if (cg.dist_from_source[static_cast<std::size_t>(succ)] !=
+        cg.dist_from_source[static_cast<std::size_t>(id)] + weights[static_cast<std::size_t>(succ)]) {
+      continue;
+    }
+    if (cg.dist_to_sink[static_cast<std::size_t>(id)] !=
+        cg.dist_to_sink[static_cast<std::size_t>(succ)] + weights[static_cast<std::size_t>(id)]) {
+      continue;
+    }
+    prefix.push_back(succ);
+    extend_paths(dfg, cg, weights, prefix, out, max_paths);
+    prefix.pop_back();
+    extended = true;
+  }
+  if (!extended) {
+    check(static_cast<int>(out.size()) < max_paths, "too many critical paths");
+    out.push_back(prefix);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> critical_paths(const Dfg& dfg, const CriticalGraph& cg,
+                                             std::span<const std::int64_t> weights,
+                                             int max_paths) {
+  std::vector<std::vector<int>> out;
+  for (int id = 0; id < dfg.node_count(); ++id) {
+    if (!cg.in_cg[static_cast<std::size_t>(id)]) continue;
+    if (!dfg.node(id).preds.empty()) continue;
+    // Source on a critical path: its inclusive distance equals its weight.
+    if (cg.dist_from_source[static_cast<std::size_t>(id)] != weights[static_cast<std::size_t>(id)]) {
+      continue;
+    }
+    std::vector<int> prefix{id};
+    extend_paths(dfg, cg, weights, prefix, out, max_paths);
+  }
+  return out;
+}
+
+}  // namespace srra

@@ -1,0 +1,35 @@
+// Critical path and Critical Graph extraction (paper §3): the CG is the
+// subgraph of the DFG formed by all maximal-latency source-to-sink paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace srra {
+
+/// Critical-path summary under node weights.
+struct CriticalGraph {
+  std::int64_t length = 0;       ///< latency of the critical path(s)
+  std::vector<bool> in_cg;       ///< node id -> lies on some critical path
+  std::vector<std::int64_t> dist_from_source;  ///< inclusive longest distance
+  std::vector<std::int64_t> dist_to_sink;      ///< inclusive longest distance
+
+  /// Node ids in the CG, ascending.
+  std::vector<int> cg_nodes() const;
+};
+
+/// Computes the critical graph for node weights `weights` (node-weighted
+/// longest paths; ids are already topologically ordered).
+CriticalGraph critical_graph(const Dfg& dfg, std::span<const std::int64_t> weights);
+
+/// Enumerates all source-to-sink paths of the critical graph (paths whose
+/// every node is critical and whose total weight equals the CP length).
+/// Bounded by `max_paths`; throws if the bound is exceeded.
+std::vector<std::vector<int>> critical_paths(const Dfg& dfg, const CriticalGraph& cg,
+                                             std::span<const std::int64_t> weights,
+                                             int max_paths = 1024);
+
+}  // namespace srra

@@ -1,0 +1,122 @@
+#include "dfg/cuts.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+
+namespace srra {
+
+namespace {
+
+using Paths = std::vector<std::vector<int>>;
+
+// Recursive minimal-hitting-set enumeration: branch on the candidates of the
+// first path not yet hit.
+void enumerate(const Paths& paths, const std::vector<bool>& is_candidate,
+               std::set<int>& chosen, std::set<std::vector<int>>& out, int max_cuts) {
+  // Find the first path not hit by `chosen`.
+  const std::vector<int>* open = nullptr;
+  for (const auto& path : paths) {
+    bool hit = false;
+    for (int id : path) {
+      if (chosen.count(id) != 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      open = &path;
+      break;
+    }
+  }
+  if (open == nullptr) {
+    check(static_cast<int>(out.size()) < max_cuts, "too many cuts");
+    out.insert(std::vector<int>(chosen.begin(), chosen.end()));
+    return;
+  }
+  for (int id : *open) {
+    if (!is_candidate[static_cast<std::size_t>(id)]) continue;
+    if (chosen.count(id) != 0) continue;
+    chosen.insert(id);
+    enumerate(paths, is_candidate, chosen, out, max_cuts);
+    chosen.erase(id);
+  }
+}
+
+bool hits_all(const Paths& paths, const std::vector<int>& cut, int skip) {
+  for (const auto& path : paths) {
+    bool hit = false;
+    for (int id : path) {
+      if (id == skip) continue;
+      if (std::find(cut.begin(), cut.end(), id) != cut.end() && id != skip) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> find_cuts(const Dfg& dfg, const CriticalGraph& cg,
+                                        std::span<const std::int64_t> weights,
+                                        const CutOptions& options) {
+  const Paths all_paths = critical_paths(dfg, cg, weights, options.max_paths);
+
+  // Restrict paths to candidate reference nodes.
+  std::vector<bool> is_candidate(static_cast<std::size_t>(dfg.node_count()), false);
+  for (const DfgNode& n : dfg.nodes()) {
+    if (!n.is_ref()) continue;
+    if (!options.candidates.empty() && !options.candidates[static_cast<std::size_t>(n.id)]) {
+      continue;
+    }
+    is_candidate[static_cast<std::size_t>(n.id)] = true;
+  }
+
+  Paths ref_paths;
+  bool any_skipped = false;
+  for (const auto& path : all_paths) {
+    std::vector<int> refs;
+    for (int id : path) {
+      if (is_candidate[static_cast<std::size_t>(id)]) refs.push_back(id);
+    }
+    if (refs.empty()) {
+      // A critical path with no candidate reference (e.g. it runs through
+      // loop counters or non-reducible accesses) puts a floor under the CP
+      // length, but cutting the remaining paths still removes their memory
+      // accesses — skip it rather than giving up (cf. CPA-RA on IMI).
+      any_skipped = true;
+      continue;
+    }
+    ref_paths.push_back(std::move(refs));
+  }
+  if (ref_paths.empty()) return {};
+  (void)any_skipped;
+
+  std::set<std::vector<int>> raw;
+  std::set<int> chosen;
+  enumerate(ref_paths, is_candidate, chosen, raw, options.max_cuts);
+
+  // Keep only minimal sets (no member removable).
+  std::vector<std::vector<int>> cuts;
+  for (const auto& cut : raw) {
+    bool minimal = true;
+    for (int member : cut) {
+      if (hits_all(ref_paths, cut, member)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) cuts.push_back(cut);
+  }
+  std::sort(cuts.begin(), cuts.end(), [](const std::vector<int>& a, const std::vector<int>& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+  return cuts;
+}
+
+}  // namespace srra

@@ -1,0 +1,31 @@
+// Cut enumeration over the Critical Graph (paper §3): a cut is a minimal
+// set of reference nodes whose removal disconnects every source-to-sink
+// path of the CG. CPA-RA allocates registers to the members of the cheapest
+// cut, shortening every critical path at once.
+#pragma once
+
+#include <vector>
+
+#include "dfg/critical.h"
+#include "dfg/dfg.h"
+
+namespace srra {
+
+/// Bounds and filters for cut enumeration.
+struct CutOptions {
+  int max_paths = 1024;  ///< abort if the CG has more paths than this
+  int max_cuts = 256;    ///< abort if more minimal cuts than this
+  /// Node filter: only nodes with candidate[id] true may appear in cuts
+  /// (empty = every reference node is a candidate).
+  std::vector<bool> candidates;
+};
+
+/// Enumerates all minimal cuts of the critical graph, each sorted by node
+/// id; the list is sorted by (size, lexicographic ids). Returns an empty
+/// list when some CG path contains no candidate reference node (no cut can
+/// disconnect it).
+std::vector<std::vector<int>> find_cuts(const Dfg& dfg, const CriticalGraph& cg,
+                                        std::span<const std::int64_t> weights,
+                                        const CutOptions& options = {});
+
+}  // namespace srra

@@ -1,0 +1,170 @@
+#include "dfg/dfg.h"
+
+#include <map>
+
+#include "ir/printer.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+const DfgNode& Dfg::node(int id) const {
+  check(id >= 0 && id < node_count(), "dfg node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int Dfg::add_node(DfgNode node) {
+  node.id = node_count();
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void Dfg::add_edge(int from, int to) {
+  nodes_[static_cast<std::size_t>(from)].succs.push_back(to);
+  nodes_[static_cast<std::size_t>(to)].preds.push_back(from);
+}
+
+namespace {
+
+// Group lookup by access identity (the RefGroup list is authoritative).
+int group_of(const std::vector<RefGroup>& groups, const ArrayAccess& access) {
+  for (const RefGroup& g : groups) {
+    if (g.access == access) return g.id;
+  }
+  fail("access has no reference group");
+}
+
+}  // namespace
+
+int Dfg::build_expr(const Kernel& kernel, const std::vector<RefGroup>& groups,
+                    const Expr& expr, int stmt_index, int& order) {
+  switch (expr.kind()) {
+    case ExprKind::kConst: {
+      DfgNode n;
+      n.kind = DfgNodeKind::kConst;
+      n.const_value = expr.const_value();
+      n.label = std::to_string(expr.const_value());
+      return add_node(std::move(n));
+    }
+    case ExprKind::kLoopVar: {
+      DfgNode n;
+      n.kind = DfgNodeKind::kLoopVar;
+      n.loop_level = expr.loop_level();
+      n.label = kernel.loop(expr.loop_level()).var;
+      return add_node(std::move(n));
+    }
+    case ExprKind::kRef: {
+      const int group = group_of(groups, expr.access());
+      const int my_order = order++;
+      // Forwarded from an earlier same-iteration write?
+      for (int id = node_count() - 1; id >= 0; --id) {
+        const DfgNode& n = nodes_[static_cast<std::size_t>(id)];
+        if (n.kind == DfgNodeKind::kWrite && n.group == group) {
+          occurrence_node_[static_cast<std::size_t>(my_order)] = id;
+          return id;
+        }
+      }
+      // Reads of the same group share one read node (one latch).
+      for (int id = 0; id < node_count(); ++id) {
+        const DfgNode& n = nodes_[static_cast<std::size_t>(id)];
+        if (n.kind == DfgNodeKind::kRead && n.group == group) {
+          occurrence_node_[static_cast<std::size_t>(my_order)] = id;
+          return id;
+        }
+      }
+      DfgNode n;
+      n.kind = DfgNodeKind::kRead;
+      n.group = group;
+      n.label = groups[static_cast<std::size_t>(group)].display;
+      const int id = add_node(std::move(n));
+      occurrence_node_[static_cast<std::size_t>(my_order)] = id;
+      return id;
+    }
+    case ExprKind::kUnOp: {
+      const int operand = build_expr(kernel, groups, expr.operand(), stmt_index, order);
+      DfgNode n;
+      n.kind = DfgNodeKind::kOp;
+      n.stmt = stmt_index;
+      n.is_unary = true;
+      n.un_op = expr.un_op();
+      n.label = cat("op", stmt_index, ":", un_op_name(expr.un_op()));
+      const int id = add_node(std::move(n));
+      add_edge(operand, id);
+      return id;
+    }
+    case ExprKind::kBinOp: {
+      const int lhs = build_expr(kernel, groups, expr.lhs(), stmt_index, order);
+      const int rhs = build_expr(kernel, groups, expr.rhs(), stmt_index, order);
+      DfgNode n;
+      n.kind = DfgNodeKind::kOp;
+      n.stmt = stmt_index;
+      n.is_unary = false;
+      n.bin_op = expr.bin_op();
+      n.label = cat("op", stmt_index, ":", bin_op_name(expr.bin_op()));
+      const int id = add_node(std::move(n));
+      add_edge(lhs, id);
+      add_edge(rhs, id);
+      return id;
+    }
+  }
+  fail("unknown ExprKind");
+}
+
+Dfg Dfg::build(const Kernel& kernel, const std::vector<RefGroup>& groups) {
+  Dfg dfg;
+  dfg.occurrence_node_.assign(static_cast<std::size_t>(total_occurrences(groups)), -1);
+  int order = 0;
+  for (int s = 0; s < static_cast<int>(kernel.body().size()); ++s) {
+    const Stmt& stmt = kernel.body()[static_cast<std::size_t>(s)];
+    const int rhs = dfg.build_expr(kernel, groups, *stmt.rhs, s, order);
+    DfgNode w;
+    w.kind = DfgNodeKind::kWrite;
+    w.group = group_of(groups, stmt.lhs);
+    w.stmt = s;
+    w.label = groups[static_cast<std::size_t>(w.group)].display;
+    const int write_id = dfg.add_node(std::move(w));
+    dfg.add_edge(rhs, write_id);
+    dfg.occurrence_node_[static_cast<std::size_t>(order++)] = write_id;
+  }
+  return dfg;
+}
+
+std::vector<int> Dfg::sources() const {
+  std::vector<int> out;
+  for (const DfgNode& n : nodes_) {
+    if (n.preds.empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<int> Dfg::sinks() const {
+  std::vector<int> out;
+  for (const DfgNode& n : nodes_) {
+    if (n.succs.empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+int Dfg::node_for_occurrence(int order) const {
+  check(order >= 0 && order < static_cast<int>(occurrence_node_.size()),
+        "occurrence order out of range");
+  return occurrence_node_[static_cast<std::size_t>(order)];
+}
+
+int Dfg::consumer_op(int order) const {
+  const DfgNode& n = node(node_for_occurrence(order));
+  for (int succ : n.succs) {
+    if (node(succ).kind == DfgNodeKind::kOp) return succ;
+  }
+  return -1;
+}
+
+std::vector<int> Dfg::ref_nodes(int group) const {
+  std::vector<int> out;
+  for (const DfgNode& n : nodes_) {
+    if (n.is_ref() && n.group == group) out.push_back(n.id);
+  }
+  return out;
+}
+
+}  // namespace srra

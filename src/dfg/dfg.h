@@ -1,0 +1,77 @@
+// Data-flow graph of one loop-body iteration (paper §3, Figure 2(a)).
+// Nodes: constant/loop-counter leaves, one read node per reference group
+// that is read before any same-iteration write, one op node per expression
+// operation, and one write node per statement LHS. A read that is forwarded
+// from a same-iteration write (e.g. d[i][k] in the example) becomes an edge
+// out of the write node — exactly the d[i][k] node the paper draws between
+// op1 and op2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/refs.h"
+#include "ir/kernel.h"
+
+namespace srra {
+
+/// Node kinds of the body DFG.
+enum class DfgNodeKind { kConst, kLoopVar, kRead, kOp, kWrite };
+
+/// One DFG node. Ids are assigned in construction order, which is a
+/// topological order (operands are always created before their consumers).
+struct DfgNode {
+  int id = -1;
+  DfgNodeKind kind = DfgNodeKind::kConst;
+  int group = -1;   ///< reference group (kRead/kWrite)
+  int stmt = -1;    ///< statement index (kOp/kWrite)
+  bool is_unary = false;
+  BinOpKind bin_op = BinOpKind::kAdd;  ///< valid when kind==kOp && !is_unary
+  UnOpKind un_op = UnOpKind::kNeg;     ///< valid when kind==kOp && is_unary
+  Value const_value = 0;               ///< valid when kind==kConst
+  int loop_level = -1;                 ///< valid when kind==kLoopVar
+  std::vector<int> preds;              ///< operand nodes, in operand order
+  std::vector<int> succs;
+  std::string label;                   ///< display, e.g. "b[k][j]" or "op1:*"
+
+  bool is_ref() const { return kind == DfgNodeKind::kRead || kind == DfgNodeKind::kWrite; }
+};
+
+/// The body data-flow graph.
+class Dfg {
+ public:
+  /// Builds the DFG for `kernel` using its reference groups.
+  static Dfg build(const Kernel& kernel, const std::vector<RefGroup>& groups);
+
+  const std::vector<DfgNode>& nodes() const { return nodes_; }
+  const DfgNode& node(int id) const;
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  /// Nodes with no predecessors / successors.
+  std::vector<int> sources() const;
+  std::vector<int> sinks() const;
+
+  /// DFG node consumed by occurrence `order` of the iteration body (reads
+  /// map to their read node, or to the forwarding write node; writes map to
+  /// their write node).
+  int node_for_occurrence(int order) const;
+
+  /// The op node that consumes occurrence `order` (for a read occurrence):
+  /// the unique successor op; -1 when the value flows directly to a write.
+  int consumer_op(int order) const;
+
+  /// Read/write nodes of a reference group (empty if the group only appears
+  /// forwarded). A group has at most one read node and one write node.
+  std::vector<int> ref_nodes(int group) const;
+
+ private:
+  int add_node(DfgNode node);
+  void add_edge(int from, int to);
+  int build_expr(const Kernel& kernel, const std::vector<RefGroup>& groups, const Expr& expr,
+                 int stmt_index, int& order);
+
+  std::vector<DfgNode> nodes_;
+  std::vector<int> occurrence_node_;  // occurrence order -> node id
+};
+
+}  // namespace srra

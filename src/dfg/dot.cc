@@ -1,0 +1,49 @@
+#include "dfg/dot.h"
+
+#include <sstream>
+
+namespace srra {
+
+namespace {
+
+const char* shape(DfgNodeKind kind) {
+  switch (kind) {
+    case DfgNodeKind::kConst:
+    case DfgNodeKind::kLoopVar:
+      return "plaintext";
+    case DfgNodeKind::kRead:
+    case DfgNodeKind::kWrite:
+      return "box";
+    case DfgNodeKind::kOp:
+      return "ellipse";
+  }
+  return "ellipse";
+}
+
+}  // namespace
+
+std::string to_dot(const Dfg& dfg, const CriticalGraph* cg) {
+  std::ostringstream os;
+  os << "digraph dfg {\n  rankdir=TB;\n";
+  for (const DfgNode& n : dfg.nodes()) {
+    os << "  n" << n.id << " [label=\"" << n.label << "\", shape=" << shape(n.kind);
+    if (cg != nullptr && cg->in_cg[static_cast<std::size_t>(n.id)]) {
+      os << ", color=red, penwidth=2";
+    }
+    os << "];\n";
+  }
+  for (const DfgNode& n : dfg.nodes()) {
+    for (int succ : n.succs) {
+      os << "  n" << n.id << " -> n" << succ;
+      if (cg != nullptr && cg->in_cg[static_cast<std::size_t>(n.id)] &&
+          cg->in_cg[static_cast<std::size_t>(succ)]) {
+        os << " [color=red, penwidth=2]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace srra

@@ -1,0 +1,16 @@
+// Graphviz export of DFGs (and highlighted critical graphs) for
+// documentation and debugging.
+#pragma once
+
+#include <string>
+
+#include "dfg/critical.h"
+#include "dfg/dfg.h"
+
+namespace srra {
+
+/// Renders the DFG in DOT syntax. When `cg` is non-null, critical nodes are
+/// drawn bold/red.
+std::string to_dot(const Dfg& dfg, const CriticalGraph* cg = nullptr);
+
+}  // namespace srra

@@ -1,0 +1,48 @@
+#include "dfg/latency.h"
+
+#include "analysis/model.h"
+#include "support/error.h"
+
+namespace srra {
+
+std::int64_t LatencyModel::op_latency(const DfgNode& node) const {
+  check(node.kind == DfgNodeKind::kOp, "op_latency needs an op node");
+  if (node.is_unary) return add;
+  switch (node.bin_op) {
+    case BinOpKind::kMul: return mul;
+    case BinOpKind::kDiv: return div;
+    default: return add;
+  }
+}
+
+std::vector<std::int64_t> node_weights(const Dfg& dfg, const RefModel& model,
+                                       std::span<const std::int64_t> regs,
+                                       const LatencyModel& latency) {
+  check(static_cast<int>(regs.size()) == model.group_count(), "regs size mismatch");
+  std::vector<std::int64_t> weights(static_cast<std::size_t>(dfg.node_count()), 0);
+  for (const DfgNode& n : dfg.nodes()) {
+    switch (n.kind) {
+      case DfgNodeKind::kConst:
+      case DfgNodeKind::kLoopVar:
+        break;
+      case DfgNodeKind::kOp:
+        weights[static_cast<std::size_t>(n.id)] = latency.op_latency(n);
+        break;
+      case DfgNodeKind::kRead: {
+        const GroupCounts& c = model.counts(n.group, regs[static_cast<std::size_t>(n.group)]);
+        const bool ram = c.miss_reads + c.steady_fills > 0;
+        weights[static_cast<std::size_t>(n.id)] = ram ? latency.mem_read : 0;
+        break;
+      }
+      case DfgNodeKind::kWrite: {
+        const GroupCounts& c = model.counts(n.group, regs[static_cast<std::size_t>(n.group)]);
+        const bool ram = c.miss_writes + c.steady_flushes > 0;
+        weights[static_cast<std::size_t>(n.id)] = ram ? latency.mem_write : 0;
+        break;
+      }
+    }
+  }
+  return weights;
+}
+
+}  // namespace srra

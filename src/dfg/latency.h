@@ -1,0 +1,34 @@
+// Latency model for DFG nodes (paper §3: operation latencies are known; a
+// memory access costs mu cycles from RAM and ~0 from a register).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace srra {
+
+class RefModel;  // analysis/model.h
+
+/// Datapath and memory latencies in cycles.
+struct LatencyModel {
+  std::int64_t mem_read = 1;   ///< RAM read (mu)
+  std::int64_t mem_write = 1;  ///< RAM write (mu)
+  std::int64_t add = 1;        ///< add/sub/compare/logic/shift/min/max
+  std::int64_t mul = 2;
+  std::int64_t div = 4;
+
+  /// Latency of an op node.
+  std::int64_t op_latency(const DfgNode& node) const;
+};
+
+/// Per-node weights for critical-path computation under a register
+/// assignment: a reference node weighs its memory latency while the group
+/// still performs steady-state RAM accesses, 0 once fully covered.
+std::vector<std::int64_t> node_weights(const Dfg& dfg, const RefModel& model,
+                                       std::span<const std::int64_t> regs,
+                                       const LatencyModel& latency);
+
+}  // namespace srra

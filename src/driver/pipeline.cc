@@ -1,0 +1,37 @@
+#include "driver/pipeline.h"
+
+#include "support/str.h"
+
+namespace srra {
+
+DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
+                         const PipelineOptions& options) {
+  DesignPoint point;
+  point.algorithm = algorithm;
+  point.allocation = allocate(algorithm, model, options.budget);
+  point.allocation.validate(model);
+  point.cycles = estimate_cycles(model, point.allocation, options.cycles);
+  point.hw = estimate_hw(model, point.allocation, options.device, options.area,
+                         options.clock);
+  return point;
+}
+
+std::vector<DesignPoint> run_paper_variants(const RefModel& model,
+                                            const PipelineOptions& options) {
+  std::vector<DesignPoint> points;
+  for (Algorithm alg : paper_variants()) {
+    points.push_back(run_pipeline(model, alg, options));
+  }
+  return points;
+}
+
+std::string required_registers_string(const RefModel& model) {
+  std::vector<std::string> parts;
+  parts.reserve(static_cast<std::size_t>(model.group_count()));
+  for (int g = 0; g < model.group_count(); ++g) {
+    parts.push_back(std::to_string(model.beta_full(g)));
+  }
+  return join(parts, "/");
+}
+
+}  // namespace srra

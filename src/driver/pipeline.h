@@ -1,0 +1,49 @@
+// One-call pipeline: kernel -> reuse analysis -> allocation -> cycle model
+// -> hardware estimate -> design report. This is the API the examples and
+// the Table-1 bench drive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "hw/estimate.h"
+#include "sched/cycle_model.h"
+
+namespace srra {
+
+/// Pipeline configuration (register budget + model knobs).
+struct PipelineOptions {
+  std::int64_t budget = 64;   ///< register budget (paper: 64, cf. DESIGN.md)
+  CycleOptions cycles;
+  VirtexDevice device = xcv1000();
+  AreaModel area;
+  ClockModel clock;
+};
+
+/// One fully evaluated design (a row of Table 1).
+struct DesignPoint {
+  Algorithm algorithm = Algorithm::kFrRa;
+  Allocation allocation;
+  CycleReport cycles;
+  HwEstimate hw;
+
+  /// Wall-clock execution time in microseconds (cycles x clock period).
+  double time_us() const {
+    return static_cast<double>(cycles.exec_cycles) * hw.clock_ns / 1000.0;
+  }
+};
+
+/// Runs the full pipeline for one algorithm.
+DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
+                         const PipelineOptions& options = {});
+
+/// Runs v1/v2/v3 (FR-RA, PR-RA, CPA-RA), the paper's three design versions.
+std::vector<DesignPoint> run_paper_variants(const RefModel& model,
+                                            const PipelineOptions& options = {});
+
+/// Per-reference full-scalar-replacement requirements as "30/600/30/20/1"
+/// (Table 1's "Required S.R. Registers" column, in group order).
+std::string required_registers_string(const RefModel& model);
+
+}  // namespace srra

@@ -1,0 +1,9 @@
+#include "hw/device.h"
+
+namespace srra {
+
+VirtexDevice xcv1000() { return VirtexDevice{"XCV1000", 12288, 32, 4096}; }
+
+VirtexDevice xcv300() { return VirtexDevice{"XCV300", 3072, 16, 4096}; }
+
+}  // namespace srra

@@ -1,0 +1,24 @@
+// FPGA device models. The paper targets a Xilinx Virtex XCV1000 (BG560):
+// 12288 slices (2 4-LUTs + 2 FFs each) and 32 BlockRAMs of 4096 data bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace srra {
+
+/// Capacity description of one FPGA device.
+struct VirtexDevice {
+  std::string name;
+  std::int64_t slices = 0;
+  std::int64_t block_rams = 0;
+  std::int64_t bram_bits = 0;  ///< data bits per BlockRAM
+};
+
+/// The paper's device: Virtex XCV1000 BG560.
+VirtexDevice xcv1000();
+
+/// A smaller sibling for capacity-pressure experiments.
+VirtexDevice xcv300();
+
+}  // namespace srra

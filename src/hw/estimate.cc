@@ -1,0 +1,118 @@
+#include "hw/estimate.h"
+
+#include <cmath>
+
+#include "dfg/dfg.h"
+#include "support/error.h"
+
+namespace srra {
+
+std::int64_t block_rams_for(const Kernel& kernel, const VirtexDevice& device) {
+  check(device.bram_bits > 0, "device needs BlockRAM capacity");
+  std::int64_t total = 0;
+  for (const ArrayDecl& a : kernel.arrays()) {
+    total += (a.bit_count() + device.bram_bits - 1) / device.bram_bits;
+  }
+  return total;
+}
+
+HwEstimate estimate_hw(const RefModel& model, const Allocation& allocation,
+                       const VirtexDevice& device, const AreaModel& area,
+                       const ClockModel& clock) {
+  const Kernel& kernel = model.kernel();
+  const Dfg dfg = Dfg::build(kernel, model.groups());
+
+  HwEstimate hw;
+  hw.registers = allocation.total();
+
+  // ---- datapath width bookkeeping ----
+  const auto width_of_group = [&](int g) {
+    return bit_width(kernel.array(model.groups()[static_cast<std::size_t>(g)].access.array_id).type);
+  };
+
+  double luts = 0.0;
+  double ffs = 0.0;
+  std::int64_t max_mux_inputs = 1;
+
+  // Data registers + read-mux per reference group.
+  for (int g = 0; g < model.group_count(); ++g) {
+    const std::int64_t regs = allocation.at(g);
+    const int width = width_of_group(g);
+    ffs += static_cast<double>(regs) * width;
+    if (regs > 1) {
+      luts += area.lut_per_mux_input_bit * static_cast<double>(regs) * width;
+      max_mux_inputs = std::max(max_mux_inputs, regs);
+    }
+  }
+
+  // Functional units + output latches.
+  std::int64_t mem_states = 0;
+  for (const DfgNode& n : dfg.nodes()) {
+    switch (n.kind) {
+      case DfgNodeKind::kOp: {
+        // Operand width: widest incident reference (fallback 16).
+        int width = 16;
+        for (int p : n.preds) {
+          const DfgNode& pn = dfg.node(p);
+          if (pn.is_ref()) width = std::max(width, width_of_group(pn.group));
+        }
+        if (!n.is_unary && n.bin_op == BinOpKind::kMul) {
+          luts += area.lut_per_mul_bit2 * static_cast<double>(width) * width;
+        } else if (!n.is_unary && (n.bin_op == BinOpKind::kAdd || n.bin_op == BinOpKind::kSub ||
+                                   n.bin_op == BinOpKind::kDiv)) {
+          luts += area.lut_per_add_bit * width;
+        } else {
+          luts += area.lut_per_logic_bit * width;
+        }
+        ffs += width;  // result latch
+        break;
+      }
+      case DfgNodeKind::kRead:
+      case DfgNodeKind::kWrite:
+        ffs += width_of_group(n.group);  // operand latch / store buffer
+        ++mem_states;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Loop counters and address generators.
+  for (const Loop& loop : kernel.loops()) {
+    const double bits = std::ceil(std::log2(static_cast<double>(loop.upper) + 1.0)) + 1.0;
+    ffs += bits;
+    luts += 2.0 * bits;  // increment + compare
+  }
+
+  // FSM: one state per op plus one per potential memory access plus loop
+  // control.
+  std::int64_t op_states = 0;
+  for (const DfgNode& n : dfg.nodes()) {
+    if (n.kind == DfgNodeKind::kOp) ++op_states;
+  }
+  hw.fsm_states = op_states + mem_states + 2 * kernel.depth() + 2;
+  luts += area.lut_per_fsm_state * static_cast<double>(hw.fsm_states);
+  ffs += area.ff_per_fsm_state * static_cast<double>(hw.fsm_states);
+
+  hw.luts = static_cast<std::int64_t>(std::ceil(luts));
+  hw.flip_flops = static_cast<std::int64_t>(std::ceil(ffs));
+
+  // A Virtex slice packs 2 LUTs and 2 FFs; packing is imperfect.
+  const double raw_slices =
+      std::max(luts, ffs) / 2.0 / area.packing_efficiency;
+  hw.slices = static_cast<std::int64_t>(std::ceil(raw_slices));
+  hw.occupancy = device.slices > 0
+                     ? static_cast<double>(hw.slices) / static_cast<double>(device.slices)
+                     : 0.0;
+
+  hw.block_rams = block_rams_for(kernel, device);
+
+  // ---- clock period ----
+  hw.clock_ns = clock.base_ns +
+                clock.mux_ns_per_log_input * std::log2(1.0 + static_cast<double>(max_mux_inputs)) +
+                clock.ff_ns_per_log_count * std::log2(1.0 + static_cast<double>(hw.registers)) +
+                clock.ctrl_ns_per_log_state * std::log2(1.0 + static_cast<double>(hw.fsm_states));
+  return hw;
+}
+
+}  // namespace srra

@@ -1,0 +1,60 @@
+// Area, BlockRAM and clock-period estimation for a kernel design under a
+// register allocation. This replaces the paper's Monet -> Synplify -> ISE
+// place-and-route flow (DESIGN.md §5): absolute numbers are synthetic, but
+// area grows with datapath width/registers/muxing and the clock period
+// degrades mildly with register-file size and control complexity — the two
+// effects the paper's discussion hinges on.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/model.h"
+#include "core/allocation.h"
+#include "hw/device.h"
+
+namespace srra {
+
+/// Calibration constants of the synthetic area model.
+struct AreaModel {
+  double lut_per_add_bit = 1.0;     ///< ripple adder/subtractor/compare
+  double lut_per_mul_bit2 = 0.5;    ///< combinational multiplier ~ w^2 / 2
+  double lut_per_logic_bit = 0.5;   ///< and/or/xor/shift
+  double lut_per_mux_input_bit = 0.5;  ///< register-file read mux tree
+  double lut_per_fsm_state = 4.0;
+  double ff_per_fsm_state = 1.0;
+  double packing_efficiency = 0.7;  ///< achievable slice packing
+};
+
+/// Calibration constants of the synthetic clock model. Calibrated so that a
+/// fully allocated 64-register design pays a mild (~4-7%) period penalty
+/// over a minimal design of the same kernel — the magnitude the paper
+/// reports after place-and-route for its v3 designs.
+struct ClockModel {
+  double base_ns = 24.0;             ///< datapath + routing floor
+  double mux_ns_per_log_input = 0.25;///< register-file mux depth
+  double ff_ns_per_log_count = 0.08; ///< clock tree / fanout growth
+  double ctrl_ns_per_log_state = 0.8;///< FSM decode depth
+};
+
+/// Synthesized-design summary.
+struct HwEstimate {
+  std::int64_t registers = 0;     ///< data registers (allocation total)
+  std::int64_t flip_flops = 0;    ///< total FFs incl. control
+  std::int64_t luts = 0;
+  std::int64_t slices = 0;
+  double occupancy = 0.0;         ///< slices / device slices
+  std::int64_t block_rams = 0;
+  std::int64_t fsm_states = 0;
+  double clock_ns = 0.0;
+  double clock_mhz() const { return clock_ns > 0 ? 1000.0 / clock_ns : 0.0; }
+};
+
+/// Estimates the hardware cost of `allocation` on `device`.
+HwEstimate estimate_hw(const RefModel& model, const Allocation& allocation,
+                       const VirtexDevice& device = xcv1000(), const AreaModel& area = {},
+                       const ClockModel& clock = {});
+
+/// BlockRAMs needed to host every kernel array on `device`.
+std::int64_t block_rams_for(const Kernel& kernel, const VirtexDevice& device = xcv1000());
+
+}  // namespace srra

@@ -1,0 +1,86 @@
+#include "ir/affine.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+AffineExpr AffineExpr::loop_var(int depth, int level, std::int64_t coeff) {
+  AffineExpr expr(depth);
+  expr.set_coeff(level, coeff);
+  return expr;
+}
+
+AffineExpr AffineExpr::constant(int depth, std::int64_t value) {
+  AffineExpr expr(depth);
+  expr.constant_ = value;
+  return expr;
+}
+
+std::int64_t AffineExpr::coeff(int level) const {
+  check(level >= 0 && level < depth(), "affine coefficient level out of range");
+  return coeffs_[static_cast<std::size_t>(level)];
+}
+
+void AffineExpr::set_coeff(int level, std::int64_t value) {
+  check(level >= 0 && level < depth(), "affine coefficient level out of range");
+  coeffs_[static_cast<std::size_t>(level)] = value;
+}
+
+std::int64_t AffineExpr::evaluate(std::span<const std::int64_t> iteration) const {
+  check(static_cast<int>(iteration.size()) == depth(),
+        "iteration vector size must match affine depth");
+  std::int64_t sum = constant_;
+  for (int l = 0; l < depth(); ++l) sum += coeffs_[static_cast<std::size_t>(l)] * iteration[static_cast<std::size_t>(l)];
+  return sum;
+}
+
+bool AffineExpr::is_constant() const {
+  for (std::int64_t c : coeffs_)
+    if (c != 0) return false;
+  return true;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& other) const {
+  check(depth() == other.depth(), "affine depth mismatch");
+  AffineExpr out(depth());
+  for (int l = 0; l < depth(); ++l) out.set_coeff(l, coeff(l) + other.coeff(l));
+  out.constant_ = constant_ + other.constant_;
+  return out;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& other) const {
+  return *this + other.scaled(-1);
+}
+
+AffineExpr AffineExpr::scaled(std::int64_t factor) const {
+  AffineExpr out(depth());
+  for (int l = 0; l < depth(); ++l) out.set_coeff(l, coeff(l) * factor);
+  out.constant_ = constant_ * factor;
+  return out;
+}
+
+std::string AffineExpr::to_string(std::span<const std::string> loop_names) const {
+  check(static_cast<int>(loop_names.size()) == depth(), "loop name count mismatch");
+  std::string out;
+  for (int l = 0; l < depth(); ++l) {
+    const std::int64_t c = coeff(l);
+    if (c == 0) continue;
+    if (!out.empty()) out += c > 0 ? " + " : " - ";
+    else if (c < 0) out += "-";
+    const std::int64_t mag = c > 0 ? c : -c;
+    if (mag != 1) out += cat(mag, "*");
+    out += loop_names[static_cast<std::size_t>(l)];
+  }
+  if (constant_ != 0 || out.empty()) {
+    if (out.empty()) {
+      out = std::to_string(constant_);
+    } else {
+      out += constant_ > 0 ? " + " : " - ";
+      out += std::to_string(constant_ > 0 ? constant_ : -constant_);
+    }
+  }
+  return out;
+}
+
+}  // namespace srra

@@ -1,0 +1,58 @@
+// Affine index functions over the enclosing loop variables. Every array
+// subscript in a kernel is an AffineExpr: sum(coeff[l] * iv[l]) + constant,
+// where l ranges over loop levels (0 = outermost). All of the paper's reuse
+// analysis operates on these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace srra {
+
+/// Affine function of the loop induction variables.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  /// Creates an affine function of `depth` loop variables, all coefficients
+  /// zero, constant zero.
+  explicit AffineExpr(int depth) : coeffs_(static_cast<std::size_t>(depth), 0) {}
+
+  /// Builds coeff * iv[level] (with given nest depth).
+  static AffineExpr loop_var(int depth, int level, std::int64_t coeff = 1);
+
+  /// Builds a constant.
+  static AffineExpr constant(int depth, std::int64_t value);
+
+  int depth() const { return static_cast<int>(coeffs_.size()); }
+  std::int64_t coeff(int level) const;
+  void set_coeff(int level, std::int64_t value);
+  std::int64_t constant_term() const { return constant_; }
+  void set_constant_term(std::int64_t value) { constant_ = value; }
+
+  /// Evaluates at a concrete iteration vector (size must equal depth()).
+  std::int64_t evaluate(std::span<const std::int64_t> iteration) const;
+
+  /// True if coeff(level) == 0, i.e. the subscript does not depend on the
+  /// loop at `level`.
+  bool invariant_in(int level) const { return coeff(level) == 0; }
+
+  /// True if all coefficients are zero.
+  bool is_constant() const;
+
+  AffineExpr operator+(const AffineExpr& other) const;
+  AffineExpr operator-(const AffineExpr& other) const;
+  AffineExpr scaled(std::int64_t factor) const;
+  bool operator==(const AffineExpr& other) const = default;
+
+  /// Pretty form using the given loop variable names, e.g. "2*i + j + 3".
+  std::string to_string(std::span<const std::string> loop_names) const;
+
+ private:
+  std::vector<std::int64_t> coeffs_;
+  std::int64_t constant_ = 0;
+};
+
+}  // namespace srra

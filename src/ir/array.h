@@ -1,0 +1,33 @@
+// Array declarations. Every high-level program variable in a kernel is an
+// array (scalars are 1-element arrays); the compiler decides which elements
+// live in registers and which in RAM blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace srra {
+
+/// Declaration of one array variable in a kernel.
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::int64_t> dims;  ///< extent per dimension, all > 0
+  ScalarType type = ScalarType::kS32;
+
+  /// Total number of elements.
+  std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (std::int64_t d : dims) n *= d;
+    return n;
+  }
+
+  /// Total storage in bits (elements * element width).
+  std::int64_t bit_count() const { return element_count() * bit_width(type); }
+
+  int rank() const { return static_cast<int>(dims.size()); }
+};
+
+}  // namespace srra

@@ -1,0 +1,83 @@
+// Fluent construction API for kernels. Usage:
+//
+//   KernelBuilder b("example");
+//   b.array("a", {30}).array("b", {30, 20}).array("d", {1, 30});
+//   b.loop("i", 0, 1).loop("j", 0, 20).loop("k", 0, 30);
+//   b.assign("d", {b.var("i"), b.var("k")},
+//            mul(b.ref("a", {b.var("k")}), b.ref("b", {b.var("k"), b.var("j")})));
+//   Kernel k = b.build();
+//
+// Loops/arrays must all be declared before the first expression is built
+// (affine expressions are sized to the final nest depth).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.h"
+
+namespace srra {
+
+/// Builds Kernel objects incrementally; build() validates the result.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name) : kernel_(std::move(name)) {}
+
+  /// Declares an array.
+  KernelBuilder& array(const std::string& name, std::vector<std::int64_t> dims,
+                       ScalarType type = ScalarType::kS32);
+
+  /// Appends a loop at the innermost position.
+  KernelBuilder& loop(const std::string& var, std::int64_t lower, std::int64_t upper,
+                      std::int64_t step = 1);
+
+  /// Affine expression `1 * var` (freezes the loop structure).
+  AffineExpr var(const std::string& name);
+
+  /// Affine constant (freezes the loop structure).
+  AffineExpr lit(std::int64_t value);
+
+  /// Read reference expression.
+  ExprPtr ref(const std::string& array, std::vector<AffineExpr> subscripts);
+
+  /// Integer literal expression.
+  ExprPtr num(Value value) const { return Expr::make_const(value); }
+
+  /// Loop counter as a datapath input expression.
+  ExprPtr loop_expr(const std::string& name);
+
+  /// Appends `array[subscripts] = rhs`.
+  KernelBuilder& assign(const std::string& array, std::vector<AffineExpr> subscripts,
+                        ExprPtr rhs);
+
+  /// Finalizes and validates; the builder is left empty afterwards.
+  Kernel build();
+
+ private:
+  ArrayAccess make_access(const std::string& array, std::vector<AffineExpr> subscripts);
+
+  Kernel kernel_;
+  bool frozen_ = false;  ///< loops frozen once expressions are being built
+};
+
+// Expression combinators (free functions so client code reads like math).
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr div_op(ExprPtr a, ExprPtr b);
+ExprPtr band(ExprPtr a, ExprPtr b);
+ExprPtr bor(ExprPtr a, ExprPtr b);
+ExprPtr bxor(ExprPtr a, ExprPtr b);
+ExprPtr shl(ExprPtr a, ExprPtr b);
+ExprPtr shr(ExprPtr a, ExprPtr b);
+ExprPtr eq(ExprPtr a, ExprPtr b);
+ExprPtr ne(ExprPtr a, ExprPtr b);
+ExprPtr lt(ExprPtr a, ExprPtr b);
+ExprPtr le(ExprPtr a, ExprPtr b);
+ExprPtr min_op(ExprPtr a, ExprPtr b);
+ExprPtr max_op(ExprPtr a, ExprPtr b);
+ExprPtr neg(ExprPtr a);
+ExprPtr bnot(ExprPtr a);
+ExprPtr abs_op(ExprPtr a);
+
+}  // namespace srra

@@ -1,0 +1,209 @@
+#include "ir/expr.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace srra {
+
+ExprPtr Expr::make_const(Value value) {
+  auto node = ExprPtr(new Expr());
+  node->kind_ = ExprKind::kConst;
+  node->value_ = value;
+  return node;
+}
+
+ExprPtr Expr::make_loop_var(int level) {
+  check(level >= 0, "loop level must be non-negative");
+  auto node = ExprPtr(new Expr());
+  node->kind_ = ExprKind::kLoopVar;
+  node->loop_level_ = level;
+  return node;
+}
+
+ExprPtr Expr::make_ref(ArrayAccess access) {
+  check(access.array_id >= 0, "array reference needs a valid array id");
+  auto node = ExprPtr(new Expr());
+  node->kind_ = ExprKind::kRef;
+  node->access_ = std::move(access);
+  return node;
+}
+
+ExprPtr Expr::make_bin(BinOpKind op, ExprPtr lhs, ExprPtr rhs) {
+  check(lhs != nullptr && rhs != nullptr, "binary op needs two operands");
+  auto node = ExprPtr(new Expr());
+  node->kind_ = ExprKind::kBinOp;
+  node->bin_op_ = op;
+  node->child0_ = std::move(lhs);
+  node->child1_ = std::move(rhs);
+  return node;
+}
+
+ExprPtr Expr::make_un(UnOpKind op, ExprPtr operand) {
+  check(operand != nullptr, "unary op needs an operand");
+  auto node = ExprPtr(new Expr());
+  node->kind_ = ExprKind::kUnOp;
+  node->un_op_ = op;
+  node->child0_ = std::move(operand);
+  return node;
+}
+
+Value Expr::const_value() const {
+  check(kind_ == ExprKind::kConst, "not a constant node");
+  return value_;
+}
+
+int Expr::loop_level() const {
+  check(kind_ == ExprKind::kLoopVar, "not a loop variable node");
+  return loop_level_;
+}
+
+const ArrayAccess& Expr::access() const {
+  check(kind_ == ExprKind::kRef, "not a reference node");
+  return access_;
+}
+
+BinOpKind Expr::bin_op() const {
+  check(kind_ == ExprKind::kBinOp, "not a binary op node");
+  return bin_op_;
+}
+
+const Expr& Expr::lhs() const {
+  check(kind_ == ExprKind::kBinOp, "not a binary op node");
+  return *child0_;
+}
+
+const Expr& Expr::rhs() const {
+  check(kind_ == ExprKind::kBinOp, "not a binary op node");
+  return *child1_;
+}
+
+UnOpKind Expr::un_op() const {
+  check(kind_ == ExprKind::kUnOp, "not a unary op node");
+  return un_op_;
+}
+
+const Expr& Expr::operand() const {
+  check(kind_ == ExprKind::kUnOp, "not a unary op node");
+  return *child0_;
+}
+
+ExprPtr Expr::clone() const {
+  switch (kind_) {
+    case ExprKind::kConst: return make_const(value_);
+    case ExprKind::kLoopVar: return make_loop_var(loop_level_);
+    case ExprKind::kRef: return make_ref(access_);
+    case ExprKind::kBinOp: return make_bin(bin_op_, child0_->clone(), child1_->clone());
+    case ExprKind::kUnOp: return make_un(un_op_, child0_->clone());
+  }
+  fail("unknown ExprKind");
+}
+
+void Expr::for_each_ref(const std::function<void(const ArrayAccess&)>& fn) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+    case ExprKind::kLoopVar:
+      return;
+    case ExprKind::kRef:
+      fn(access_);
+      return;
+    case ExprKind::kBinOp:
+      child0_->for_each_ref(fn);
+      child1_->for_each_ref(fn);
+      return;
+    case ExprKind::kUnOp:
+      child0_->for_each_ref(fn);
+      return;
+  }
+}
+
+int Expr::op_count() const {
+  switch (kind_) {
+    case ExprKind::kConst:
+    case ExprKind::kLoopVar:
+    case ExprKind::kRef:
+      return 0;
+    case ExprKind::kBinOp:
+      return 1 + child0_->op_count() + child1_->op_count();
+    case ExprKind::kUnOp:
+      return 1 + child0_->op_count();
+  }
+  fail("unknown ExprKind");
+}
+
+bool Expr::equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kConst: return value_ == other.value_;
+    case ExprKind::kLoopVar: return loop_level_ == other.loop_level_;
+    case ExprKind::kRef: return access_ == other.access_;
+    case ExprKind::kBinOp:
+      return bin_op_ == other.bin_op_ && child0_->equals(*other.child0_) &&
+             child1_->equals(*other.child1_);
+    case ExprKind::kUnOp:
+      return un_op_ == other.un_op_ && child0_->equals(*other.child0_);
+  }
+  fail("unknown ExprKind");
+}
+
+Value eval_bin_op(BinOpKind op, Value a, Value b) {
+  switch (op) {
+    case BinOpKind::kAdd: return a + b;
+    case BinOpKind::kSub: return a - b;
+    case BinOpKind::kMul: return a * b;
+    case BinOpKind::kDiv: return b == 0 ? 0 : a / b;
+    case BinOpKind::kAnd: return a & b;
+    case BinOpKind::kOr: return a | b;
+    case BinOpKind::kXor: return a ^ b;
+    case BinOpKind::kShl: return b < 0 || b > 62 ? 0 : a << b;
+    case BinOpKind::kShr: return b < 0 || b > 62 ? 0 : a >> b;
+    case BinOpKind::kEq: return a == b ? 1 : 0;
+    case BinOpKind::kNe: return a != b ? 1 : 0;
+    case BinOpKind::kLt: return a < b ? 1 : 0;
+    case BinOpKind::kLe: return a <= b ? 1 : 0;
+    case BinOpKind::kMin: return a < b ? a : b;
+    case BinOpKind::kMax: return a > b ? a : b;
+  }
+  fail("unknown BinOpKind");
+}
+
+Value eval_un_op(UnOpKind op, Value a) {
+  switch (op) {
+    case UnOpKind::kNeg: return -a;
+    case UnOpKind::kNot: return ~a;
+    case UnOpKind::kAbs: return a < 0 ? -a : a;
+  }
+  fail("unknown UnOpKind");
+}
+
+const char* bin_op_name(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kAdd: return "+";
+    case BinOpKind::kSub: return "-";
+    case BinOpKind::kMul: return "*";
+    case BinOpKind::kDiv: return "/";
+    case BinOpKind::kAnd: return "&";
+    case BinOpKind::kOr: return "|";
+    case BinOpKind::kXor: return "^";
+    case BinOpKind::kShl: return "<<";
+    case BinOpKind::kShr: return ">>";
+    case BinOpKind::kEq: return "==";
+    case BinOpKind::kNe: return "!=";
+    case BinOpKind::kLt: return "<";
+    case BinOpKind::kLe: return "<=";
+    case BinOpKind::kMin: return "min";
+    case BinOpKind::kMax: return "max";
+  }
+  fail("unknown BinOpKind");
+}
+
+const char* un_op_name(UnOpKind op) {
+  switch (op) {
+    case UnOpKind::kNeg: return "-";
+    case UnOpKind::kNot: return "~";
+    case UnOpKind::kAbs: return "abs";
+  }
+  fail("unknown UnOpKind");
+}
+
+}  // namespace srra

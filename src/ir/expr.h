@@ -1,0 +1,100 @@
+// Expression trees for kernel loop bodies. Leaves are integer constants and
+// affine array references; interior nodes are arithmetic/logic operations.
+// Expressions are immutable after construction and owned via unique_ptr
+// (Core Guidelines R.20/R.21: unique ownership, no shared state).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ir/affine.h"
+#include "ir/types.h"
+
+namespace srra {
+
+/// An occurrence of an array access: which array and with which affine
+/// subscripts. Used both for reads (inside Expr) and writes (Stmt LHS).
+struct ArrayAccess {
+  int array_id = -1;                  ///< index into Kernel::arrays()
+  std::vector<AffineExpr> subscripts; ///< one per array dimension
+
+  bool operator==(const ArrayAccess& other) const = default;
+};
+
+/// Expression node kinds.
+enum class ExprKind { kConst, kLoopVar, kRef, kBinOp, kUnOp };
+
+/// Binary operators supported by the datapath.
+enum class BinOpKind {
+  kAdd, kSub, kMul, kDiv,
+  kAnd, kOr, kXor,
+  kShl, kShr,
+  kEq, kNe, kLt, kLe,
+  kMin, kMax,
+};
+
+/// Unary operators supported by the datapath.
+enum class UnOpKind { kNeg, kNot, kAbs };
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Immutable expression tree node.
+class Expr {
+ public:
+  static ExprPtr make_const(Value value);
+  static ExprPtr make_loop_var(int level);
+  static ExprPtr make_ref(ArrayAccess access);
+  static ExprPtr make_bin(BinOpKind op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr make_un(UnOpKind op, ExprPtr operand);
+
+  ExprKind kind() const { return kind_; }
+
+  // Accessors; each checks the node kind.
+  Value const_value() const;
+  int loop_level() const;
+  const ArrayAccess& access() const;
+  BinOpKind bin_op() const;
+  const Expr& lhs() const;
+  const Expr& rhs() const;
+  UnOpKind un_op() const;
+  const Expr& operand() const;
+
+  /// Deep copy.
+  ExprPtr clone() const;
+
+  /// Calls `fn` for every kRef node, in left-to-right evaluation order.
+  void for_each_ref(const std::function<void(const ArrayAccess&)>& fn) const;
+
+  /// Number of operation nodes (kBinOp + kUnOp) in the tree.
+  int op_count() const;
+
+  /// Structural equality.
+  bool equals(const Expr& other) const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kConst;
+  Value value_ = 0;          // kConst
+  int loop_level_ = -1;      // kLoopVar
+  ArrayAccess access_;       // kRef
+  BinOpKind bin_op_ = BinOpKind::kAdd;  // kBinOp
+  UnOpKind un_op_ = UnOpKind::kNeg;     // kUnOp
+  ExprPtr child0_;           // lhs / operand
+  ExprPtr child1_;           // rhs
+};
+
+/// Evaluates a binary op on 64-bit values (division by zero yields 0, which
+/// models a don't-care hardware lane and keeps the simulators total).
+Value eval_bin_op(BinOpKind op, Value a, Value b);
+
+/// Evaluates a unary op on a 64-bit value.
+Value eval_un_op(UnOpKind op, Value a);
+
+/// Datapath latency class / printable name for an operator.
+const char* bin_op_name(BinOpKind op);   ///< e.g. "+", "*"
+const char* un_op_name(UnOpKind op);     ///< e.g. "-", "~"
+
+}  // namespace srra

@@ -1,0 +1,73 @@
+// Kernel: a perfectly nested loop with compile-time bounds over declared
+// arrays, plus an ordered list of body statements. This is the unit the
+// whole pipeline operates on (analysis -> DFG -> allocation -> schedule ->
+// hardware estimate).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/array.h"
+#include "ir/loop.h"
+#include "ir/stmt.h"
+
+namespace srra {
+
+/// A perfectly nested loop kernel. Invariants (enforced by validate()):
+/// * at least one loop and one statement;
+/// * every subscript's affine depth equals the nest depth;
+/// * subscript counts match array ranks;
+/// * array ids are in range.
+class Kernel {
+ public:
+  Kernel() = default;
+  explicit Kernel(std::string name) : name_(std::move(name)) {}
+
+  Kernel(Kernel&&) = default;
+  Kernel& operator=(Kernel&&) = default;
+
+  /// Deep copy (kernels own expression trees, so copying is explicit).
+  Kernel clone() const;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Declares an array; returns its id.
+  int add_array(ArrayDecl decl);
+  const std::vector<ArrayDecl>& arrays() const { return arrays_; }
+  const ArrayDecl& array(int id) const;
+  /// Id of the array with `name`, or nullopt.
+  std::optional<int> find_array(const std::string& name) const;
+
+  /// Appends a loop at the innermost position; returns its level.
+  int add_loop(Loop loop);
+  const std::vector<Loop>& loops() const { return loops_; }
+  const Loop& loop(int level) const;
+  int depth() const { return static_cast<int>(loops_.size()); }
+
+  /// Appends a body statement.
+  void add_stmt(Stmt stmt);
+  const std::vector<Stmt>& body() const { return body_; }
+
+  /// Trip counts for all loops, outermost first.
+  std::vector<std::int64_t> trip_counts() const;
+
+  /// Product of all trip counts.
+  std::int64_t iteration_count() const;
+
+  /// Loop variable names, outermost first.
+  std::vector<std::string> loop_names() const;
+
+  /// Checks all structural invariants; throws srra::Error on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<Loop> loops_;
+  std::vector<Stmt> body_;
+};
+
+}  // namespace srra

@@ -1,0 +1,213 @@
+#include "ir/lexer.h"
+
+#include <cctype>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+const char* tok_kind_name(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kComma: return "','";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlusAssign: return "'+='";
+    case TokKind::kDotDot: return "'..'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kAmp: return "'&'";
+    case TokKind::kPipe: return "'|'";
+    case TokKind::kCaret: return "'^'";
+    case TokKind::kTilde: return "'~'";
+    case TokKind::kShl: return "'<<'";
+    case TokKind::kShr: return "'>>'";
+    case TokKind::kEqEq: return "'=='";
+    case TokKind::kNotEq: return "'!='";
+    case TokKind::kLess: return "'<'";
+    case TokKind::kLessEq: return "'<='";
+    case TokKind::kEnd: return "end of input";
+  }
+  fail("unknown TokKind");
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : source_(source) {}
+
+  bool done() const { return pos_ >= source_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    const std::size_t at = pos_ + ahead;
+    return at < source_.size() ? source_[at] : '\0';
+  }
+  char advance() {
+    const char ch = source_[pos_++];
+    if (ch == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return ch;
+  }
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+[[noreturn]] void lex_error(const Cursor& cursor, std::string_view message) {
+  fail(cat("lex error at ", cursor.line(), ":", cursor.column(), ": ", message));
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  const auto push = [&](TokKind kind, std::string text, int line, int column) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = std::move(text);
+    tok.line = line;
+    tok.column = column;
+    tokens.push_back(std::move(tok));
+  };
+
+  while (!cur.done()) {
+    const char ch = cur.peek();
+    const int line = cur.line();
+    const int column = cur.column();
+
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      cur.advance();
+      continue;
+    }
+    if (ch == '#' || (ch == '/' && cur.peek(1) == '/')) {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::string text;
+      while (!cur.done() && (std::isalnum(static_cast<unsigned char>(cur.peek())) || cur.peek() == '_')) {
+        text.push_back(cur.advance());
+      }
+      push(TokKind::kIdent, std::move(text), line, column);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      std::string text;
+      while (!cur.done() && std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+        text.push_back(cur.advance());
+      }
+      Token tok;
+      tok.kind = TokKind::kInt;
+      tok.int_value = std::stoll(text);
+      tok.text = std::move(text);
+      tok.line = line;
+      tok.column = column;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    cur.advance();
+    switch (ch) {
+      case '{': push(TokKind::kLBrace, "{", line, column); break;
+      case '}': push(TokKind::kRBrace, "}", line, column); break;
+      case '[': push(TokKind::kLBracket, "[", line, column); break;
+      case ']': push(TokKind::kRBracket, "]", line, column); break;
+      case '(': push(TokKind::kLParen, "(", line, column); break;
+      case ')': push(TokKind::kRParen, ")", line, column); break;
+      case ':': push(TokKind::kColon, ":", line, column); break;
+      case ';': push(TokKind::kSemi, ";", line, column); break;
+      case ',': push(TokKind::kComma, ",", line, column); break;
+      case '+':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokKind::kPlusAssign, "+=", line, column);
+        } else {
+          push(TokKind::kPlus, "+", line, column);
+        }
+        break;
+      case '-': push(TokKind::kMinus, "-", line, column); break;
+      case '*': push(TokKind::kStar, "*", line, column); break;
+      case '/': push(TokKind::kSlash, "/", line, column); break;
+      case '&': push(TokKind::kAmp, "&", line, column); break;
+      case '|': push(TokKind::kPipe, "|", line, column); break;
+      case '^': push(TokKind::kCaret, "^", line, column); break;
+      case '~': push(TokKind::kTilde, "~", line, column); break;
+      case '.':
+        if (cur.peek() == '.') {
+          cur.advance();
+          push(TokKind::kDotDot, "..", line, column);
+        } else {
+          lex_error(cur, "expected '..'");
+        }
+        break;
+      case '=':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokKind::kEqEq, "==", line, column);
+        } else {
+          push(TokKind::kAssign, "=", line, column);
+        }
+        break;
+      case '!':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokKind::kNotEq, "!=", line, column);
+        } else {
+          lex_error(cur, "expected '!='");
+        }
+        break;
+      case '<':
+        if (cur.peek() == '<') {
+          cur.advance();
+          push(TokKind::kShl, "<<", line, column);
+        } else if (cur.peek() == '=') {
+          cur.advance();
+          push(TokKind::kLessEq, "<=", line, column);
+        } else {
+          push(TokKind::kLess, "<", line, column);
+        }
+        break;
+      case '>':
+        if (cur.peek() == '>') {
+          cur.advance();
+          push(TokKind::kShr, ">>", line, column);
+        } else {
+          lex_error(cur, "expected '>>'");
+        }
+        break;
+      default:
+        lex_error(cur, cat("unexpected character '", std::string(1, ch), "'"));
+    }
+  }
+
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.line = cur.line();
+  end.column = cur.column();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace srra

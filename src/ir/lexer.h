@@ -1,0 +1,43 @@
+// Lexer for the kernel DSL (see ir/parser.h for the grammar). Produces a
+// token stream with line/column positions for error reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace srra {
+
+/// Token kinds of the kernel DSL.
+enum class TokKind {
+  kIdent, kInt,
+  kLBrace, kRBrace, kLBracket, kRBracket, kLParen, kRParen,
+  kColon, kSemi, kComma,
+  kAssign,      // =
+  kPlusAssign,  // +=
+  kDotDot,      // ..
+  kPlus, kMinus, kStar, kSlash,
+  kAmp, kPipe, kCaret, kTilde,
+  kShl, kShr,
+  kEqEq, kNotEq, kLess, kLessEq,
+  kEnd,
+};
+
+/// One token with its source position (1-based line/column).
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::int64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+/// Printable token kind name for diagnostics.
+const char* tok_kind_name(TokKind kind);
+
+/// Tokenizes `source`; throws srra::Error with position info on bad input.
+/// `#`-to-end-of-line and `//` comments are skipped.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace srra

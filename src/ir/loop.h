@@ -1,0 +1,30 @@
+// Loop descriptors for perfectly nested loops with compile-time bounds, the
+// program shape the paper's analysis targets (image/signal kernels).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+
+namespace srra {
+
+/// One loop of a perfect nest: `for (var = lower; var < upper; var += step)`.
+struct Loop {
+  std::string var;
+  std::int64_t lower = 0;
+  std::int64_t upper = 0;  ///< exclusive
+  std::int64_t step = 1;
+
+  /// Number of iterations executed.
+  std::int64_t trip_count() const {
+    check(step > 0, "loop step must be positive");
+    if (upper <= lower) return 0;
+    return (upper - lower + step - 1) / step;
+  }
+
+  /// Iteration value for normalized index k in [0, trip_count()).
+  std::int64_t value_at(std::int64_t k) const { return lower + k * step; }
+};
+
+}  // namespace srra

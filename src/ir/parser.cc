@@ -1,0 +1,279 @@
+#include "ir/parser.h"
+
+#include <map>
+
+#include "ir/lexer.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+  Kernel run() {
+    expect_keyword("kernel");
+    Kernel kernel(expect(TokKind::kIdent).text);
+    expect(TokKind::kLBrace);
+    while (at_keyword("array")) parse_array(kernel);
+    check_here(at_keyword("for"), "expected a 'for' loop after array declarations");
+    parse_loops(kernel);
+    parse_stmts(kernel);
+    for (int i = 0; i < kernel.depth(); ++i) expect(TokKind::kRBrace);
+    expect(TokKind::kRBrace);
+    expect(TokKind::kEnd);
+    kernel.validate();
+    return kernel;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t at = pos_ + ahead;
+    return at < tokens_.size() ? tokens_[at] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void error_here(std::string_view message) const {
+    const Token& tok = peek();
+    fail(cat("parse error at ", tok.line, ":", tok.column, ": ", message, " (found ",
+             tok_kind_name(tok.kind), tok.kind == TokKind::kIdent ? cat(" '", tok.text, "'") : "",
+             ")"));
+  }
+  void check_here(bool ok, std::string_view message) const {
+    if (!ok) error_here(message);
+  }
+
+  const Token& expect(TokKind kind) {
+    check_here(peek().kind == kind, cat("expected ", tok_kind_name(kind)));
+    return advance();
+  }
+  bool at_keyword(std::string_view word) const {
+    return peek().kind == TokKind::kIdent && peek().text == word;
+  }
+  void expect_keyword(std::string_view word) {
+    check_here(at_keyword(word), cat("expected keyword '", word, "'"));
+    advance();
+  }
+  bool accept(TokKind kind) {
+    if (peek().kind != kind) return false;
+    advance();
+    return true;
+  }
+
+  void parse_array(Kernel& kernel) {
+    expect_keyword("array");
+    ArrayDecl decl;
+    decl.name = expect(TokKind::kIdent).text;
+    while (peek().kind == TokKind::kLBracket) {
+      advance();
+      decl.dims.push_back(expect(TokKind::kInt).int_value);
+      expect(TokKind::kRBracket);
+    }
+    check_here(!decl.dims.empty(), "array needs at least one dimension");
+    if (accept(TokKind::kColon)) decl.type = parse_type(expect(TokKind::kIdent).text);
+    expect(TokKind::kSemi);
+    kernel.add_array(std::move(decl));
+  }
+
+  void parse_loops(Kernel& kernel) {
+    while (at_keyword("for")) {
+      advance();
+      Loop loop;
+      loop.var = expect(TokKind::kIdent).text;
+      expect_keyword("in");
+      loop.lower = parse_signed_int();
+      expect(TokKind::kDotDot);
+      loop.upper = parse_signed_int();
+      if (at_keyword("step")) {
+        advance();
+        loop.step = expect(TokKind::kInt).int_value;
+      }
+      expect(TokKind::kLBrace);
+      const int level = kernel.add_loop(std::move(loop));
+      level_by_var_[kernel.loop(level).var] = level;
+    }
+  }
+
+  std::int64_t parse_signed_int() {
+    const bool negative = accept(TokKind::kMinus);
+    const std::int64_t magnitude = expect(TokKind::kInt).int_value;
+    return negative ? -magnitude : magnitude;
+  }
+
+  void parse_stmts(Kernel& kernel) {
+    check_here(peek().kind == TokKind::kIdent, "expected at least one assignment");
+    while (peek().kind == TokKind::kIdent) {
+      ArrayAccess lhs = parse_access(kernel);
+      const bool accumulate = peek().kind == TokKind::kPlusAssign;
+      check_here(accumulate || peek().kind == TokKind::kAssign, "expected '=' or '+='");
+      advance();
+      ExprPtr rhs = parse_expr(kernel);
+      expect(TokKind::kSemi);
+      if (accumulate) rhs = Expr::make_bin(BinOpKind::kAdd, Expr::make_ref(lhs), std::move(rhs));
+      kernel.add_stmt(Stmt(std::move(lhs), std::move(rhs)));
+    }
+  }
+
+  ArrayAccess parse_access(Kernel& kernel) {
+    const std::string name = expect(TokKind::kIdent).text;
+    const auto id = kernel.find_array(name);
+    check_here(id.has_value(), cat("unknown array '", name, "'"));
+    ArrayAccess access;
+    access.array_id = *id;
+    check_here(peek().kind == TokKind::kLBracket, "expected subscript");
+    while (accept(TokKind::kLBracket)) {
+      access.subscripts.push_back(parse_affine(kernel));
+      expect(TokKind::kRBracket);
+    }
+    return access;
+  }
+
+  // affine := ["-"] affterm (("+" | "-") affterm)*
+  AffineExpr parse_affine(const Kernel& kernel) {
+    AffineExpr sum(kernel.depth());
+    std::int64_t sign = accept(TokKind::kMinus) ? -1 : 1;
+    while (true) {
+      sum = sum + parse_affine_term(kernel).scaled(sign);
+      if (accept(TokKind::kPlus)) sign = 1;
+      else if (accept(TokKind::kMinus)) sign = -1;
+      else return sum;
+    }
+  }
+
+  // affterm := INT ["*" IDENT] | IDENT ["*" INT]
+  AffineExpr parse_affine_term(const Kernel& kernel) {
+    if (peek().kind == TokKind::kInt) {
+      const std::int64_t coeff = advance().int_value;
+      if (accept(TokKind::kStar)) {
+        return AffineExpr::loop_var(kernel.depth(), loop_level(expect(TokKind::kIdent).text), coeff);
+      }
+      return AffineExpr::constant(kernel.depth(), coeff);
+    }
+    const int level = loop_level(expect(TokKind::kIdent).text);
+    if (accept(TokKind::kStar)) {
+      return AffineExpr::loop_var(kernel.depth(), level, expect(TokKind::kInt).int_value);
+    }
+    return AffineExpr::loop_var(kernel.depth(), level);
+  }
+
+  int loop_level(const std::string& var) const {
+    const auto it = level_by_var_.find(var);
+    check_here(it != level_by_var_.end(), cat("unknown loop variable '", var, "'"));
+    return it->second;
+  }
+
+  // expr := bit (("&" | "|" | "^") bit)*
+  ExprPtr parse_expr(Kernel& kernel) {
+    ExprPtr node = parse_cmp(kernel);
+    while (true) {
+      BinOpKind op;
+      if (peek().kind == TokKind::kAmp) op = BinOpKind::kAnd;
+      else if (peek().kind == TokKind::kPipe) op = BinOpKind::kOr;
+      else if (peek().kind == TokKind::kCaret) op = BinOpKind::kXor;
+      else return node;
+      advance();
+      node = Expr::make_bin(op, std::move(node), parse_cmp(kernel));
+    }
+  }
+
+  ExprPtr parse_cmp(Kernel& kernel) {
+    ExprPtr node = parse_shift(kernel);
+    while (true) {
+      BinOpKind op;
+      if (peek().kind == TokKind::kEqEq) op = BinOpKind::kEq;
+      else if (peek().kind == TokKind::kNotEq) op = BinOpKind::kNe;
+      else if (peek().kind == TokKind::kLess) op = BinOpKind::kLt;
+      else if (peek().kind == TokKind::kLessEq) op = BinOpKind::kLe;
+      else return node;
+      advance();
+      node = Expr::make_bin(op, std::move(node), parse_shift(kernel));
+    }
+  }
+
+  ExprPtr parse_shift(Kernel& kernel) {
+    ExprPtr node = parse_sum(kernel);
+    while (true) {
+      BinOpKind op;
+      if (peek().kind == TokKind::kShl) op = BinOpKind::kShl;
+      else if (peek().kind == TokKind::kShr) op = BinOpKind::kShr;
+      else return node;
+      advance();
+      node = Expr::make_bin(op, std::move(node), parse_sum(kernel));
+    }
+  }
+
+  ExprPtr parse_sum(Kernel& kernel) {
+    ExprPtr node = parse_term(kernel);
+    while (true) {
+      BinOpKind op;
+      if (peek().kind == TokKind::kPlus) op = BinOpKind::kAdd;
+      else if (peek().kind == TokKind::kMinus) op = BinOpKind::kSub;
+      else return node;
+      advance();
+      node = Expr::make_bin(op, std::move(node), parse_term(kernel));
+    }
+  }
+
+  ExprPtr parse_term(Kernel& kernel) {
+    ExprPtr node = parse_factor(kernel);
+    while (true) {
+      BinOpKind op;
+      if (peek().kind == TokKind::kStar) op = BinOpKind::kMul;
+      else if (peek().kind == TokKind::kSlash) op = BinOpKind::kDiv;
+      else return node;
+      advance();
+      node = Expr::make_bin(op, std::move(node), parse_factor(kernel));
+    }
+  }
+
+  ExprPtr parse_factor(Kernel& kernel) {
+    if (peek().kind == TokKind::kInt) return Expr::make_const(advance().int_value);
+    if (accept(TokKind::kMinus)) return Expr::make_un(UnOpKind::kNeg, parse_factor(kernel));
+    if (accept(TokKind::kTilde)) return Expr::make_un(UnOpKind::kNot, parse_factor(kernel));
+    if (accept(TokKind::kLParen)) {
+      ExprPtr inner = parse_expr(kernel);
+      expect(TokKind::kRParen);
+      return inner;
+    }
+    if (at_keyword("abs")) {
+      advance();
+      expect(TokKind::kLParen);
+      ExprPtr inner = parse_expr(kernel);
+      expect(TokKind::kRParen);
+      return Expr::make_un(UnOpKind::kAbs, std::move(inner));
+    }
+    if (at_keyword("min") || at_keyword("max")) {
+      const BinOpKind op = at_keyword("min") ? BinOpKind::kMin : BinOpKind::kMax;
+      advance();
+      expect(TokKind::kLParen);
+      ExprPtr a = parse_expr(kernel);
+      expect(TokKind::kComma);
+      ExprPtr b = parse_expr(kernel);
+      expect(TokKind::kRParen);
+      return Expr::make_bin(op, std::move(a), std::move(b));
+    }
+    if (peek().kind == TokKind::kIdent) {
+      // A bare loop variable is a datapath input (the loop counter wire).
+      const auto lv = level_by_var_.find(peek().text);
+      if (lv != level_by_var_.end() && peek(1).kind != TokKind::kLBracket) {
+        advance();
+        return Expr::make_loop_var(lv->second);
+      }
+      return Expr::make_ref(parse_access(kernel));
+    }
+    error_here("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, int> level_by_var_;
+};
+
+}  // namespace
+
+Kernel parse_kernel(std::string_view source) { return Parser(source).run(); }
+
+}  // namespace srra

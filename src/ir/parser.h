@@ -1,0 +1,34 @@
+// Recursive-descent parser for the kernel DSL. Grammar (EBNF):
+//
+//   kernel   := "kernel" IDENT "{" array* loop "}"
+//   array    := "array" IDENT ("[" INT "]")+ [":" TYPE] ";"
+//   loop     := "for" IDENT "in" INT ".." INT ["step" INT] "{" (loop | stmt+) "}"
+//   stmt     := access ("=" | "+=") expr ";"
+//   access   := IDENT ("[" affine "]")+
+//   expr     := bit  (("&" | "|" | "^") bit)*          -- lowest precedence
+//   bit      := cmp  (("==" | "!=" | "<" | "<=") cmp)*
+//   cmp      := shift (("<<" | ">>") shift)*
+//   shift    := sum
+//   sum      := term (("+" | "-") term)*
+//   term     := factor (("*" | "/") factor)*
+//   factor   := INT | access | "(" expr ")" | "-" factor | "~" factor
+//             | "abs" "(" expr ")" | ("min"|"max") "(" expr "," expr ")"
+//   affine   := ["-"] affterm (("+" | "-") affterm)*
+//   affterm  := INT ["*" IDENT] | IDENT ["*" INT]
+//
+// Loops must be perfectly nested (one loop or a statement list inside each
+// body); subscripts must be affine in the loop variables. `x += e` is sugar
+// for `x = x + e`. Default element type is s32.
+#pragma once
+
+#include <string_view>
+
+#include "ir/kernel.h"
+
+namespace srra {
+
+/// Parses one kernel from DSL text; throws srra::Error with source position
+/// on any syntax or semantic problem.
+Kernel parse_kernel(std::string_view source);
+
+}  // namespace srra

@@ -1,0 +1,117 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+namespace {
+
+// Binding strength for minimal parenthesization (higher binds tighter).
+int precedence(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kMul:
+    case BinOpKind::kDiv:
+      return 5;
+    case BinOpKind::kAdd:
+    case BinOpKind::kSub:
+      return 4;
+    case BinOpKind::kShl:
+    case BinOpKind::kShr:
+      return 3;
+    case BinOpKind::kEq:
+    case BinOpKind::kNe:
+    case BinOpKind::kLt:
+    case BinOpKind::kLe:
+      return 2;
+    case BinOpKind::kAnd:
+    case BinOpKind::kOr:
+    case BinOpKind::kXor:
+      return 1;
+    case BinOpKind::kMin:
+    case BinOpKind::kMax:
+      return 6;  // printed as calls, never need parens
+  }
+  fail("unknown BinOpKind");
+}
+
+bool is_call_style(BinOpKind op) {
+  return op == BinOpKind::kMin || op == BinOpKind::kMax;
+}
+
+std::string render(const Kernel& kernel, const Expr& expr, int parent_prec) {
+  switch (expr.kind()) {
+    case ExprKind::kConst:
+      return std::to_string(expr.const_value());
+    case ExprKind::kLoopVar:
+      return kernel.loop(expr.loop_level()).var;
+    case ExprKind::kRef:
+      return access_to_string(kernel, expr.access());
+    case ExprKind::kUnOp: {
+      const std::string inner = render(kernel, expr.operand(), 7);
+      if (expr.un_op() == UnOpKind::kAbs) return cat("abs(", inner, ")");
+      return cat(un_op_name(expr.un_op()), inner);
+    }
+    case ExprKind::kBinOp: {
+      const BinOpKind op = expr.bin_op();
+      if (is_call_style(op)) {
+        return cat(op == BinOpKind::kMin ? "min" : "max", "(",
+                   render(kernel, expr.lhs(), 0), ", ", render(kernel, expr.rhs(), 0), ")");
+      }
+      const int prec = precedence(op);
+      // Right operand gets prec+1 so non-associative chains stay explicit.
+      const std::string body = cat(render(kernel, expr.lhs(), prec), " ", bin_op_name(op),
+                                   " ", render(kernel, expr.rhs(), prec + 1));
+      if (prec < parent_prec) return cat("(", body, ")");
+      return body;
+    }
+  }
+  fail("unknown ExprKind");
+}
+
+}  // namespace
+
+std::string expr_to_string(const Kernel& kernel, const Expr& expr) {
+  return render(kernel, expr, 0);
+}
+
+std::string access_to_string(const Kernel& kernel, const ArrayAccess& access) {
+  const std::vector<std::string> names = kernel.loop_names();
+  std::string out = kernel.array(access.array_id).name;
+  for (const AffineExpr& sub : access.subscripts) {
+    out += cat("[", sub.to_string(names), "]");
+  }
+  return out;
+}
+
+std::string kernel_to_string(const Kernel& kernel) {
+  std::ostringstream os;
+  os << "kernel " << kernel.name() << " {\n";
+  for (const ArrayDecl& a : kernel.arrays()) {
+    os << "  array " << a.name;
+    for (std::int64_t d : a.dims) os << '[' << d << ']';
+    os << " : " << type_name(a.type) << ";\n";
+  }
+  std::string indent = "  ";
+  for (int level = 0; level < kernel.depth(); ++level) {
+    const Loop& l = kernel.loop(level);
+    os << indent << "for " << l.var << " in " << l.lower << ".." << l.upper;
+    if (l.step != 1) os << " step " << l.step;
+    os << " {\n";
+    indent += "  ";
+  }
+  for (const Stmt& s : kernel.body()) {
+    os << indent << access_to_string(kernel, s.lhs) << " = "
+       << expr_to_string(kernel, *s.rhs) << ";\n";
+  }
+  for (int level = kernel.depth() - 1; level >= 0; --level) {
+    indent.resize(indent.size() - 2);
+    os << indent << "}\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace srra

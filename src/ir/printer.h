@@ -1,0 +1,20 @@
+// Pretty-printer for kernels. The output syntax is exactly the kernel DSL
+// accepted by ir/parser.h, so print -> parse round-trips (tested).
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.h"
+
+namespace srra {
+
+/// Renders an expression as DSL/C-like text with minimal parentheses.
+std::string expr_to_string(const Kernel& kernel, const Expr& expr);
+
+/// Renders an array access, e.g. "b[k][j]".
+std::string access_to_string(const Kernel& kernel, const ArrayAccess& access);
+
+/// Renders the whole kernel in DSL syntax.
+std::string kernel_to_string(const Kernel& kernel);
+
+}  // namespace srra

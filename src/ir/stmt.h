@@ -1,0 +1,27 @@
+// Loop-body statements: assignments whose left-hand side is an affine array
+// access and whose right-hand side is an expression tree. Accumulations such
+// as `c[i][j] += a[i][k]*b[k][j]` are represented with the read of the LHS
+// appearing inside the RHS.
+#pragma once
+
+#include "ir/expr.h"
+
+namespace srra {
+
+/// One assignment in the loop body.
+struct Stmt {
+  ArrayAccess lhs;
+  ExprPtr rhs;
+
+  Stmt() = default;
+  Stmt(ArrayAccess lhs_access, ExprPtr rhs_expr)
+      : lhs(std::move(lhs_access)), rhs(std::move(rhs_expr)) {}
+
+  Stmt(Stmt&&) = default;
+  Stmt& operator=(Stmt&&) = default;
+
+  /// Deep copy (Stmt is move-only by default because of the ExprPtr).
+  Stmt clone() const { return Stmt(lhs, rhs->clone()); }
+};
+
+}  // namespace srra

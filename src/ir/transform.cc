@@ -1,0 +1,117 @@
+#include "ir/transform.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace srra {
+
+namespace {
+
+AffineExpr permute_affine(const AffineExpr& e, int a, int b) {
+  AffineExpr out = e;
+  const std::int64_t ca = e.coeff(a);
+  const std::int64_t cb = e.coeff(b);
+  out.set_coeff(a, cb);
+  out.set_coeff(b, ca);
+  return out;
+}
+
+ArrayAccess permute_access(const ArrayAccess& access, int a, int b) {
+  ArrayAccess out;
+  out.array_id = access.array_id;
+  for (const AffineExpr& sub : access.subscripts) {
+    out.subscripts.push_back(permute_affine(sub, a, b));
+  }
+  return out;
+}
+
+ExprPtr permute_expr(const Expr& e, int a, int b) {
+  switch (e.kind()) {
+    case ExprKind::kConst:
+      return Expr::make_const(e.const_value());
+    case ExprKind::kLoopVar: {
+      int level = e.loop_level();
+      if (level == a) level = b;
+      else if (level == b) level = a;
+      return Expr::make_loop_var(level);
+    }
+    case ExprKind::kRef:
+      return Expr::make_ref(permute_access(e.access(), a, b));
+    case ExprKind::kBinOp:
+      return Expr::make_bin(e.bin_op(), permute_expr(e.lhs(), a, b),
+                            permute_expr(e.rhs(), a, b));
+    case ExprKind::kUnOp:
+      return Expr::make_un(e.un_op(), permute_expr(e.operand(), a, b));
+  }
+  fail("unknown ExprKind");
+}
+
+// True when `expr` is `lhs + rest` or `rest + lhs` with no other occurrence
+// of lhs inside rest (a commutative accumulator update).
+bool is_accumulator_update(const ArrayAccess& lhs, const Expr& expr) {
+  if (expr.kind() != ExprKind::kBinOp || expr.bin_op() != BinOpKind::kAdd) return false;
+  const auto counts_lhs = [&](const Expr& e) {
+    int n = 0;
+    e.for_each_ref([&](const ArrayAccess& access) {
+      if (access == lhs) ++n;
+    });
+    return n;
+  };
+  const bool left_is_lhs =
+      expr.lhs().kind() == ExprKind::kRef && expr.lhs().access() == lhs;
+  const bool right_is_lhs =
+      expr.rhs().kind() == ExprKind::kRef && expr.rhs().access() == lhs;
+  if (left_is_lhs) return counts_lhs(expr.rhs()) == 0;
+  if (right_is_lhs) return counts_lhs(expr.lhs()) == 0;
+  return false;
+}
+
+}  // namespace
+
+Kernel interchange_loops(const Kernel& kernel, int level_a, int level_b) {
+  check(level_a >= 0 && level_a < kernel.depth(), "interchange level out of range");
+  check(level_b >= 0 && level_b < kernel.depth(), "interchange level out of range");
+
+  Kernel out(kernel.name());
+  for (const ArrayDecl& array : kernel.arrays()) out.add_array(array);
+  for (int l = 0; l < kernel.depth(); ++l) {
+    int source = l;
+    if (l == level_a) source = level_b;
+    else if (l == level_b) source = level_a;
+    out.add_loop(kernel.loop(source));
+  }
+  for (const Stmt& stmt : kernel.body()) {
+    out.add_stmt(Stmt(permute_access(stmt.lhs, level_a, level_b),
+                      permute_expr(*stmt.rhs, level_a, level_b)));
+  }
+  out.validate();
+  return out;
+}
+
+bool interchange_is_safe(const Kernel& kernel) {
+  // Sufficient condition: every statement either writes an element that is
+  // never re-read in other iterations (all its loop-variant subscripts are
+  // injective per iteration -> only the same-iteration forwarding exists),
+  // or is a commutative accumulator update x = x + e where e does not read
+  // x at another subscript.
+  for (const Stmt& stmt : kernel.body()) {
+    // Other statements must not read this statement's target array with a
+    // *different* subscript pattern (a loop-carried flow we do not model).
+    for (const Stmt& other : kernel.body()) {
+      bool bad = false;
+      other.rhs->for_each_ref([&](const ArrayAccess& access) {
+        if (access.array_id == stmt.lhs.array_id && !(access == stmt.lhs)) bad = true;
+      });
+      if (bad) return false;
+    }
+    bool reads_own_target = false;
+    stmt.rhs->for_each_ref([&](const ArrayAccess& access) {
+      if (access == stmt.lhs) reads_own_target = true;
+    });
+    if (reads_own_target && !is_accumulator_update(stmt.lhs, *stmt.rhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace srra

@@ -1,0 +1,23 @@
+// Loop-nest transformations. Interchange permutes the loops of a perfect
+// nest (remapping every affine subscript and loop-variable expression);
+// reuse-carrying levels move with it, which changes every allocator's
+// behaviour — exercised by bench_interchange.
+//
+// Interchange is only semantics-preserving when the loop-carried
+// dependences allow it; `interchange_is_safe` implements a conservative
+// sufficient condition (all writes either have no cross-iteration reuse, or
+// are pure accumulator updates of the form `x = x + ...` whose arithmetic
+// commutes under the wrap-around semantics of the datapath).
+#pragma once
+
+#include "ir/kernel.h"
+
+namespace srra {
+
+/// Returns the kernel with loops `level_a` and `level_b` swapped.
+Kernel interchange_loops(const Kernel& kernel, int level_a, int level_b);
+
+/// Conservative legality check for interchange_loops (see header comment).
+bool interchange_is_safe(const Kernel& kernel);
+
+}  // namespace srra

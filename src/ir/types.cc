@@ -1,0 +1,68 @@
+#include "ir/types.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+int bit_width(ScalarType type) {
+  switch (type) {
+    case ScalarType::kU8:
+    case ScalarType::kS8:
+      return 8;
+    case ScalarType::kU16:
+    case ScalarType::kS16:
+      return 16;
+    case ScalarType::kU32:
+    case ScalarType::kS32:
+      return 32;
+  }
+  fail("unknown ScalarType");
+}
+
+bool is_signed(ScalarType type) {
+  switch (type) {
+    case ScalarType::kS8:
+    case ScalarType::kS16:
+    case ScalarType::kS32:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Value truncate_to(ScalarType type, Value value) {
+  const int bits = bit_width(type);
+  const auto raw = static_cast<std::uint64_t>(value);
+  const std::uint64_t mask = (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
+  std::uint64_t narrowed = raw & mask;
+  if (is_signed(type)) {
+    const std::uint64_t sign_bit = 1ULL << (bits - 1);
+    if (narrowed & sign_bit) narrowed |= ~mask;
+  }
+  return static_cast<Value>(narrowed);
+}
+
+std::string type_name(ScalarType type) {
+  switch (type) {
+    case ScalarType::kU8: return "u8";
+    case ScalarType::kS8: return "s8";
+    case ScalarType::kU16: return "u16";
+    case ScalarType::kS16: return "s16";
+    case ScalarType::kU32: return "u32";
+    case ScalarType::kS32: return "s32";
+  }
+  fail("unknown ScalarType");
+}
+
+ScalarType parse_type(const std::string& name) {
+  if (name == "u8") return ScalarType::kU8;
+  if (name == "s8") return ScalarType::kS8;
+  if (name == "u16") return ScalarType::kU16;
+  if (name == "s16") return ScalarType::kS16;
+  if (name == "u32") return ScalarType::kU32;
+  if (name == "s32") return ScalarType::kS32;
+  fail(cat("unknown scalar type name: ", name));
+}
+
+}  // namespace srra

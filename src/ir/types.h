@@ -1,0 +1,33 @@
+// Scalar element types for arrays and datapath values. The paper's kernels
+// operate on 8/16/32-bit fixed-point data; the simulator computes in 64-bit
+// and narrows on store, which matches a hardware datapath of the declared
+// width with wrap-around semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace srra {
+
+/// 64-bit value type used by the interpreter and machine simulator.
+using Value = std::int64_t;
+
+/// Element type of an array (bit width + signedness).
+enum class ScalarType { kU8, kS8, kU16, kS16, kU32, kS32 };
+
+/// Number of bits in a ScalarType.
+int bit_width(ScalarType type);
+
+/// True for signed types.
+bool is_signed(ScalarType type);
+
+/// Wraps `value` to the range representable by `type` (two's complement).
+Value truncate_to(ScalarType type, Value value);
+
+/// Short name, e.g. "u8" / "s16"; matches the kernel DSL spelling.
+std::string type_name(ScalarType type);
+
+/// Parses a DSL type name; throws srra::Error on unknown names.
+ScalarType parse_type(const std::string& name);
+
+}  // namespace srra

@@ -1,0 +1,174 @@
+#include "sched/cycle_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/walker.h"
+#include "sched/schedule.h"
+#include "support/error.h"
+
+namespace srra {
+
+namespace {
+
+// Flat evaluation-ordered occurrence list.
+struct FlatOccurrence {
+  int group = 0;
+  int stmt = 0;
+  int order = 0;
+  bool is_write = false;
+};
+
+std::vector<FlatOccurrence> flatten(const std::vector<RefGroup>& groups) {
+  std::vector<FlatOccurrence> flat;
+  for (const RefGroup& g : groups) {
+    for (const RefOccurrence& occ : g.occurrences) {
+      flat.push_back(FlatOccurrence{g.id, occ.stmt, occ.order, occ.is_write});
+    }
+  }
+  std::sort(flat.begin(), flat.end(),
+            [](const FlatOccurrence& a, const FlatOccurrence& b) { return a.order < b.order; });
+  return flat;
+}
+
+}  // namespace
+
+CycleReport estimate_cycles(const RefModel& model, const Allocation& allocation,
+                            const CycleOptions& options) {
+  const Kernel& kernel = model.kernel();
+  const auto& groups = model.groups();
+  check(static_cast<int>(allocation.regs.size()) == model.group_count(),
+        "allocation size mismatch");
+
+  const Dfg dfg = Dfg::build(kernel, groups);
+  const LatencyModel& lat = options.latency;
+
+  std::vector<int> array_of_group(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    array_of_group[g] = groups[g].access.array_id;
+  }
+
+  std::vector<WindowTracker> trackers;
+  trackers.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    trackers.emplace_back(kernel, groups[g],
+                          select_strategy(kernel, groups[g], model.reuse()[g],
+                                          allocation.regs[g], model.options()));
+  }
+  const std::vector<FlatOccurrence> flat = flatten(groups);
+
+  CycleReport report;
+  report.iterations = kernel.iteration_count();
+
+  // Per-iteration scratch: steady RAM reads grouped by consuming op, steady
+  // writes, boundary flushes, and the schedule profile.
+  struct PendingRead {
+    int consumer = -1;  // op node id, -1 = direct-to-write copy
+    int array = -1;
+  };
+  std::vector<PendingRead> reads;
+  std::int64_t writes = 0;
+  std::int64_t flushes = 0;
+  IterationProfile profile;
+  profile.ram_access.assign(static_cast<std::size_t>(dfg.node_count()), false);
+  std::map<IterationProfile, std::int64_t> schedule_cache;
+  std::int64_t compute_only_length = -1;
+
+  const EventSink sink = [&](const AccessEvent& e) {
+    if (!is_ram_access(e.kind) || !e.steady) return;
+    ++report.ram_accesses;
+    if (e.order < 0) {  // boundary flush
+      ++flushes;
+      return;
+    }
+    const int node = dfg.node_for_occurrence(e.order);
+    switch (e.kind) {
+      case AccessKind::kMissRead:
+      case AccessKind::kFill:
+        reads.push_back(PendingRead{dfg.consumer_op(e.order),
+                                    array_of_group[static_cast<std::size_t>(e.group)]});
+        profile.ram_access[static_cast<std::size_t>(node)] = true;
+        break;
+      case AccessKind::kMissWrite:
+      case AccessKind::kFlush:
+        ++writes;
+        profile.ram_access[static_cast<std::size_t>(node)] = true;
+        break;
+      default:
+        break;
+    }
+  };
+
+  std::vector<std::int64_t> iter = first_iteration(kernel);
+  bool more = true;
+  while (more) {
+    reads.clear();
+    writes = 0;
+    flushes = 0;
+    std::fill(profile.ram_access.begin(), profile.ram_access.end(), false);
+
+    for (WindowTracker& t : trackers) t.begin_iteration(iter, sink);
+    for (const FlatOccurrence& occ : flat) {
+      trackers[static_cast<std::size_t>(occ.group)].on_access(iter, occ.is_write, occ.stmt,
+                                                              occ.order, sink);
+    }
+    more = next_iteration(kernel, iter);
+    if (!more) {
+      for (WindowTracker& t : trackers) t.finish(sink);
+    }
+
+    // ---- Tmem ----
+    std::int64_t read_cycles = 0;
+    if (options.concurrent_operand_fetch) {
+      // Group by consuming op; within a group, fetches from distinct RAM
+      // blocks overlap, same-block fetches serialize.
+      std::map<int, std::map<int, std::int64_t>> per_op_array_counts;
+      std::int64_t solo = 0;
+      for (const PendingRead& r : reads) {
+        if (r.consumer < 0) {
+          ++solo;
+        } else {
+          ++per_op_array_counts[r.consumer][r.array];
+        }
+      }
+      for (const auto& [op, array_counts] : per_op_array_counts) {
+        std::int64_t worst = 0;
+        for (const auto& [array, count] : array_counts) worst = std::max(worst, count);
+        read_cycles += worst * lat.mem_read;
+      }
+      read_cycles += solo * lat.mem_read;
+    } else {
+      read_cycles = static_cast<std::int64_t>(reads.size()) * lat.mem_read;
+    }
+    const std::int64_t iter_mem =
+        read_cycles + writes * lat.mem_write + flushes * lat.mem_write;
+    report.mem_cycles += iter_mem;
+
+    // ---- Texec ----
+    std::int64_t length = 0;
+    if (options.fsm_serial_memory) {
+      // Monet-style FSM: memory states serialize with the datapath; the
+      // compute critical path is iteration-invariant and cached.
+      if (compute_only_length < 0) {
+        IterationProfile compute_profile;
+        compute_profile.ram_access.assign(static_cast<std::size_t>(dfg.node_count()), false);
+        compute_only_length =
+            schedule_iteration(dfg, compute_profile, array_of_group, lat);
+      }
+      length = compute_only_length + iter_mem;
+    } else {
+      profile.boundary_flushes = static_cast<int>(flushes);
+      const auto cached = schedule_cache.find(profile);
+      if (cached != schedule_cache.end()) {
+        length = cached->second;
+      } else {
+        length = schedule_iteration(dfg, profile, array_of_group, lat);
+        schedule_cache.emplace(profile, length);
+      }
+    }
+    report.exec_cycles += length + options.loop_overhead;
+  }
+  return report;
+}
+
+}  // namespace srra

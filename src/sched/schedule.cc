@@ -1,0 +1,70 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+
+namespace srra {
+
+std::int64_t schedule_iteration(const Dfg& dfg, const IterationProfile& profile,
+                                std::span<const int> array_of_group,
+                                const LatencyModel& latency) {
+  check(static_cast<int>(profile.ram_access.size()) == dfg.node_count(),
+        "profile size mismatch");
+
+  std::vector<std::int64_t> finish(static_cast<std::size_t>(dfg.node_count()), 0);
+  std::map<int, std::int64_t> port_free;  // RAM block -> next free cycle
+  std::int64_t makespan = 0;
+
+  // Node ids are topological; ASAP with port reservations.
+  for (const DfgNode& n : dfg.nodes()) {
+    std::int64_t ready = 0;
+    for (int p : n.preds) ready = std::max(ready, finish[static_cast<std::size_t>(p)]);
+
+    std::int64_t duration = 0;
+    bool uses_port = false;
+    int port = -1;
+    switch (n.kind) {
+      case DfgNodeKind::kConst:
+      case DfgNodeKind::kLoopVar:
+        break;
+      case DfgNodeKind::kOp:
+        duration = latency.op_latency(n);
+        break;
+      case DfgNodeKind::kRead:
+        if (profile.ram_access[static_cast<std::size_t>(n.id)]) {
+          duration = latency.mem_read;
+          uses_port = true;
+          port = array_of_group[static_cast<std::size_t>(n.group)];
+        }
+        break;
+      case DfgNodeKind::kWrite:
+        if (profile.ram_access[static_cast<std::size_t>(n.id)]) {
+          duration = latency.mem_write;
+          uses_port = true;
+          port = array_of_group[static_cast<std::size_t>(n.group)];
+        }
+        break;
+    }
+
+    std::int64_t start = ready;
+    if (uses_port) {
+      auto& free_at = port_free[port];
+      start = std::max(start, free_at);
+      free_at = start + duration;
+    }
+    // A write's value is forwarded to same-iteration consumers as soon as it
+    // is produced; the RAM store itself overlaps the remaining computation
+    // and only extends the iteration via the makespan.
+    const bool forwards_early = n.kind == DfgNodeKind::kWrite;
+    finish[static_cast<std::size_t>(n.id)] = forwards_early ? ready : start + duration;
+    makespan = std::max(makespan, start + duration);
+  }
+
+  // Boundary flushes (register spills between iterations) serialize on their
+  // RAM ports after the body completes; conservatively add their cycles.
+  return makespan + static_cast<std::int64_t>(profile.boundary_flushes) * latency.mem_write;
+}
+
+}  // namespace srra

@@ -1,0 +1,36 @@
+// Per-iteration list scheduler: ASAP scheduling of the body DFG under
+// single-ported per-array RAM constraints, used by the cycle model to turn
+// an iteration's RAM-access pattern into a cycle count. FPGAs provide
+// spatial ALUs, so computation is unconstrained; only RAM ports serialize.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dfg/dfg.h"
+#include "dfg/latency.h"
+
+namespace srra {
+
+/// One iteration's memory behaviour: whether each reference node performs a
+/// RAM access this iteration.
+struct IterationProfile {
+  /// Per DFG node: true if the node's access goes to RAM this iteration.
+  std::vector<bool> ram_access;
+  /// Steady-counted boundary flushes (RAM writes between iterations).
+  int boundary_flushes = 0;
+
+  bool operator<(const IterationProfile& other) const {
+    if (ram_access != other.ram_access) return ram_access < other.ram_access;
+    return boundary_flushes < other.boundary_flushes;
+  }
+};
+
+/// ASAP list schedule of one iteration; returns its cycle count.
+/// `array_of_group[g]` identifies the RAM block (per-array single port).
+std::int64_t schedule_iteration(const Dfg& dfg, const IterationProfile& profile,
+                                std::span<const int> array_of_group,
+                                const LatencyModel& latency);
+
+}  // namespace srra

@@ -1,0 +1,40 @@
+#include "sim/interp.h"
+
+#include "analysis/reuse.h"
+#include "analysis/walker.h"
+#include "support/error.h"
+
+namespace srra {
+
+Value eval_expr(const Kernel& kernel, const Expr& expr,
+                std::span<const std::int64_t> iteration, ArrayStore& store) {
+  switch (expr.kind()) {
+    case ExprKind::kConst:
+      return expr.const_value();
+    case ExprKind::kLoopVar:
+      return iteration[static_cast<std::size_t>(expr.loop_level())];
+    case ExprKind::kRef: {
+      const ArrayAccess& access = expr.access();
+      return store.read(access.array_id, element_at(kernel, access, iteration));
+    }
+    case ExprKind::kBinOp:
+      return eval_bin_op(expr.bin_op(), eval_expr(kernel, expr.lhs(), iteration, store),
+                         eval_expr(kernel, expr.rhs(), iteration, store));
+    case ExprKind::kUnOp:
+      return eval_un_op(expr.un_op(), eval_expr(kernel, expr.operand(), iteration, store));
+  }
+  fail("unknown ExprKind");
+}
+
+void interpret(const Kernel& kernel, ArrayStore& store) {
+  kernel.validate();
+  std::vector<std::int64_t> iter = first_iteration(kernel);
+  do {
+    for (const Stmt& stmt : kernel.body()) {
+      const Value v = eval_expr(kernel, *stmt.rhs, iter, store);
+      store.write(stmt.lhs.array_id, element_at(kernel, stmt.lhs, iter), v);
+    }
+  } while (next_iteration(kernel, iter));
+}
+
+}  // namespace srra

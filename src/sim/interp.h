@@ -1,0 +1,19 @@
+// Golden interpreter: executes a kernel directly over an ArrayStore with no
+// register modelling. The machine simulator's results must match this
+// bit-for-bit (the correctness oracle for scalar replacement).
+#pragma once
+
+#include "ir/kernel.h"
+#include "sim/storage.h"
+
+namespace srra {
+
+/// Executes the kernel; every read/write goes straight to `store` (and
+/// bumps its traffic counters).
+void interpret(const Kernel& kernel, ArrayStore& store);
+
+/// Evaluates one expression at `iteration` against `store` (reads counted).
+Value eval_expr(const Kernel& kernel, const Expr& expr,
+                std::span<const std::int64_t> iteration, ArrayStore& store);
+
+}  // namespace srra

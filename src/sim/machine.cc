@@ -1,0 +1,197 @@
+#include "sim/machine.h"
+
+#include <unordered_map>
+
+#include "analysis/walker.h"
+#include "sim/interp.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+namespace {
+
+// Register file + forwarding wires of one reference group.
+struct GroupState {
+  std::unordered_map<std::int64_t, Value> held;  // element -> register value
+  std::unordered_map<std::int64_t, Value> wires; // same-iteration forwarding
+};
+
+class Machine {
+ public:
+  Machine(const RefModel& model, const Allocation& allocation, ArrayStore& store)
+      : model_(model), store_(store) {
+    const Kernel& kernel = model.kernel();
+    for (int g = 0; g < model.group_count(); ++g) {
+      trackers_.emplace_back(kernel, model.groups()[static_cast<std::size_t>(g)],
+                             select_strategy(kernel, model.groups()[static_cast<std::size_t>(g)],
+                                             model.reuse()[static_cast<std::size_t>(g)],
+                                             allocation.at(g), model.options()));
+      states_.emplace_back();
+      const int array = model.groups()[static_cast<std::size_t>(g)].access.array_id;
+      types_.push_back(kernel.array(array).type);
+      arrays_.push_back(array);
+    }
+    // occurrence order -> group id
+    order_group_.assign(static_cast<std::size_t>(total_occurrences(model.groups())), -1);
+    for (const RefGroup& g : model.groups()) {
+      for (const RefOccurrence& occ : g.occurrences) {
+        order_group_[static_cast<std::size_t>(occ.order)] = g.id;
+      }
+    }
+  }
+
+  MachineReport run() {
+    const Kernel& kernel = model_.kernel();
+    std::vector<std::int64_t> iter = first_iteration(kernel);
+    do {
+      for (GroupState& s : states_) s.wires.clear();
+      for (WindowTracker& t : trackers_) t.begin_iteration(iter, flush_sink());
+      int order = 0;
+      for (const Stmt& stmt : kernel.body()) {
+        const int stmt_index = static_cast<int>(&stmt - kernel.body().data());
+        const Value v = eval(*stmt.rhs, iter, stmt_index, order);
+        write_access(stmt.lhs, iter, stmt_index, order, v);
+        ++order;
+      }
+    } while (next_iteration(kernel, iter));
+    for (WindowTracker& t : trackers_) t.finish(flush_sink());
+    return report_;
+  }
+
+ private:
+  EventSink flush_sink() {
+    return [this](const AccessEvent& e) {
+      if (e.kind != AccessKind::kFlush) return;
+      handle_flush(e);
+    };
+  }
+
+  void handle_flush(const AccessEvent& e) {
+    GroupState& s = states_[static_cast<std::size_t>(e.group)];
+    const auto it = s.held.find(e.element);
+    check(it != s.held.end(), "flush of a value the register file does not hold");
+    store_.write(arrays_[static_cast<std::size_t>(e.group)], e.element, it->second);
+    s.held.erase(it);
+    ++report_.flushes;
+    ++report_.ram_writes;
+    if (e.steady) ++report_.steady_ram_accesses;
+  }
+
+  Value read_access(const ArrayAccess& access, std::span<const std::int64_t> iter,
+                    int stmt_index, int& order) {
+    const int my_order = order++;
+    const int g = order_group_[static_cast<std::size_t>(my_order)];
+    GroupState& s = states_[static_cast<std::size_t>(g)];
+    const AccessEvent e = trackers_[static_cast<std::size_t>(g)].on_access(
+        iter, /*is_write=*/false, stmt_index, my_order, flush_sink());
+    check(access.array_id == arrays_[static_cast<std::size_t>(g)], "group/array mismatch");
+    switch (e.kind) {
+      case AccessKind::kForward: {
+        const auto it = s.wires.find(e.element);
+        check(it != s.wires.end(), "forwarded value missing from wires");
+        ++report_.forwards;
+        return it->second;
+      }
+      case AccessKind::kRegHit: {
+        const auto it = s.held.find(e.element);
+        check(it != s.held.end(), "register hit on a value not held");
+        ++report_.reg_hits;
+        return it->second;
+      }
+      case AccessKind::kFill: {
+        const Value v = store_.read(access.array_id, e.element);
+        s.held[e.element] = v;
+        ++report_.fills;
+        ++report_.ram_reads;
+        if (e.steady) ++report_.steady_ram_accesses;
+        return v;
+      }
+      case AccessKind::kMissRead: {
+        const Value v = store_.read(access.array_id, e.element);
+        ++report_.ram_reads;
+        if (e.steady) ++report_.steady_ram_accesses;
+        return v;
+      }
+      default:
+        fail(cat("unexpected read event kind"));
+    }
+  }
+
+  void write_access(const ArrayAccess& access, std::span<const std::int64_t> iter,
+                    int stmt_index, int order, Value value) {
+    const int g = order_group_[static_cast<std::size_t>(order)];
+    GroupState& s = states_[static_cast<std::size_t>(g)];
+    const AccessEvent e = trackers_[static_cast<std::size_t>(g)].on_access(
+        iter, /*is_write=*/true, stmt_index, order, flush_sink());
+    // Registers and RAM cells have the array's element width.
+    const Value narrowed = truncate_to(types_[static_cast<std::size_t>(g)], value);
+    s.wires[e.element] = narrowed;
+    switch (e.kind) {
+      case AccessKind::kRegWrite:
+        s.held[e.element] = narrowed;
+        ++report_.reg_writes;
+        break;
+      case AccessKind::kMissWrite:
+        store_.write(access.array_id, e.element, narrowed);
+        ++report_.ram_writes;
+        if (e.steady) ++report_.steady_ram_accesses;
+        break;
+      default:
+        fail("unexpected write event kind");
+    }
+  }
+
+  Value eval(const Expr& expr, std::span<const std::int64_t> iter, int stmt_index,
+             int& order) {
+    switch (expr.kind()) {
+      case ExprKind::kConst:
+        return expr.const_value();
+      case ExprKind::kLoopVar:
+        return iter[static_cast<std::size_t>(expr.loop_level())];
+      case ExprKind::kRef:
+        return read_access(expr.access(), iter, stmt_index, order);
+      case ExprKind::kBinOp: {
+        const Value a = eval(expr.lhs(), iter, stmt_index, order);
+        const Value b = eval(expr.rhs(), iter, stmt_index, order);
+        return eval_bin_op(expr.bin_op(), a, b);
+      }
+      case ExprKind::kUnOp:
+        return eval_un_op(expr.un_op(), eval(expr.operand(), iter, stmt_index, order));
+    }
+    fail("unknown ExprKind");
+  }
+
+  const RefModel& model_;
+  ArrayStore& store_;
+  std::vector<WindowTracker> trackers_;
+  std::vector<GroupState> states_;
+  std::vector<ScalarType> types_;
+  std::vector<int> arrays_;
+  std::vector<int> order_group_;
+  MachineReport report_;
+};
+
+}  // namespace
+
+MachineReport run_machine(const RefModel& model, const Allocation& allocation,
+                          ArrayStore& store) {
+  Machine machine(model, allocation, store);
+  return machine.run();
+}
+
+VerifyResult verify_allocation(const RefModel& model, const Allocation& allocation,
+                               std::uint64_t seed) {
+  ArrayStore golden(model.kernel());
+  golden.randomize(seed);
+  ArrayStore machine_store(model.kernel());
+  machine_store.randomize(seed);
+
+  interpret(model.kernel(), golden);
+  VerifyResult result;
+  result.machine = run_machine(model, allocation, machine_store);
+  result.ok = golden.equals(machine_store);
+  return result;
+}
+
+}  // namespace srra

@@ -1,0 +1,47 @@
+// Machine simulator: executes a kernel the way the synthesized design
+// would, with an explicit per-group register file (window policy from
+// analysis/walker.h), per-array RAM banks, same-iteration forwarding wires
+// and width truncation at every register and RAM boundary.
+//
+// Running it against the golden interpreter proves the scalar-replacement
+// transformation is semantics-preserving for a given allocation; its access
+// counters must agree with the analytic walker (cross-checked in tests).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/model.h"
+#include "core/allocation.h"
+#include "sim/storage.h"
+
+namespace srra {
+
+/// Traffic counters observed by the machine run.
+struct MachineReport {
+  std::int64_t ram_reads = 0;
+  std::int64_t ram_writes = 0;
+  std::int64_t reg_hits = 0;
+  std::int64_t reg_writes = 0;
+  std::int64_t fills = 0;
+  std::int64_t flushes = 0;
+  std::int64_t forwards = 0;
+  std::int64_t steady_ram_accesses = 0;  ///< walker steady-accounting total
+
+  std::int64_t ram_total() const { return ram_reads + ram_writes; }
+};
+
+/// Executes `model.kernel()` under `allocation`, reading/writing `store`.
+MachineReport run_machine(const RefModel& model, const Allocation& allocation,
+                          ArrayStore& store);
+
+/// End-to-end check: randomizes identical stores, runs the golden
+/// interpreter and the machine, and reports whether the final memories
+/// match.
+struct VerifyResult {
+  bool ok = false;
+  MachineReport machine;
+};
+VerifyResult verify_allocation(const RefModel& model, const Allocation& allocation,
+                               std::uint64_t seed);
+
+}  // namespace srra

@@ -1,0 +1,86 @@
+#include "sim/storage.h"
+
+#include <numeric>
+
+#include "support/error.h"
+
+namespace srra {
+
+ArrayStore::ArrayStore(const Kernel& kernel) {
+  for (const ArrayDecl& a : kernel.arrays()) {
+    types_.push_back(a.type);
+    data_.emplace_back(static_cast<std::size_t>(a.element_count()), 0);
+  }
+  read_counts_.assign(data_.size(), 0);
+  write_counts_.assign(data_.size(), 0);
+}
+
+void ArrayStore::randomize(std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t a = 0; a < data_.size(); ++a) {
+    for (Value& v : data_[a]) v = truncate_to(types_[a], static_cast<Value>(rng.next()));
+  }
+}
+
+void ArrayStore::clear() {
+  for (auto& bank : data_) std::fill(bank.begin(), bank.end(), 0);
+}
+
+const std::vector<Value>& ArrayStore::bank(int array_id) const {
+  check(array_id >= 0 && array_id < array_count(), "array id out of range");
+  return data_[static_cast<std::size_t>(array_id)];
+}
+
+Value ArrayStore::read(int array_id, std::int64_t flat_index) {
+  ++read_counts_[static_cast<std::size_t>(array_id)];
+  return peek(array_id, flat_index);
+}
+
+void ArrayStore::write(int array_id, std::int64_t flat_index, Value value) {
+  ++write_counts_[static_cast<std::size_t>(array_id)];
+  poke(array_id, flat_index, value);
+}
+
+Value ArrayStore::peek(int array_id, std::int64_t flat_index) const {
+  const auto& b = bank(array_id);
+  check(flat_index >= 0 && flat_index < static_cast<std::int64_t>(b.size()),
+        "array index out of bounds");
+  return b[static_cast<std::size_t>(flat_index)];
+}
+
+void ArrayStore::poke(int array_id, std::int64_t flat_index, Value value) {
+  auto& b = data_[static_cast<std::size_t>(array_id)];
+  check(flat_index >= 0 && flat_index < static_cast<std::int64_t>(b.size()),
+        "array index out of bounds");
+  b[static_cast<std::size_t>(flat_index)] =
+      truncate_to(types_[static_cast<std::size_t>(array_id)], value);
+}
+
+std::int64_t ArrayStore::reads(int array_id) const {
+  check(array_id >= 0 && array_id < array_count(), "array id out of range");
+  return read_counts_[static_cast<std::size_t>(array_id)];
+}
+
+std::int64_t ArrayStore::writes(int array_id) const {
+  check(array_id >= 0 && array_id < array_count(), "array id out of range");
+  return write_counts_[static_cast<std::size_t>(array_id)];
+}
+
+std::int64_t ArrayStore::total_reads() const {
+  return std::accumulate(read_counts_.begin(), read_counts_.end(), std::int64_t{0});
+}
+
+std::int64_t ArrayStore::total_writes() const {
+  return std::accumulate(write_counts_.begin(), write_counts_.end(), std::int64_t{0});
+}
+
+void ArrayStore::reset_counters() {
+  std::fill(read_counts_.begin(), read_counts_.end(), 0);
+  std::fill(write_counts_.begin(), write_counts_.end(), 0);
+}
+
+bool ArrayStore::equals(const ArrayStore& other) const {
+  return data_ == other.data_;
+}
+
+}  // namespace srra

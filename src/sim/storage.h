@@ -1,0 +1,53 @@
+// Concrete array storage for the simulators: one value vector per kernel
+// array, with bounds-checked, type-truncating access and RAM traffic
+// counters (per-array reads/writes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/kernel.h"
+#include "support/rng.h"
+
+namespace srra {
+
+/// Backing store for every array of a kernel.
+class ArrayStore {
+ public:
+  explicit ArrayStore(const Kernel& kernel);
+
+  /// Fills every array with deterministic pseudo-random values in the
+  /// representable range of its element type.
+  void randomize(std::uint64_t seed);
+
+  /// Zeroes every array.
+  void clear();
+
+  Value read(int array_id, std::int64_t flat_index);
+  void write(int array_id, std::int64_t flat_index, Value value);
+
+  /// Direct access for verification (no counters, still bounds-checked).
+  Value peek(int array_id, std::int64_t flat_index) const;
+  void poke(int array_id, std::int64_t flat_index, Value value);
+
+  std::int64_t reads(int array_id) const;
+  std::int64_t writes(int array_id) const;
+  std::int64_t total_reads() const;
+  std::int64_t total_writes() const;
+  void reset_counters();
+
+  int array_count() const { return static_cast<int>(data_.size()); }
+
+  /// True if every element of every array matches `other`.
+  bool equals(const ArrayStore& other) const;
+
+ private:
+  const std::vector<Value>& bank(int array_id) const;
+
+  std::vector<ScalarType> types_;
+  std::vector<std::vector<Value>> data_;
+  std::vector<std::int64_t> read_counts_;
+  std::vector<std::int64_t> write_counts_;
+};
+
+}  // namespace srra

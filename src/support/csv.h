@@ -1,0 +1,25 @@
+// Minimal CSV writer: benches can dump machine-readable result series next
+// to the human-readable ASCII tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srra {
+
+/// Streams rows of cells as RFC-4180-style CSV (quotes fields containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row; cells are escaped as needed.
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+}  // namespace srra

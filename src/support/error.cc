@@ -1,0 +1,14 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace srra::detail {
+
+void throw_error(std::string_view message, std::source_location where) {
+  std::ostringstream os;
+  os << where.file_name() << ':' << where.line() << " (" << where.function_name()
+     << "): " << message;
+  throw Error(os.str());
+}
+
+}  // namespace srra::detail

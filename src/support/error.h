@@ -1,0 +1,40 @@
+// Error type and checked-precondition helpers for the srra library.
+//
+// Following the C++ Core Guidelines (E.2, I.6) we report errors that cannot
+// be handled locally via exceptions and express preconditions as checks at
+// function entry. `check()` is the library-wide precondition/invariant
+// helper; it throws `srra::Error` carrying the failing location.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace srra {
+
+/// Exception thrown on any srra precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(std::string_view message, std::source_location where);
+}  // namespace detail
+
+/// Checks a precondition/invariant; throws srra::Error with location info on
+/// failure. Used instead of assert() so violations are testable and carry a
+/// message even in release builds.
+inline void check(bool condition, std::string_view message,
+                  std::source_location where = std::source_location::current()) {
+  if (!condition) detail::throw_error(message, where);
+}
+
+/// Unconditional failure with location info (e.g. unreachable switch arms).
+[[noreturn]] inline void fail(std::string_view message,
+                              std::source_location where = std::source_location::current()) {
+  detail::throw_error(message, where);
+}
+
+}  // namespace srra

@@ -1,0 +1,75 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  check(!headers_.empty(), "table needs at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::set_align(std::size_t index, Align align) {
+  check(index < aligns_.size(), "column index out of range");
+  aligns_[index] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  check(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { separators_.push_back(rows_.size()); }
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto draw_rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto draw_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string body = aligns_[c] == Align::kLeft ? pad_right(cells[c], widths[c])
+                                                          : pad_left(cells[c], widths[c]);
+      os << ' ' << body << " |";
+    }
+    os << '\n';
+  };
+
+  draw_rule();
+  draw_row(headers_);
+  draw_rule();
+  std::size_t next_sep = 0;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    while (next_sep < separators_.size() && separators_[next_sep] == r) {
+      draw_rule();
+      ++next_sep;
+    }
+    draw_row(rows_[r]);
+  }
+  draw_rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace srra

@@ -1,0 +1,48 @@
+// ASCII table builder used by the benchmark harness to print paper-style
+// result tables (Table 1, Figure 2(c), ablation tables).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srra {
+
+/// Column alignment inside a Table cell.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of string cells and renders them with aligned columns,
+/// a header separator and optional group separators between logical blocks.
+class Table {
+ public:
+  /// Creates a table with the given column headers; all columns default to
+  /// right alignment except the first, which is left-aligned.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Overrides the alignment of column `index`.
+  void set_align(std::size_t index, Align align);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator after the current last row.
+  void add_separator();
+
+  /// Renders the table (headers, separator, rows) to `os`.
+  void render(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // indices of rows after which a rule is drawn
+};
+
+}  // namespace srra

@@ -1,0 +1,69 @@
+#include "xform/scalar_replace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra {
+
+const GroupPlan& TransformPlan::for_group(int g) const {
+  check(g >= 0 && g < static_cast<int>(groups.size()), "group id out of range");
+  return groups[static_cast<std::size_t>(g)];
+}
+
+TransformPlan plan_scalar_replacement(const RefModel& model, const Allocation& allocation) {
+  allocation.validate(model);
+
+  TransformPlan plan;
+  plan.allocation = allocation;
+  plan.groups.reserve(static_cast<std::size_t>(model.group_count()));
+
+  for (int g = 0; g < model.group_count(); ++g) {
+    const RefGroup& group = model.groups()[static_cast<std::size_t>(g)];
+    const ReuseInfo& reuse = model.reuse()[static_cast<std::size_t>(g)];
+
+    GroupPlan gp;
+    gp.group = g;
+    gp.display = group.display;
+    gp.regs = allocation.at(g);
+    gp.strategy = select_strategy(model.kernel(), group, reuse, gp.regs,
+                                  model.options());
+    if (gp.strategy.holds()) {
+      gp.window_elements =
+          window_size(model.kernel(), group.access, gp.strategy.carry_level);
+      gp.full = gp.strategy.held_limit >= gp.window_elements;
+      gp.rotating = std::any_of(reuse.distance.begin(), reuse.distance.end(),
+                                [](std::int64_t d) { return d < 0; });
+      const GroupCounts& counts = model.counts(g, gp.regs);
+      gp.fills = counts.fills > 0;
+      gp.flushes = counts.flushes > 0;
+    }
+    plan.groups.push_back(std::move(gp));
+  }
+  return plan;
+}
+
+std::string describe_plan(const RefModel& model, const TransformPlan& plan) {
+  std::ostringstream os;
+  os << "scalar replacement plan (" << plan.allocation.algorithm << ", "
+     << plan.allocation.total() << "/" << plan.allocation.budget << " registers)\n";
+  for (const GroupPlan& gp : plan.groups) {
+    os << "  " << pad_right(gp.display, 14) << " regs=" << pad_left(std::to_string(gp.regs), 4);
+    if (!gp.strategy.holds()) {
+      os << "  RAM-resident (operand latch only)\n";
+      continue;
+    }
+    const Loop& loop = model.kernel().loop(gp.strategy.carry_level);
+    os << "  " << (gp.full ? "full" : "partial") << " window of " << gp.window_elements
+       << " at loop '" << loop.var << "'";
+    if (gp.rotating) os << ", rotating";
+    if (gp.fills) os << "; fills " << (gp.rotating ? "inline (steady)" : "pre-peeled");
+    if (gp.flushes) os << "; flushes back-peeled";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace srra

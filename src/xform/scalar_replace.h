@@ -1,0 +1,44 @@
+// Scalar-replacement transformation planning: turns an Allocation into a
+// concrete per-reference rewrite description (register binding, window
+// strategy, load/store placement), the blueprint both code emitters follow.
+// The paper describes the corresponding code generation via loop pre-/back-
+// peeling; the plan records, per reference, where the fill and flush
+// traffic lives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/walker.h"
+#include "core/allocation.h"
+
+namespace srra {
+
+/// Rewrite description of one reference group.
+struct GroupPlan {
+  int group = -1;
+  std::string display;             ///< e.g. "b[k][j]"
+  std::int64_t regs = 0;           ///< registers bound to the group
+  RefStrategy strategy;            ///< window policy (level + held count)
+  std::int64_t window_elements = 0;///< distinct elements per carry iteration
+  bool full = false;               ///< whole window held
+  bool rotating = false;           ///< sliding window (rotating register file)
+  bool fills = false;              ///< reads RAM into registers
+  bool flushes = false;            ///< writes registers back to RAM
+};
+
+/// The whole-kernel transformation plan.
+struct TransformPlan {
+  Allocation allocation;
+  std::vector<GroupPlan> groups;   ///< index-aligned with the model's groups
+
+  const GroupPlan& for_group(int g) const;
+};
+
+/// Plans the rewrite for `allocation` (which must validate against `model`).
+TransformPlan plan_scalar_replacement(const RefModel& model, const Allocation& allocation);
+
+/// Human-readable plan summary (examples and logs).
+std::string describe_plan(const RefModel& model, const TransformPlan& plan);
+
+}  // namespace srra

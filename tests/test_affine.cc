@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "ir/affine.h"
+#include "support/error.h"
+
+namespace srra {
+namespace {
+
+TEST(Affine, ConstantEvaluates) {
+  const AffineExpr e = AffineExpr::constant(3, 7);
+  const std::int64_t iter[] = {1, 2, 3};
+  EXPECT_EQ(e.evaluate(iter), 7);
+  EXPECT_TRUE(e.is_constant());
+}
+
+TEST(Affine, LoopVarEvaluates) {
+  const AffineExpr e = AffineExpr::loop_var(3, 1, 2);
+  const std::int64_t iter[] = {10, 20, 30};
+  EXPECT_EQ(e.evaluate(iter), 40);
+  EXPECT_FALSE(e.is_constant());
+}
+
+TEST(Affine, SumAndScale) {
+  // 2*i + j - 3 over depth 2.
+  const AffineExpr e = AffineExpr::loop_var(2, 0, 2) + AffineExpr::loop_var(2, 1) +
+                       AffineExpr::constant(2, -3);
+  const std::int64_t iter[] = {4, 5};
+  EXPECT_EQ(e.evaluate(iter), 2 * 4 + 5 - 3);
+  const AffineExpr s = e.scaled(-2);
+  EXPECT_EQ(s.evaluate(iter), -2 * (2 * 4 + 5 - 3));
+}
+
+TEST(Affine, Subtraction) {
+  const AffineExpr e = AffineExpr::loop_var(2, 0) - AffineExpr::loop_var(2, 1);
+  const std::int64_t iter[] = {9, 4};
+  EXPECT_EQ(e.evaluate(iter), 5);
+}
+
+TEST(Affine, InvarianceQueries) {
+  const AffineExpr e = AffineExpr::loop_var(3, 2);
+  EXPECT_TRUE(e.invariant_in(0));
+  EXPECT_TRUE(e.invariant_in(1));
+  EXPECT_FALSE(e.invariant_in(2));
+}
+
+TEST(Affine, DepthMismatchThrows) {
+  const AffineExpr a = AffineExpr::constant(2, 1);
+  const AffineExpr b = AffineExpr::constant(3, 1);
+  EXPECT_THROW(a + b, Error);
+  const std::int64_t iter[] = {0};
+  EXPECT_THROW(a.evaluate(iter), Error);
+}
+
+TEST(Affine, CoeffOutOfRangeThrows) {
+  AffineExpr e(2);
+  EXPECT_THROW(e.coeff(2), Error);
+  EXPECT_THROW(e.set_coeff(-1, 5), Error);
+}
+
+TEST(Affine, ToStringFormats) {
+  const std::vector<std::string> names{"i", "j"};
+  EXPECT_EQ(AffineExpr::constant(2, 0).to_string(names), "0");
+  EXPECT_EQ(AffineExpr::loop_var(2, 0).to_string(names), "i");
+  EXPECT_EQ(AffineExpr::loop_var(2, 1, 4).to_string(names), "4*j");
+  const AffineExpr mixed = AffineExpr::loop_var(2, 0, 2) + AffineExpr::loop_var(2, 1, -1) +
+                           AffineExpr::constant(2, 5);
+  EXPECT_EQ(mixed.to_string(names), "2*i - j + 5");
+  const AffineExpr neg = AffineExpr::loop_var(2, 0, -1) + AffineExpr::constant(2, -2);
+  EXPECT_EQ(neg.to_string(names), "-i - 2");
+}
+
+TEST(Affine, EqualityIsStructural) {
+  EXPECT_EQ(AffineExpr::loop_var(2, 0), AffineExpr::loop_var(2, 0));
+  EXPECT_NE(AffineExpr::loop_var(2, 0), AffineExpr::loop_var(2, 1));
+}
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,216 @@
+// Allocator tests: the three paper algorithms must reproduce the worked
+// example's register distributions exactly (Figure 2(c)), plus invariants
+// and baselines.
+#include <gtest/gtest.h>
+
+#include "core/cpa_ra.h"
+#include "core/greedy.h"
+#include "core/knapsack.h"
+#include "core/registry.h"
+#include "kernels/kernels.h"
+#include "support/error.h"
+
+namespace srra {
+namespace {
+
+std::int64_t regs_of(const RefModel& m, const Allocation& a, const std::string& name) {
+  return a.at(group_named(m.groups(), name).id);
+}
+
+// ---- Figure 2(c): the worked example with 64 registers ----
+
+TEST(AllocFr, ExampleMatchesPaper) {
+  const RefModel m(kernels::paper_example());
+  const Allocation a = allocate_fr(m, 64);
+  EXPECT_EQ(regs_of(m, a, "a[k]"), 30);
+  EXPECT_EQ(regs_of(m, a, "b[k][j]"), 1);
+  EXPECT_EQ(regs_of(m, a, "c[j]"), 20);
+  EXPECT_EQ(regs_of(m, a, "d[i][k]"), 1);
+  EXPECT_EQ(regs_of(m, a, "e[i][j][k]"), 1);
+  EXPECT_EQ(a.total(), 53);
+  a.validate(m);
+}
+
+TEST(AllocPr, ExampleMatchesPaper) {
+  const RefModel m(kernels::paper_example());
+  const Allocation a = allocate_pr(m, 64);
+  EXPECT_EQ(regs_of(m, a, "a[k]"), 30);
+  EXPECT_EQ(regs_of(m, a, "b[k][j]"), 1);
+  EXPECT_EQ(regs_of(m, a, "c[j]"), 20);
+  EXPECT_EQ(regs_of(m, a, "d[i][k]"), 12) << "the 11 leftovers go to d";
+  EXPECT_EQ(regs_of(m, a, "e[i][j][k]"), 1);
+  EXPECT_EQ(a.total(), 64);
+  a.validate(m);
+}
+
+TEST(AllocCpa, ExampleMatchesPaper) {
+  const RefModel m(kernels::paper_example());
+  const Allocation a = allocate_cpa(m, 64);
+  EXPECT_EQ(regs_of(m, a, "d[i][k]"), 30) << "cut {d} is cheapest and goes full";
+  EXPECT_EQ(regs_of(m, a, "a[k]"), 16) << "cut {a,b} splits the remaining 30";
+  EXPECT_EQ(regs_of(m, a, "b[k][j]"), 16);
+  EXPECT_EQ(regs_of(m, a, "c[j]"), 1);
+  EXPECT_EQ(regs_of(m, a, "e[i][j][k]"), 1);
+  EXPECT_EQ(a.total(), 64);
+  a.validate(m);
+}
+
+TEST(AllocCpa, TraceShowsTwoRounds) {
+  const RefModel m(kernels::paper_example());
+  std::vector<CpaRound> trace;
+  const Allocation a = allocate_cpa_traced(m, 64, CpaOptions{}, trace);
+  (void)a;
+  ASSERT_EQ(trace.size(), 2u);
+  // Round 1: cuts {a,b} and {d} (e is non-reducible); {d} chosen, full.
+  EXPECT_EQ(trace[0].cut_groups.size(), 2u);
+  ASSERT_EQ(trace[0].chosen.size(), 1u);
+  EXPECT_EQ(m.groups()[static_cast<std::size_t>(trace[0].chosen[0])].display, "d[i][k]");
+  EXPECT_EQ(trace[0].required, 29);
+  EXPECT_FALSE(trace[0].partial);
+  // Round 2: cut {a,b} no longer fits; equal division.
+  ASSERT_EQ(trace[1].chosen.size(), 2u);
+  EXPECT_TRUE(trace[1].partial);
+}
+
+// ---- Structural invariants ----
+
+TEST(Alloc, FeasibilityGivesOneEach) {
+  const RefModel m(kernels::paper_example());
+  const Allocation a = feasibility_allocation(m, 64);
+  EXPECT_EQ(a.total(), 5);
+  for (std::int64_t r : a.regs) EXPECT_EQ(r, 1);
+}
+
+TEST(Alloc, BudgetBelowGroupCountThrows) {
+  const RefModel m(kernels::paper_example());
+  EXPECT_THROW(feasibility_allocation(m, 4), Error);
+  EXPECT_THROW(allocate_fr(m, 4), Error);
+}
+
+TEST(Alloc, DistributionString) {
+  const RefModel m(kernels::paper_example());
+  const Allocation a = allocate_fr(m, 64);
+  EXPECT_EQ(a.distribution(), "30/1/1/20/1");  // group order: a, b, d, c, e
+}
+
+TEST(Alloc, ValidateRejectsOverBudget) {
+  const RefModel m(kernels::paper_example());
+  Allocation a = allocate_fr(m, 64);
+  a.budget = 10;
+  EXPECT_THROW(a.validate(m), Error);
+}
+
+TEST(Alloc, ValidateRejectsOverfullGroup) {
+  const RefModel m(kernels::paper_example());
+  Allocation a = allocate_fr(m, 64);
+  a.regs[static_cast<std::size_t>(group_named(m.groups(), "e[i][j][k]").id)] = 5;
+  EXPECT_THROW(a.validate(m), Error);
+}
+
+// ---- Knapsack baseline ----
+
+TEST(AllocKnapsack, OptimalOnExample) {
+  const RefModel m(kernels::paper_example());
+  const Allocation ks = allocate_knapsack(m, 64);
+  ks.validate(m);
+  // With 59 free registers the optimal full-or-nothing picks c (19 regs,
+  // 1180) + a (29 regs, 1170) = 2350; adding d (29) would not fit.
+  EXPECT_EQ(regs_of(m, ks, "c[j]"), 20);
+  EXPECT_EQ(regs_of(m, ks, "a[k]"), 30);
+  EXPECT_EQ(regs_of(m, ks, "d[i][k]"), 1);
+}
+
+TEST(AllocKnapsack, AtLeastAsGoodAsFr) {
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel m(nk.kernel.clone());
+    const std::int64_t budget = 64;
+    const Allocation fr = allocate_fr(m, budget);
+    const Allocation ks = allocate_knapsack(m, budget);
+    std::int64_t fr_value = 0;
+    std::int64_t ks_value = 0;
+    for (int g = 0; g < m.group_count(); ++g) {
+      if (fr.at(g) == m.beta_full(g)) fr_value += m.saved(g);
+      if (ks.at(g) == m.beta_full(g)) ks_value += m.saved(g);
+    }
+    EXPECT_GE(ks_value, fr_value) << nk.name;
+  }
+}
+
+// ---- Registry ----
+
+TEST(Registry, NamesRoundTrip) {
+  for (Algorithm alg : {Algorithm::kFeasibility, Algorithm::kFrRa, Algorithm::kPrRa,
+                        Algorithm::kCpaRa, Algorithm::kKnapsack}) {
+    EXPECT_EQ(parse_algorithm(algorithm_name(alg)), alg);
+  }
+  EXPECT_EQ(parse_algorithm("cpa"), Algorithm::kCpaRa);
+  EXPECT_THROW(parse_algorithm("zzz"), Error);
+}
+
+TEST(Registry, PaperVariantsAreV1V2V3) {
+  const auto v = paper_variants();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], Algorithm::kFrRa);
+  EXPECT_EQ(v[1], Algorithm::kPrRa);
+  EXPECT_EQ(v[2], Algorithm::kCpaRa);
+}
+
+TEST(Registry, DispatchMatchesDirectCalls) {
+  const RefModel m(kernels::paper_example());
+  EXPECT_EQ(allocate(Algorithm::kFrRa, m, 64).regs, allocate_fr(m, 64).regs);
+  EXPECT_EQ(allocate(Algorithm::kPrRa, m, 64).regs, allocate_pr(m, 64).regs);
+  EXPECT_EQ(allocate(Algorithm::kCpaRa, m, 64).regs, allocate_cpa(m, 64).regs);
+}
+
+// ---- Cross-kernel sanity: every algorithm yields a valid allocation ----
+
+TEST(Alloc, AllAlgorithmsValidOnAllKernels) {
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel m(nk.kernel.clone());
+    for (Algorithm alg : {Algorithm::kFeasibility, Algorithm::kFrRa, Algorithm::kPrRa,
+                          Algorithm::kCpaRa, Algorithm::kKnapsack}) {
+      const Allocation a = allocate(alg, m, 64);
+      EXPECT_NO_THROW(a.validate(m)) << nk.name << " " << algorithm_name(alg);
+      EXPECT_LE(a.total(), 64);
+    }
+  }
+}
+
+// ---- Budget sweep property: allocations stay valid and within budget ----
+
+class AllocBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocBudgetSweep, ValidAtEveryBudget) {
+  const RefModel m(kernels::paper_example());
+  const std::int64_t budget = GetParam();
+  for (Algorithm alg : {Algorithm::kFrRa, Algorithm::kPrRa, Algorithm::kCpaRa,
+                        Algorithm::kKnapsack}) {
+    const Allocation a = allocate(alg, m, budget);
+    a.validate(m);
+    EXPECT_LE(a.total(), budget) << algorithm_name(alg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, AllocBudgetSweep,
+                         ::testing::Values(5, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256,
+                                           512, 700));
+
+// PR never allocates less than FR, CPA uses at most the budget, and more
+// budget never hurts the total saved value of FR.
+class AllocMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocMonotone, PrDominatesFrInTotalRegisters) {
+  const RefModel m(kernels::paper_example());
+  const std::int64_t budget = GetParam();
+  const Allocation fr = allocate_fr(m, budget);
+  const Allocation pr = allocate_pr(m, budget);
+  for (int g = 0; g < m.group_count(); ++g) {
+    EXPECT_GE(pr.at(g), fr.at(g)) << "budget " << budget << " group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, AllocMonotone,
+                         ::testing::Values(5, 10, 20, 40, 64, 100, 200, 652));
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/model.h"
+#include "dfg/cuts.h"
+#include "dfg/latency.h"
+#include "ir/parser.h"
+#include "kernels/kernels.h"
+
+namespace srra {
+namespace {
+
+// Renders a node-id cut as sorted display labels for readable assertions.
+std::set<std::string> labels(const Dfg& dfg, const std::vector<int>& cut) {
+  std::set<std::string> out;
+  for (int id : cut) out.insert(dfg.node(id).label);
+  return out;
+}
+
+TEST(Cuts, ExampleCutsMatchFigure2b) {
+  const RefModel m(kernels::paper_example());
+  const Dfg dfg = Dfg::build(m.kernel(), m.groups());
+  const LatencyModel lat;
+  const std::vector<std::int64_t> regs(static_cast<std::size_t>(m.group_count()), 1);
+  const auto weights = node_weights(dfg, m, regs, lat);
+  const CriticalGraph cg = critical_graph(dfg, weights);
+
+  // The c path (1 + op2 + 1) is shorter than the a/b path (1 + op1 + op2 + 1),
+  // so c is not in the CG.
+  const auto cuts = find_cuts(dfg, cg, weights);
+  std::set<std::set<std::string>> got;
+  for (const auto& cut : cuts) got.insert(labels(dfg, cut));
+
+  const std::set<std::set<std::string>> expected{
+      {"a[k]", "b[k][j]"}, {"d[i][k]"}, {"e[i][j][k]"}};
+  EXPECT_EQ(got, expected) << "paper Figure 2(b): cuts {{a,b},{d},{e}}";
+}
+
+TEST(Cuts, CriticalGraphExcludesShortPath) {
+  const RefModel m(kernels::paper_example());
+  const Dfg dfg = Dfg::build(m.kernel(), m.groups());
+  const LatencyModel lat;
+  const std::vector<std::int64_t> regs(static_cast<std::size_t>(m.group_count()), 1);
+  const auto weights = node_weights(dfg, m, regs, lat);
+  const CriticalGraph cg = critical_graph(dfg, weights);
+  for (const DfgNode& n : dfg.nodes()) {
+    if (n.label == "c[j]") EXPECT_FALSE(cg.in_cg[static_cast<std::size_t>(n.id)]);
+    if (n.label == "a[k]") EXPECT_TRUE(cg.in_cg[static_cast<std::size_t>(n.id)]);
+  }
+  // CP: a(1) -> op1(mul,2) -> d(1) -> op2(mul,2) -> e(1) = 7.
+  EXPECT_EQ(cg.length, 7);
+}
+
+TEST(Cuts, CandidateFilterExcludesNodes) {
+  const RefModel m(kernels::paper_example());
+  const Dfg dfg = Dfg::build(m.kernel(), m.groups());
+  const LatencyModel lat;
+  const std::vector<std::int64_t> regs(static_cast<std::size_t>(m.group_count()), 1);
+  const auto weights = node_weights(dfg, m, regs, lat);
+  const CriticalGraph cg = critical_graph(dfg, weights);
+
+  // Excluding e (non-reducible in CPA terms) removes the {e} cut.
+  CutOptions options;
+  options.candidates.assign(static_cast<std::size_t>(dfg.node_count()), true);
+  for (const DfgNode& n : dfg.nodes()) {
+    if (n.label == "e[i][j][k]") options.candidates[static_cast<std::size_t>(n.id)] = false;
+  }
+  const auto cuts = find_cuts(dfg, cg, weights, options);
+  std::set<std::set<std::string>> got;
+  for (const auto& cut : cuts) got.insert(labels(dfg, cut));
+  const std::set<std::set<std::string>> expected{{"a[k]", "b[k][j]"}, {"d[i][k]"}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Cuts, NoCutWhenAPathHasNoCandidates) {
+  const RefModel m(kernels::paper_example());
+  const Dfg dfg = Dfg::build(m.kernel(), m.groups());
+  const LatencyModel lat;
+  const std::vector<std::int64_t> regs(static_cast<std::size_t>(m.group_count()), 1);
+  const auto weights = node_weights(dfg, m, regs, lat);
+  const CriticalGraph cg = critical_graph(dfg, weights);
+
+  CutOptions options;
+  options.candidates.assign(static_cast<std::size_t>(dfg.node_count()), false);
+  EXPECT_TRUE(find_cuts(dfg, cg, weights, options).empty());
+}
+
+TEST(Cuts, CutsAreMinimal) {
+  // Diamond: two parallel single-ref paths -> the only cut is both refs or
+  // the shared sink; no superset may appear.
+  const Kernel k = parse_kernel(R"(
+    kernel diamond {
+      array p[8];
+      array q[8];
+      array o[8];
+      for i in 0..8 { o[i] = p[i] + q[i]; }
+    }
+  )");
+  const RefModel m(k.clone());
+  const Dfg dfg = Dfg::build(m.kernel(), m.groups());
+  const LatencyModel lat;
+  const std::vector<std::int64_t> regs(static_cast<std::size_t>(m.group_count()), 1);
+  const auto weights = node_weights(dfg, m, regs, lat);
+  const CriticalGraph cg = critical_graph(dfg, weights);
+  const auto cuts = find_cuts(dfg, cg, weights);
+
+  std::set<std::set<std::string>> got;
+  for (const auto& cut : cuts) got.insert(labels(dfg, cut));
+  const std::set<std::set<std::string>> expected{{"p[i]", "q[i]"}, {"o[i]"}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Cuts, CriticalPathEnumerationMatchesLength) {
+  const RefModel m(kernels::paper_example());
+  const Dfg dfg = Dfg::build(m.kernel(), m.groups());
+  const LatencyModel lat;
+  const std::vector<std::int64_t> regs(static_cast<std::size_t>(m.group_count()), 1);
+  const auto weights = node_weights(dfg, m, regs, lat);
+  const CriticalGraph cg = critical_graph(dfg, weights);
+  const auto paths = critical_paths(dfg, cg, weights);
+  ASSERT_EQ(paths.size(), 2u);  // via a and via b
+  for (const auto& path : paths) {
+    std::int64_t total = 0;
+    for (int id : path) total += weights[static_cast<std::size_t>(id)];
+    EXPECT_EQ(total, cg.length);
+  }
+}
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,153 @@
+// The headline reproduction test: the cycle model must reproduce the
+// paper's Figure 2(c) memory-cycle numbers for all three allocators —
+// FR-RA 1800, PR-RA 1560, CPA-RA 1184 cycles per steady outer iteration —
+// and Texec must rank the variants the same way.
+#include <gtest/gtest.h>
+
+#include "core/cpa_ra.h"
+#include "core/greedy.h"
+#include "core/registry.h"
+#include "ir/parser.h"
+#include "kernels/kernels.h"
+#include "sched/cycle_model.h"
+#include "sched/schedule.h"
+
+namespace srra {
+namespace {
+
+double tmem_per_outer(const RefModel& m, const Allocation& a, bool concurrent = true) {
+  CycleOptions options;
+  options.concurrent_operand_fetch = concurrent;
+  const CycleReport r = estimate_cycles(m, a, options);
+  return r.mem_cycles_per_outer(m.kernel().loop(0).trip_count());
+}
+
+TEST(CycleModel, Figure2cFrRa1800) {
+  const RefModel m(kernels::paper_example());
+  EXPECT_DOUBLE_EQ(tmem_per_outer(m, allocate_fr(m, 64)), 1800.0);
+}
+
+TEST(CycleModel, Figure2cPrRa1560) {
+  const RefModel m(kernels::paper_example());
+  EXPECT_DOUBLE_EQ(tmem_per_outer(m, allocate_pr(m, 64)), 1560.0);
+}
+
+TEST(CycleModel, Figure2cCpaRa1184) {
+  const RefModel m(kernels::paper_example());
+  EXPECT_DOUBLE_EQ(tmem_per_outer(m, allocate_cpa(m, 64)), 1184.0);
+}
+
+TEST(CycleModel, SerialAccountingAblation) {
+  const RefModel m(kernels::paper_example());
+  // Without operand concurrency CPA-RA costs 1464 (280 + 584 + 600); the
+  // greedy variants have no concurrent pair, so they are unchanged.
+  EXPECT_DOUBLE_EQ(tmem_per_outer(m, allocate_cpa(m, 64), /*concurrent=*/false), 1464.0);
+  EXPECT_DOUBLE_EQ(tmem_per_outer(m, allocate_fr(m, 64), /*concurrent=*/false), 1800.0);
+  EXPECT_DOUBLE_EQ(tmem_per_outer(m, allocate_pr(m, 64), /*concurrent=*/false), 1560.0);
+}
+
+TEST(CycleModel, CpaBeatsGreedyOnExecCycles) {
+  const RefModel m(kernels::paper_example());
+  const CycleReport fr = estimate_cycles(m, allocate_fr(m, 64));
+  const CycleReport pr = estimate_cycles(m, allocate_pr(m, 64));
+  const CycleReport cpa = estimate_cycles(m, allocate_cpa(m, 64));
+  EXPECT_LT(pr.exec_cycles, fr.exec_cycles);
+  EXPECT_LT(cpa.exec_cycles, pr.exec_cycles);
+}
+
+TEST(CycleModel, FeasibilityIsWorstCase) {
+  const RefModel m(kernels::paper_example());
+  const CycleReport base = estimate_cycles(m, feasibility_allocation(m, 64));
+  for (Algorithm alg : paper_variants()) {
+    const CycleReport r = estimate_cycles(m, allocate(alg, m, 64));
+    EXPECT_LE(r.mem_cycles, base.mem_cycles) << algorithm_name(alg);
+    EXPECT_LE(r.exec_cycles, base.exec_cycles) << algorithm_name(alg);
+  }
+}
+
+TEST(CycleModel, IterationCountMatchesKernel) {
+  const RefModel m(kernels::paper_example());
+  const CycleReport r = estimate_cycles(m, allocate_fr(m, 64));
+  EXPECT_EQ(r.iterations, m.kernel().iteration_count());
+}
+
+TEST(CycleModel, ExecIncludesComputeAndOverhead) {
+  const RefModel m(kernels::paper_example());
+  const CycleReport r = estimate_cycles(m, allocate_cpa(m, 64));
+  // Even with all memory in registers the two chained multiplies (2 + 2)
+  // plus overhead put a floor under the per-iteration cycles.
+  EXPECT_GE(r.exec_cycles, r.iterations * 5);
+  EXPECT_GT(r.exec_cycles, r.mem_cycles);
+}
+
+TEST(CycleModel, MoreRegistersNeverIncreaseTmem) {
+  const RefModel m(kernels::fir());
+  double prev = std::numeric_limits<double>::max();
+  for (std::int64_t budget : {3, 8, 16, 32, 48, 64, 80}) {
+    const Allocation a = allocate_pr(m, budget);
+    const double t = tmem_per_outer(m, a);
+    EXPECT_LE(t, prev) << "budget " << budget;
+    prev = t;
+  }
+}
+
+TEST(CycleModel, OverlappedScheduleAblationIsFaster) {
+  // The idealized overlapped datapath hides stores behind computation, so
+  // it can only be faster than the paper-faithful serial FSM.
+  const RefModel m(kernels::paper_example());
+  const Allocation a = allocate_fr(m, 64);
+  CycleOptions fsm;
+  CycleOptions overlapped;
+  overlapped.fsm_serial_memory = false;
+  EXPECT_LT(estimate_cycles(m, a, overlapped).exec_cycles,
+            estimate_cycles(m, a, fsm).exec_cycles);
+}
+
+TEST(Schedule, PortConflictSerializes) {
+  // Two reads from the same array must serialize; from different arrays
+  // they overlap.
+  const RefModel same(parse_kernel(R"(
+    kernel same {
+      array x[10];
+      array o[8];
+      for i in 0..8 { o[i] = x[i] + x[i + 2]; }
+    }
+  )"));
+  const RefModel diff(parse_kernel(R"(
+    kernel diff {
+      array x[8];
+      array y[8];
+      array o[8];
+      for i in 0..8 { o[i] = x[i] + y[i]; }
+    }
+  )"));
+  const CycleReport rs = estimate_cycles(same, feasibility_allocation(same, 8));
+  const CycleReport rd = estimate_cycles(diff, feasibility_allocation(diff, 8));
+  // same: x reads serialize (2) + add (1) + write (1) + overhead; diff: reads
+  // overlap (1) + add + write + overhead.
+  EXPECT_EQ(rd.exec_cycles / rd.iterations, 4);
+  EXPECT_EQ(rs.exec_cycles / rs.iterations, 5);
+}
+
+TEST(Schedule, WriteOverlapsDependentChainInOverlappedMode) {
+  // In the overlapped ablation, d's RAM write proceeds in parallel with op2
+  // feeding from the forwarded value: the store does not extend the chain.
+  const RefModel m(kernels::paper_example());
+  CycleOptions overlapped;
+  overlapped.fsm_serial_memory = false;
+  const CycleReport fr = estimate_cycles(m, allocate_fr(m, 64), overlapped);
+  // b read (1) -> mul (2) -> mul (2) -> e write (1) = 6, plus overhead 1;
+  // the d write overlaps the second multiply.
+  EXPECT_EQ(fr.exec_cycles / fr.iterations, 7);
+}
+
+TEST(Schedule, FsmSerialIterationLength) {
+  // Paper-faithful FSM: compute critical path (mul+mul = 4) + memory cycles
+  // (3 for FR) + overhead (1) = 8 per iteration.
+  const RefModel m(kernels::paper_example());
+  const CycleReport fr = estimate_cycles(m, allocate_fr(m, 64));
+  EXPECT_EQ(fr.exec_cycles / fr.iterations, 8);
+}
+
+}  // namespace
+}  // namespace srra

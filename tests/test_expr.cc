@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "ir/expr.h"
+#include "support/error.h"
+
+namespace srra {
+namespace {
+
+ArrayAccess make_access(int array_id) {
+  ArrayAccess a;
+  a.array_id = array_id;
+  a.subscripts.push_back(AffineExpr::loop_var(1, 0));
+  return a;
+}
+
+TEST(Expr, ConstNode) {
+  const ExprPtr e = Expr::make_const(42);
+  EXPECT_EQ(e->kind(), ExprKind::kConst);
+  EXPECT_EQ(e->const_value(), 42);
+  EXPECT_THROW(e->access(), Error);
+  EXPECT_EQ(e->op_count(), 0);
+}
+
+TEST(Expr, LoopVarNode) {
+  const ExprPtr e = Expr::make_loop_var(2);
+  EXPECT_EQ(e->kind(), ExprKind::kLoopVar);
+  EXPECT_EQ(e->loop_level(), 2);
+  EXPECT_THROW(Expr::make_loop_var(-1), Error);
+}
+
+TEST(Expr, RefNode) {
+  const ExprPtr e = Expr::make_ref(make_access(0));
+  EXPECT_EQ(e->kind(), ExprKind::kRef);
+  EXPECT_EQ(e->access().array_id, 0);
+}
+
+TEST(Expr, BinOpTreeAndOpCount) {
+  ExprPtr e = Expr::make_bin(BinOpKind::kMul, Expr::make_ref(make_access(0)),
+                             Expr::make_bin(BinOpKind::kAdd, Expr::make_const(1),
+                                            Expr::make_const(2)));
+  EXPECT_EQ(e->op_count(), 2);
+  EXPECT_EQ(e->bin_op(), BinOpKind::kMul);
+  EXPECT_EQ(e->rhs().bin_op(), BinOpKind::kAdd);
+}
+
+TEST(Expr, ForEachRefVisitsInOrder) {
+  ExprPtr e = Expr::make_bin(BinOpKind::kAdd, Expr::make_ref(make_access(3)),
+                             Expr::make_ref(make_access(7)));
+  std::vector<int> seen;
+  e->for_each_ref([&](const ArrayAccess& a) { seen.push_back(a.array_id); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 7}));
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  ExprPtr e = Expr::make_un(UnOpKind::kAbs,
+                            Expr::make_bin(BinOpKind::kSub, Expr::make_ref(make_access(1)),
+                                           Expr::make_loop_var(0)));
+  ExprPtr c = e->clone();
+  EXPECT_TRUE(e->equals(*c));
+  EXPECT_NE(e.get(), c.get());
+}
+
+TEST(Expr, EqualsDistinguishesStructure) {
+  ExprPtr a = Expr::make_bin(BinOpKind::kAdd, Expr::make_const(1), Expr::make_const(2));
+  ExprPtr b = Expr::make_bin(BinOpKind::kAdd, Expr::make_const(2), Expr::make_const(1));
+  ExprPtr c = Expr::make_bin(BinOpKind::kSub, Expr::make_const(1), Expr::make_const(2));
+  EXPECT_FALSE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+}
+
+TEST(Expr, EvalBinOpArithmetic) {
+  EXPECT_EQ(eval_bin_op(BinOpKind::kAdd, 3, 4), 7);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kSub, 3, 4), -1);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kMul, 3, 4), 12);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kDiv, 12, 4), 3);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kDiv, 12, 0), 0) << "division by zero is a don't-care";
+}
+
+TEST(Expr, EvalBinOpLogicAndCompare) {
+  EXPECT_EQ(eval_bin_op(BinOpKind::kAnd, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kOr, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kXor, 0b1100, 0b1010), 0b0110);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kEq, 5, 5), 1);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kEq, 5, 6), 0);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kNe, 5, 6), 1);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kLt, 5, 6), 1);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kLe, 6, 6), 1);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kMin, 5, 6), 5);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kMax, 5, 6), 6);
+}
+
+TEST(Expr, EvalBinOpShifts) {
+  EXPECT_EQ(eval_bin_op(BinOpKind::kShl, 1, 4), 16);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kShr, 16, 3), 2);
+  EXPECT_EQ(eval_bin_op(BinOpKind::kShl, 1, 200), 0) << "oversize shift is a don't-care";
+}
+
+TEST(Expr, EvalUnOp) {
+  EXPECT_EQ(eval_un_op(UnOpKind::kNeg, 5), -5);
+  EXPECT_EQ(eval_un_op(UnOpKind::kNot, 0), -1);
+  EXPECT_EQ(eval_un_op(UnOpKind::kAbs, -9), 9);
+  EXPECT_EQ(eval_un_op(UnOpKind::kAbs, 9), 9);
+}
+
+TEST(Expr, OpNames) {
+  EXPECT_STREQ(bin_op_name(BinOpKind::kMul), "*");
+  EXPECT_STREQ(bin_op_name(BinOpKind::kShr), ">>");
+  EXPECT_STREQ(un_op_name(UnOpKind::kNot), "~");
+}
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,178 @@
+// Randomized property tests: generate random affine loop kernels and check
+// the system-wide invariants on each —
+//  * the machine simulator matches the golden interpreter bit-for-bit under
+//    every allocator,
+//  * analytic walker counts equal machine counts,
+//  * allocations are structurally valid at random budgets,
+//  * access counts never increase with more registers,
+//  * print -> parse round-trips.
+#include <gtest/gtest.h>
+
+#include "analysis/walker.h"
+#include "core/registry.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "sim/machine.h"
+#include "support/rng.h"
+
+namespace srra {
+namespace {
+
+// Generates a random valid kernel: 2-3 perfectly nested loops with small
+// bounds, 2-4 arrays with affine subscripts built from the enclosing loop
+// variables, and 1-2 statements with random operator trees.
+Kernel random_kernel(Rng& rng) {
+  KernelBuilder b("fuzz");
+  const int depth = static_cast<int>(rng.uniform(2, 3));
+  std::vector<std::string> loop_names;
+  std::vector<std::int64_t> trips;
+  for (int l = 0; l < depth; ++l) {
+    loop_names.push_back(std::string(1, static_cast<char>('i' + l)));
+    trips.push_back(rng.uniform(2, 6));
+  }
+
+  // Arrays: each indexed by a random subset of loops (possibly with a
+  // sliding i+j pair), sized to cover the subscript range.
+  struct ArraySpec {
+    std::string name;
+    std::vector<std::vector<std::int64_t>> coeffs;  // per dim: per level
+  };
+  const int array_count = static_cast<int>(rng.uniform(2, 4));
+  std::vector<ArraySpec> specs;
+  for (int a = 0; a < array_count; ++a) {
+    ArraySpec spec;
+    spec.name = std::string(1, static_cast<char>('p' + a));
+    const int rank = static_cast<int>(rng.uniform(1, 2));
+    for (int d = 0; d < rank; ++d) {
+      std::vector<std::int64_t> coeffs(static_cast<std::size_t>(depth), 0);
+      // 1 or 2 participating loops with coefficient 1..2.
+      const int participants = static_cast<int>(rng.uniform(1, 2));
+      for (int p = 0; p < participants; ++p) {
+        coeffs[static_cast<std::size_t>(rng.uniform(0, depth - 1))] = rng.uniform(1, 2);
+      }
+      spec.coeffs.push_back(std::move(coeffs));
+    }
+    std::vector<std::int64_t> dims;
+    for (const auto& coeffs : spec.coeffs) {
+      std::int64_t extent = 1;
+      for (int l = 0; l < depth; ++l) {
+        extent += coeffs[static_cast<std::size_t>(l)] * (trips[static_cast<std::size_t>(l)] - 1);
+      }
+      dims.push_back(extent);
+    }
+    const ScalarType type = rng.uniform01() < 0.5 ? ScalarType::kS32 : ScalarType::kU8;
+    b.array(spec.name, dims, type);
+    specs.push_back(std::move(spec));
+  }
+  for (int l = 0; l < depth; ++l) b.loop(loop_names[static_cast<std::size_t>(l)], 0, trips[static_cast<std::size_t>(l)]);
+
+  const auto make_subs = [&](const ArraySpec& spec) {
+    std::vector<AffineExpr> subs;
+    for (const auto& coeffs : spec.coeffs) {
+      AffineExpr e = b.lit(0);
+      for (int l = 0; l < depth; ++l) {
+        if (coeffs[static_cast<std::size_t>(l)] != 0) {
+          e = e + b.var(loop_names[static_cast<std::size_t>(l)]).scaled(coeffs[static_cast<std::size_t>(l)]);
+        }
+      }
+      subs.push_back(e);
+    }
+    return subs;
+  };
+
+  const auto random_leaf = [&]() -> ExprPtr {
+    const int pick = static_cast<int>(rng.uniform(0, 3));
+    if (pick == 0) return b.num(rng.uniform(-4, 4));
+    if (pick == 1) return b.loop_expr(loop_names[static_cast<std::size_t>(rng.uniform(0, depth - 1))]);
+    const ArraySpec& spec = specs[static_cast<std::size_t>(rng.uniform(0, array_count - 1))];
+    return b.ref(spec.name, make_subs(spec));
+  };
+
+  const auto random_expr = [&]() -> ExprPtr {
+    ExprPtr node = random_leaf();
+    const int ops = static_cast<int>(rng.uniform(1, 3));
+    for (int o = 0; o < ops; ++o) {
+      const int pick = static_cast<int>(rng.uniform(0, 5));
+      ExprPtr other = random_leaf();
+      switch (pick) {
+        case 0: node = add(std::move(node), std::move(other)); break;
+        case 1: node = sub(std::move(node), std::move(other)); break;
+        case 2: node = mul(std::move(node), std::move(other)); break;
+        case 3: node = bxor(std::move(node), std::move(other)); break;
+        case 4: node = min_op(std::move(node), std::move(other)); break;
+        default: node = eq(std::move(node), std::move(other)); break;
+      }
+    }
+    return node;
+  };
+
+  const int stmts = static_cast<int>(rng.uniform(1, 2));
+  for (int s = 0; s < stmts; ++s) {
+    const ArraySpec& spec = specs[static_cast<std::size_t>(rng.uniform(0, array_count - 1))];
+    b.assign(spec.name, make_subs(spec), random_expr());
+  }
+  return b.build();
+}
+
+class Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fuzz, MachineMatchesInterpreterUnderAllAllocators) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const RefModel model(random_kernel(rng));
+  const std::int64_t budget =
+      model.group_count() + rng.uniform(0, 40);
+  for (Algorithm alg : {Algorithm::kFeasibility, Algorithm::kFrRa, Algorithm::kPrRa,
+                        Algorithm::kCpaRa, Algorithm::kKnapsack}) {
+    const Allocation a = allocate(alg, model, budget);
+    a.validate(model);
+    const VerifyResult r = verify_allocation(model, a, rng.next());
+    EXPECT_TRUE(r.ok) << "seed " << GetParam() << " algorithm " << algorithm_name(alg)
+                      << "\n" << kernel_to_string(model.kernel());
+  }
+}
+
+TEST_P(Fuzz, WalkerCountsMatchMachineCounts) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const RefModel model(random_kernel(rng));
+  const Allocation a = allocate(Algorithm::kPrRa, model, model.group_count() + 20);
+  ArrayStore store(model.kernel());
+  store.randomize(GetParam());
+  const MachineReport machine = run_machine(model, a, store);
+  const auto counts = simulate_accesses(model.kernel(), model.groups(), model.reuse(), a.regs);
+  std::int64_t walker_ram = 0;
+  std::int64_t walker_steady = 0;
+  for (const auto& c : counts) {
+    walker_ram += c.total();
+    walker_steady += c.steady_total();
+  }
+  EXPECT_EQ(machine.ram_total(), walker_ram) << kernel_to_string(model.kernel());
+  EXPECT_EQ(machine.steady_ram_accesses, walker_steady);
+}
+
+TEST_P(Fuzz, AccessCountsMonotoneInRegisters) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 5);
+  const RefModel model(random_kernel(rng));
+  for (int g = 0; g < model.group_count(); ++g) {
+    std::int64_t prev = model.accesses(g, 0, CountMode::kSteady);
+    for (std::int64_t n : {1, 2, 3, 5, 9, 17, 33}) {
+      const std::int64_t cur = model.accesses(g, n, CountMode::kSteady);
+      EXPECT_LE(cur, prev) << "group " << g << " regs " << n << "\n"
+                           << kernel_to_string(model.kernel());
+      prev = cur;
+    }
+  }
+}
+
+TEST_P(Fuzz, PrintParseRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 7);
+  const Kernel k = random_kernel(rng);
+  const std::string printed = kernel_to_string(k);
+  const Kernel reparsed = parse_kernel(printed);
+  EXPECT_EQ(printed, kernel_to_string(reparsed)) << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace srra

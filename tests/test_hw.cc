@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/registry.h"
+#include "hw/estimate.h"
+#include "kernels/kernels.h"
+
+namespace srra {
+namespace {
+
+TEST(Device, Xcv1000Capacities) {
+  const VirtexDevice d = xcv1000();
+  EXPECT_EQ(d.slices, 12288);
+  EXPECT_EQ(d.block_rams, 32);
+  EXPECT_EQ(d.bram_bits, 4096);
+}
+
+TEST(Hw, BlockRamsCoverEveryArray) {
+  // Example kernel: a 30x32b=960b, b 600x32b=19200b, c 20x32b, d 60x32b,
+  // e 1200x32b=38400b -> 1 + 5 + 1 + 1 + 10 = 18 BlockRAMs.
+  const Kernel k = kernels::paper_example();
+  EXPECT_EQ(block_rams_for(k), 18);
+}
+
+TEST(Hw, MoreRegistersMoreAreaAndSlowerClock) {
+  const RefModel m(kernels::paper_example());
+  const HwEstimate small = estimate_hw(m, feasibility_allocation(m, 64));
+  const HwEstimate big = estimate_hw(m, allocate_pr(m, 64));
+  EXPECT_GT(big.registers, small.registers);
+  EXPECT_GT(big.flip_flops, small.flip_flops);
+  EXPECT_GT(big.slices, small.slices);
+  EXPECT_GT(big.clock_ns, small.clock_ns);
+}
+
+TEST(Hw, ClockDegradationIsMild) {
+  // The paper reports a noticeable but small clock-rate loss for the more
+  // complex designs (a few percent, up to ~10-15%); the model must not be
+  // wildly off in either direction.
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel m(nk.kernel.clone());
+    const HwEstimate v1 = estimate_hw(m, allocate_fr(m, 64));
+    const HwEstimate v3 = estimate_hw(m, allocate(Algorithm::kCpaRa, m, 64));
+    EXPECT_GE(v3.clock_ns, v1.clock_ns * 0.99) << nk.name;
+    EXPECT_LE(v3.clock_ns, v1.clock_ns * 1.25) << nk.name;
+  }
+}
+
+TEST(Hw, OccupancyFitsTheDevice) {
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel m(nk.kernel.clone());
+    for (Algorithm alg : paper_variants()) {
+      const HwEstimate hw = estimate_hw(m, allocate(alg, m, 64));
+      EXPECT_GT(hw.occupancy, 0.0) << nk.name;
+      EXPECT_LT(hw.occupancy, 1.0) << nk.name << " " << algorithm_name(alg)
+                                   << ": design must fit the XCV1000";
+    }
+  }
+}
+
+TEST(Hw, ClockMhzInversesPeriod) {
+  const RefModel m(kernels::paper_example());
+  const HwEstimate hw = estimate_hw(m, allocate_fr(m, 64));
+  EXPECT_NEAR(hw.clock_mhz() * hw.clock_ns, 1000.0, 1e-6);
+  // Virtex-era designs: tens of MHz.
+  EXPECT_GT(hw.clock_mhz(), 20.0);
+  EXPECT_LT(hw.clock_mhz(), 60.0);
+}
+
+TEST(Hw, FsmStatesGrowWithBody) {
+  const RefModel small(kernels::fir());
+  const RefModel large(kernels::paper_example());
+  const HwEstimate hs = estimate_hw(small, feasibility_allocation(small, 8));
+  const HwEstimate hl = estimate_hw(large, feasibility_allocation(large, 8));
+  EXPECT_GT(hs.fsm_states, 0);
+  EXPECT_GT(hl.fsm_states, hs.fsm_states);
+}
+
+TEST(Hw, SmallerDeviceHigherOccupancy) {
+  const RefModel m(kernels::paper_example());
+  const Allocation a = allocate_pr(m, 64);
+  const HwEstimate big = estimate_hw(m, a, xcv1000());
+  const HwEstimate small = estimate_hw(m, a, xcv300());
+  EXPECT_GT(small.occupancy, big.occupancy);
+}
+
+}  // namespace
+}  // namespace srra

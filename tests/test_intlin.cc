@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "analysis/intlin.h"
+
+namespace srra {
+namespace {
+
+bool in_nullspace(const IntMatrix& m, const std::vector<std::int64_t>& v) {
+  for (int r = 0; r < m.rows; ++r) {
+    std::int64_t sum = 0;
+    for (int c = 0; c < m.cols; ++c) sum += m.at(r, c) * v[static_cast<std::size_t>(c)];
+    if (sum != 0) return false;
+  }
+  return true;
+}
+
+TEST(IntLin, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(7, 13), 1);
+}
+
+TEST(IntLin, NormalizePrimitive) {
+  std::vector<std::int64_t> v{4, -8, 12};
+  normalize_primitive(v);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{1, -2, 3}));
+  std::vector<std::int64_t> zero{0, 0};
+  normalize_primitive(zero);
+  EXPECT_EQ(zero, (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(IntLin, NullspaceOfInvariantColumn) {
+  // a[k] in loops (i,j,k): A = [0 0 1]; nullspace is span{e_i, e_j}.
+  IntMatrix m(1, 3);
+  m.at(0, 2) = 1;
+  const auto basis = integer_nullspace(m);
+  ASSERT_EQ(basis.size(), 2u);
+  for (const auto& v : basis) EXPECT_TRUE(in_nullspace(m, v));
+}
+
+TEST(IntLin, NullspaceOfSlidingWindow) {
+  // x[i+j]: A = [1 1]; nullspace is span{(1,-1)}.
+  IntMatrix m(1, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 1;
+  const auto basis = integer_nullspace(m);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_TRUE(in_nullspace(m, basis[0]));
+  EXPECT_EQ(basis[0][0] + basis[0][1], 0);
+  EXPECT_EQ(std::abs(basis[0][0]), 1);
+}
+
+TEST(IntLin, NullspaceOfDecimatedWindow) {
+  // x[4i+j]: A = [4 1]; nullspace is span{(1,-4)}.
+  IntMatrix m(1, 2);
+  m.at(0, 0) = 4;
+  m.at(0, 1) = 1;
+  const auto basis = integer_nullspace(m);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_TRUE(in_nullspace(m, basis[0]));
+  // Primitive vector: +-(1,-4).
+  EXPECT_EQ(std::abs(basis[0][0]), 1);
+  EXPECT_EQ(std::abs(basis[0][1]), 4);
+}
+
+TEST(IntLin, FullRankHasEmptyNullspace) {
+  // e[i][j][k]: identity access matrix.
+  IntMatrix m(3, 3);
+  for (int d = 0; d < 3; ++d) m.at(d, d) = 1;
+  EXPECT_TRUE(integer_nullspace(m).empty());
+}
+
+TEST(IntLin, TwoRowMatrix) {
+  // img[r+i][s+j] over (r,s,i,j): rows (1,0,1,0) and (0,1,0,1).
+  IntMatrix m(2, 4);
+  m.at(0, 0) = 1;
+  m.at(0, 2) = 1;
+  m.at(1, 1) = 1;
+  m.at(1, 3) = 1;
+  const auto basis = integer_nullspace(m);
+  ASSERT_EQ(basis.size(), 2u);
+  for (const auto& v : basis) EXPECT_TRUE(in_nullspace(m, v));
+}
+
+TEST(IntLin, ZeroMatrixNullspaceIsWholeSpace) {
+  IntMatrix m(1, 2);  // all zeros: constant subscript
+  const auto basis = integer_nullspace(m);
+  EXPECT_EQ(basis.size(), 2u);
+}
+
+TEST(IntLin, NonTrivialCoefficients) {
+  // A = [2 4]: nullspace span{(2,-1)} after normalization... 2x + 4y = 0 ->
+  // x = -2y, primitive (2,-1) or (-2,1).
+  IntMatrix m(1, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 4;
+  const auto basis = integer_nullspace(m);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_TRUE(in_nullspace(m, basis[0]));
+  EXPECT_EQ(std::abs(basis[0][0]), 2);
+  EXPECT_EQ(std::abs(basis[0][1]), 1);
+}
+
+}  // namespace
+}  // namespace srra

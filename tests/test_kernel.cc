@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/kernel.h"
+#include "ir/printer.h"
+#include "ir/types.h"
+#include "support/error.h"
+
+namespace srra {
+namespace {
+
+Kernel example_kernel() {
+  KernelBuilder b("example");
+  b.array("a", {30}).array("b", {30, 20}).array("c", {20}).array("d", {2, 30}).array("e",
+                                                                                     {2, 20, 30});
+  b.loop("i", 0, 2).loop("j", 0, 20).loop("k", 0, 30);
+  b.assign("d", {b.var("i"), b.var("k")},
+           mul(b.ref("a", {b.var("k")}), b.ref("b", {b.var("k"), b.var("j")})));
+  b.assign("e", {b.var("i"), b.var("j"), b.var("k")},
+           mul(b.ref("c", {b.var("j")}), b.ref("d", {b.var("i"), b.var("k")})));
+  return b.build();
+}
+
+TEST(Types, BitWidthAndSignedness) {
+  EXPECT_EQ(bit_width(ScalarType::kU8), 8);
+  EXPECT_EQ(bit_width(ScalarType::kS16), 16);
+  EXPECT_EQ(bit_width(ScalarType::kU32), 32);
+  EXPECT_FALSE(is_signed(ScalarType::kU8));
+  EXPECT_TRUE(is_signed(ScalarType::kS8));
+}
+
+TEST(Types, TruncationWraps) {
+  EXPECT_EQ(truncate_to(ScalarType::kU8, 256), 0);
+  EXPECT_EQ(truncate_to(ScalarType::kU8, 257), 1);
+  EXPECT_EQ(truncate_to(ScalarType::kS8, 127), 127);
+  EXPECT_EQ(truncate_to(ScalarType::kS8, 128), -128);
+  EXPECT_EQ(truncate_to(ScalarType::kS16, -1), -1);
+  EXPECT_EQ(truncate_to(ScalarType::kU16, -1), 65535);
+}
+
+TEST(Types, NamesRoundTrip) {
+  for (ScalarType t : {ScalarType::kU8, ScalarType::kS8, ScalarType::kU16, ScalarType::kS16,
+                       ScalarType::kU32, ScalarType::kS32}) {
+    EXPECT_EQ(parse_type(type_name(t)), t);
+  }
+  EXPECT_THROW(parse_type("f32"), Error);
+}
+
+TEST(ArrayDecl, CountsElementsAndBits) {
+  const ArrayDecl d{"b", {30, 20}, ScalarType::kS16};
+  EXPECT_EQ(d.element_count(), 600);
+  EXPECT_EQ(d.bit_count(), 600 * 16);
+  EXPECT_EQ(d.rank(), 2);
+}
+
+TEST(Loop, TripCountWithStep) {
+  EXPECT_EQ((Loop{"i", 0, 10, 1}).trip_count(), 10);
+  EXPECT_EQ((Loop{"i", 0, 10, 3}).trip_count(), 4);
+  EXPECT_EQ((Loop{"i", 5, 5, 1}).trip_count(), 0);
+  EXPECT_EQ((Loop{"i", 0, 10, 3}).value_at(2), 6);
+}
+
+TEST(Kernel, BuilderProducesValidKernel) {
+  const Kernel k = example_kernel();
+  EXPECT_EQ(k.depth(), 3);
+  EXPECT_EQ(k.arrays().size(), 5u);
+  EXPECT_EQ(k.body().size(), 2u);
+  EXPECT_EQ(k.iteration_count(), 2 * 20 * 30);
+  EXPECT_EQ(k.trip_counts(), (std::vector<std::int64_t>{2, 20, 30}));
+  EXPECT_EQ(k.loop_names(), (std::vector<std::string>{"i", "j", "k"}));
+}
+
+TEST(Kernel, FindArray) {
+  const Kernel k = example_kernel();
+  EXPECT_TRUE(k.find_array("a").has_value());
+  EXPECT_FALSE(k.find_array("zzz").has_value());
+  EXPECT_EQ(k.array(*k.find_array("b")).name, "b");
+}
+
+TEST(Kernel, CloneIsDeep) {
+  const Kernel k = example_kernel();
+  const Kernel c = k.clone();
+  EXPECT_EQ(kernel_to_string(k), kernel_to_string(c));
+  EXPECT_NE(k.body()[0].rhs.get(), c.body()[0].rhs.get());
+}
+
+TEST(Kernel, DuplicateArrayNameRejected) {
+  Kernel k("bad");
+  k.add_array(ArrayDecl{"a", {4}, ScalarType::kS32});
+  EXPECT_THROW(k.add_array(ArrayDecl{"a", {4}, ScalarType::kS32}), Error);
+}
+
+TEST(Kernel, DuplicateLoopVarRejected) {
+  Kernel k("bad");
+  k.add_loop(Loop{"i", 0, 4, 1});
+  EXPECT_THROW(k.add_loop(Loop{"i", 0, 4, 1}), Error);
+}
+
+TEST(Kernel, ValidateCatchesSubscriptArityMismatch) {
+  KernelBuilder b("bad");
+  b.array("a", {4, 4});
+  b.loop("i", 0, 4);
+  b.assign("a", {b.var("i")}, b.num(0));  // rank 2 array, 1 subscript
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Kernel, ValidateCatchesZeroTripLoop) {
+  KernelBuilder b("bad");
+  b.array("a", {4});
+  b.loop("i", 0, 0);
+  b.assign("a", {b.lit(0)}, b.num(1));
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, UnknownNamesThrow) {
+  KernelBuilder b("bad");
+  b.array("a", {4});
+  b.loop("i", 0, 4);
+  EXPECT_THROW(b.var("q"), Error);
+  EXPECT_THROW(b.ref("zzz", {b.var("i")}), Error);
+  EXPECT_THROW(b.loop_expr("q"), Error);
+}
+
+TEST(Builder, LoopsFrozenAfterFirstExpression) {
+  KernelBuilder b("bad");
+  b.array("a", {4});
+  b.loop("i", 0, 4);
+  (void)b.var("i");
+  EXPECT_THROW(b.loop("j", 0, 4), Error);
+}
+
+TEST(Printer, RendersExampleKernel) {
+  const Kernel k = example_kernel();
+  const std::string text = kernel_to_string(k);
+  EXPECT_NE(text.find("kernel example {"), std::string::npos);
+  EXPECT_NE(text.find("array b[30][20] : s32;"), std::string::npos);
+  EXPECT_NE(text.find("for k in 0..30 {"), std::string::npos);
+  EXPECT_NE(text.find("d[i][k] = a[k] * b[k][j];"), std::string::npos);
+  EXPECT_NE(text.find("e[i][j][k] = c[j] * d[i][k];"), std::string::npos);
+}
+
+TEST(Printer, MinimalParentheses) {
+  KernelBuilder b("p");
+  b.array("a", {8});
+  b.loop("i", 0, 8);
+  // (a[i] + 1) * 2 needs parens; a[i] + 1 * 2 does not.
+  b.assign("a", {b.var("i")},
+           mul(add(b.ref("a", {b.var("i")}), b.num(1)), b.num(2)));
+  const Kernel k = b.build();
+  EXPECT_NE(kernel_to_string(k).find("(a[i] + 1) * 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srra

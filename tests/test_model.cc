@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "analysis/model.h"
+#include "kernels/kernels.h"
+#include "support/error.h"
+
+namespace srra {
+namespace {
+
+int gid(const RefModel& m, const std::string& name) {
+  return group_named(m.groups(), name).id;
+}
+
+TEST(Model, ExampleBenefitOrderMatchesPaper) {
+  const RefModel m(kernels::paper_example());
+  // Paper order: c, a, d, then b and e at the bottom.
+  const std::vector<int> order = m.sorted_by_benefit();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(m.groups()[static_cast<std::size_t>(order[0])].display, "c[j]");
+  EXPECT_EQ(m.groups()[static_cast<std::size_t>(order[1])].display, "a[k]");
+  EXPECT_EQ(m.groups()[static_cast<std::size_t>(order[2])].display, "d[i][k]");
+}
+
+TEST(Model, ExampleBenefitValues) {
+  const RefModel m(kernels::paper_example());
+  // Totals over both outer iterations: base(c) = 1200 reads, full(c) = 20
+  // fills -> saved 1180. Similarly a: 1200-30, d: 1200 writes - 60 flushes.
+  EXPECT_EQ(m.saved(gid(m, "c[j]")), 1180);
+  EXPECT_EQ(m.saved(gid(m, "a[k]")), 1170);
+  EXPECT_EQ(m.saved(gid(m, "d[i][k]")), 1140);
+  EXPECT_EQ(m.saved(gid(m, "b[k][j]")), 600);  // reuse across the two outer trips
+  EXPECT_EQ(m.saved(gid(m, "e[i][j][k]")), 0);
+  EXPECT_DOUBLE_EQ(m.bc_ratio(gid(m, "c[j]")), 1180.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.bc_ratio(gid(m, "e[i][j][k]")), 0.0);
+}
+
+TEST(Model, BetaFullDelegation) {
+  const RefModel m(kernels::paper_example());
+  EXPECT_EQ(m.beta_full(gid(m, "b[k][j]")), 600);
+  EXPECT_EQ(m.beta_full(gid(m, "e[i][j][k]")), 1);
+  EXPECT_THROW(m.beta_full(99), Error);
+}
+
+TEST(Model, AccessCountsCached) {
+  const RefModel m(kernels::paper_example());
+  const int a = gid(m, "a[k]");
+  const std::int64_t first = m.accesses(a, 16, CountMode::kSteady);
+  const std::int64_t second = m.accesses(a, 16, CountMode::kSteady);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, 2 * 280);
+}
+
+TEST(Model, AccessesMonotoneNonIncreasingInRegisters) {
+  const RefModel m(kernels::paper_example());
+  for (int g = 0; g < m.group_count(); ++g) {
+    std::int64_t prev = m.accesses(g, 0, CountMode::kSteady);
+    for (std::int64_t n : {1, 2, 4, 8, 12, 16, 20, 24, 30, 40, 600}) {
+      const std::int64_t cur = m.accesses(g, n, CountMode::kSteady);
+      EXPECT_LE(cur, prev) << "group " << g << " regs " << n;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Model, FirBenefitOrder) {
+  const RefModel m(kernels::fir());
+  const auto order = m.sorted_by_benefit();
+  // The accumulator y saves two accesses per iteration with one register:
+  // highest ratio; c and x follow.
+  EXPECT_EQ(m.groups()[static_cast<std::size_t>(order[0])].display, "y[i]");
+}
+
+TEST(Model, SavedNonNegativeAcrossAllKernels) {
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel m(nk.kernel.clone());
+    for (int g = 0; g < m.group_count(); ++g) {
+      EXPECT_GE(m.saved(g), 0) << nk.name << " group " << g;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "ir/lexer.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "support/error.h"
+
+namespace srra {
+namespace {
+
+TEST(Lexer, TokenizesPunctuationAndNumbers) {
+  const auto toks = tokenize("a[2*i + 3] += b >> 1; // comment\n.. == != <= << ~");
+  std::vector<TokKind> kinds;
+  for (const Token& t : toks) kinds.push_back(t.kind);
+  const std::vector<TokKind> expected{
+      TokKind::kIdent, TokKind::kLBracket, TokKind::kInt, TokKind::kStar, TokKind::kIdent,
+      TokKind::kPlus, TokKind::kInt, TokKind::kRBracket, TokKind::kPlusAssign,
+      TokKind::kIdent, TokKind::kShr, TokKind::kInt, TokKind::kSemi,
+      TokKind::kDotDot, TokKind::kEqEq, TokKind::kNotEq, TokKind::kLessEq, TokKind::kShl,
+      TokKind::kTilde, TokKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = tokenize("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(tokenize("a $ b"), Error);
+  EXPECT_THROW(tokenize("a . b"), Error);
+  EXPECT_THROW(tokenize("a ! b"), Error);
+}
+
+TEST(Parser, ParsesMinimalKernel) {
+  const Kernel k = parse_kernel(R"(
+    kernel tiny {
+      array a[8] : u8;
+      for i in 0..8 { a[i] = a[i] + 1; }
+    }
+  )");
+  EXPECT_EQ(k.name(), "tiny");
+  EXPECT_EQ(k.depth(), 1);
+  EXPECT_EQ(k.array(0).type, ScalarType::kU8);
+  EXPECT_EQ(k.body().size(), 1u);
+}
+
+TEST(Parser, PlusAssignDesugarsToRead) {
+  const Kernel k = parse_kernel(R"(
+    kernel acc {
+      array y[4];
+      for i in 0..4 { y[i] += 2; }
+    }
+  )");
+  const Stmt& s = k.body()[0];
+  ASSERT_EQ(s.rhs->kind(), ExprKind::kBinOp);
+  EXPECT_EQ(s.rhs->bin_op(), BinOpKind::kAdd);
+  EXPECT_EQ(s.rhs->lhs().kind(), ExprKind::kRef);
+  EXPECT_TRUE(s.rhs->lhs().access() == s.lhs);
+}
+
+TEST(Parser, AffineSubscriptsWithCoefficients) {
+  const Kernel k = parse_kernel(R"(
+    kernel dec {
+      array x[64];
+      array y[16];
+      for i in 0..16 { for j in 0..4 { y[i] += x[4*i + j - 0]; } }
+    }
+  )");
+  const AffineExpr& sub = k.body()[0].rhs->rhs().access().subscripts[0];
+  EXPECT_EQ(sub.coeff(0), 4);
+  EXPECT_EQ(sub.coeff(1), 1);
+  EXPECT_EQ(sub.constant_term(), 0);
+}
+
+TEST(Parser, LoopVarAsDatapathInput) {
+  const Kernel k = parse_kernel(R"(
+    kernel lv {
+      array o[4][8];
+      for t in 0..4 { for i in 0..8 { o[t][i] = (8 - t) * i; } }
+    }
+  )");
+  const Expr& rhs = *k.body()[0].rhs;
+  EXPECT_EQ(rhs.bin_op(), BinOpKind::kMul);
+  EXPECT_EQ(rhs.rhs().kind(), ExprKind::kLoopVar);
+  EXPECT_EQ(rhs.rhs().loop_level(), 1);
+}
+
+TEST(Parser, StepLoops) {
+  const Kernel k = parse_kernel(R"(
+    kernel st {
+      array a[16];
+      for i in 0..16 step 4 { a[i] = 1; }
+    }
+  )");
+  EXPECT_EQ(k.loop(0).step, 4);
+  EXPECT_EQ(k.loop(0).trip_count(), 4);
+}
+
+TEST(Parser, MinMaxAbsCalls) {
+  const Kernel k = parse_kernel(R"(
+    kernel mm {
+      array a[4];
+      array b[4];
+      for i in 0..4 { a[i] = min(a[i], abs(b[i] - 2)) + max(1, 2); }
+    }
+  )");
+  EXPECT_EQ(k.body()[0].rhs->op_count(), 5);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  const Kernel k = parse_kernel(R"(
+    kernel pr {
+      array a[4];
+      for i in 0..4 { a[i] = 1 + 2 * 3; }
+    }
+  )");
+  const Expr& rhs = *k.body()[0].rhs;
+  EXPECT_EQ(rhs.bin_op(), BinOpKind::kAdd);
+  EXPECT_EQ(rhs.rhs().bin_op(), BinOpKind::kMul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const Kernel k = parse_kernel(R"(
+    kernel pr2 {
+      array a[4];
+      for i in 0..4 { a[i] = (1 + 2) * 3; }
+    }
+  )");
+  EXPECT_EQ(k.body()[0].rhs->bin_op(), BinOpKind::kMul);
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  try {
+    parse_kernel("kernel x { array a[4]; for i in 0..4 { a[i] = q[i]; } }");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown array 'q'"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownLoopVariableInSubscript) {
+  EXPECT_THROW(
+      parse_kernel("kernel x { array a[4]; for i in 0..4 { a[z] = 1; } }"), Error);
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  EXPECT_THROW(parse_kernel("kernel x { array a[4]; for i in 0..4 { a[i] = 1 } }"), Error);
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  EXPECT_THROW(
+      parse_kernel("kernel x { array a[4]; for i in 0..4 { a[i] = 1; } } trailing"), Error);
+}
+
+TEST(Parser, PrintParseRoundTrip) {
+  const char* source = R"(
+    kernel rt {
+      array x[40] : u8;
+      array c[8] : u8;
+      array y[32] : s32;
+      for i in 0..32 {
+        for j in 0..8 {
+          y[i] = y[i] + c[j] * x[i + j];
+        }
+      }
+    }
+  )";
+  const Kernel k1 = parse_kernel(source);
+  const std::string printed = kernel_to_string(k1);
+  const Kernel k2 = parse_kernel(printed);
+  EXPECT_EQ(printed, kernel_to_string(k2));
+}
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,108 @@
+// Integration tests of the full pipeline (analysis -> allocation -> cycles
+// -> hardware -> report), including the paper's headline claims on the
+// worked example and qualitative Table-1 shape checks across all kernels.
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.h"
+#include "kernels/kernels.h"
+
+namespace srra {
+namespace {
+
+TEST(Pipeline, RunsAllVariantsOnExample) {
+  const RefModel m(kernels::paper_example());
+  const auto points = run_paper_variants(m);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].allocation.algorithm, "FR-RA");
+  EXPECT_EQ(points[1].allocation.algorithm, "PR-RA");
+  EXPECT_EQ(points[2].allocation.algorithm, "CPA-RA");
+  for (const DesignPoint& p : points) {
+    EXPECT_GT(p.cycles.exec_cycles, 0);
+    EXPECT_GT(p.hw.clock_ns, 0.0);
+    EXPECT_GT(p.time_us(), 0.0);
+    EXPECT_LT(p.hw.occupancy, 1.0);
+  }
+}
+
+TEST(Pipeline, HeadlineClaimOnExample) {
+  // The paper's claim: CPA-RA reduces cycles (and wall-clock time) versus
+  // the greedy allocators with the same register budget.
+  const RefModel m(kernels::paper_example());
+  const auto points = run_paper_variants(m);
+  const DesignPoint& fr = points[0];
+  const DesignPoint& pr = points[1];
+  const DesignPoint& cpa = points[2];
+
+  EXPECT_LT(pr.cycles.exec_cycles, fr.cycles.exec_cycles);
+  EXPECT_LT(cpa.cycles.exec_cycles, pr.cycles.exec_cycles);
+  EXPECT_LT(cpa.time_us(), fr.time_us());
+  // Same or fewer registers than PR-RA (paper: "the exact same register
+  // resources").
+  EXPECT_LE(cpa.allocation.total(), pr.allocation.total());
+}
+
+TEST(Pipeline, RequiredRegistersStringOnExample) {
+  const RefModel m(kernels::paper_example());
+  // Group order a, b, d, c, e.
+  EXPECT_EQ(required_registers_string(m), "30/600/30/20/1");
+}
+
+TEST(Pipeline, BudgetOptionRespected) {
+  const RefModel m(kernels::paper_example());
+  PipelineOptions options;
+  options.budget = 32;
+  const DesignPoint p = run_pipeline(m, Algorithm::kCpaRa, options);
+  EXPECT_LE(p.allocation.total(), 32);
+  EXPECT_EQ(p.allocation.budget, 32);
+}
+
+TEST(Pipeline, Table1ShapeAcrossAllKernels) {
+  // Qualitative Table-1 shape: on every kernel, v3 (CPA-RA) never executes
+  // more cycles than v1 (FR-RA), and beats or ties v2 (PR-RA) on average.
+  double v2_gain_sum = 0.0;
+  double v3_gain_sum = 0.0;
+  int n = 0;
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel m(nk.kernel.clone());
+    const auto points = run_paper_variants(m);
+    const auto& fr = points[0].cycles;
+    const auto& pr = points[1].cycles;
+    const auto& cpa = points[2].cycles;
+    EXPECT_LE(cpa.exec_cycles, fr.exec_cycles) << nk.name;
+    EXPECT_LE(pr.exec_cycles, fr.exec_cycles) << nk.name;
+    v2_gain_sum += 1.0 - static_cast<double>(pr.exec_cycles) / static_cast<double>(fr.exec_cycles);
+    v3_gain_sum += 1.0 - static_cast<double>(cpa.exec_cycles) / static_cast<double>(fr.exec_cycles);
+    ++n;
+  }
+  // Average cycle-count gain of v3 exceeds v2's (the paper's central table
+  // observation).
+  EXPECT_GT(v3_gain_sum / n, v2_gain_sum / n);
+  EXPECT_GT(v3_gain_sum / n, 0.0);
+}
+
+TEST(Pipeline, WallClockMostlyFollowsCycles) {
+  // Clock degradation is mild, so the v3 cycle win should survive as a
+  // wall-clock win on the majority of kernels (paper: all but MAT/BIC).
+  int v3_wall_wins = 0;
+  int total = 0;
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel m(nk.kernel.clone());
+    const auto points = run_paper_variants(m);
+    if (points[2].time_us() < points[0].time_us()) ++v3_wall_wins;
+    ++total;
+  }
+  EXPECT_GE(v3_wall_wins * 2, total) << "CPA-RA should win wall-clock on most kernels";
+}
+
+TEST(Pipeline, DesignsFitTheDevice) {
+  for (const auto& nk : kernels::table1_kernels()) {
+    const RefModel m(nk.kernel.clone());
+    for (const DesignPoint& p : run_paper_variants(m)) {
+      EXPECT_LT(p.hw.occupancy, 1.0) << nk.name;
+      EXPECT_LE(p.hw.block_rams, xcv1000().block_rams) << nk.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srra

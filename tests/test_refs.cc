@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "analysis/refs.h"
+#include "ir/parser.h"
+#include "kernels/kernels.h"
+#include "support/error.h"
+
+namespace srra {
+namespace {
+
+TEST(Refs, ExampleKernelHasFiveGroups) {
+  const Kernel k = kernels::paper_example();
+  const auto groups = collect_ref_groups(k);
+  ASSERT_EQ(groups.size(), 5u);
+  // First-occurrence order: stmt 0 reads a, b then writes d; stmt 1 reads c,
+  // d (same group) then writes e.
+  EXPECT_EQ(groups[0].display, "a[k]");
+  EXPECT_EQ(groups[1].display, "b[k][j]");
+  EXPECT_EQ(groups[2].display, "d[i][k]");
+  EXPECT_EQ(groups[3].display, "c[j]");
+  EXPECT_EQ(groups[4].display, "e[i][j][k]");
+}
+
+TEST(Refs, WriteAndReadOfSameAccessShareGroup) {
+  const Kernel k = kernels::paper_example();
+  const auto groups = collect_ref_groups(k);
+  const RefGroup& d = group_named(groups, "d[i][k]");
+  EXPECT_EQ(d.reads_per_iter, 1);
+  EXPECT_EQ(d.writes_per_iter, 1);
+  EXPECT_EQ(d.occurrences.size(), 2u);
+  EXPECT_TRUE(d.occurrences[0].is_write);
+  EXPECT_FALSE(d.occurrences[1].is_write);
+}
+
+TEST(Refs, ForwardedReadDetected) {
+  const Kernel k = kernels::paper_example();
+  const auto groups = collect_ref_groups(k);
+  EXPECT_EQ(group_named(groups, "d[i][k]").forwarded_reads_per_iter, 1);
+  EXPECT_EQ(group_named(groups, "a[k]").forwarded_reads_per_iter, 0);
+}
+
+TEST(Refs, AccumulatorReadIsNotForwarded) {
+  // y[i] += ...: the read precedes the write in the iteration, so it is not
+  // forwarded from a same-iteration write.
+  const Kernel k = kernels::fir();
+  const auto groups = collect_ref_groups(k);
+  const RefGroup& y = group_named(groups, "y[i]");
+  EXPECT_EQ(y.reads_per_iter, 1);
+  EXPECT_EQ(y.writes_per_iter, 1);
+  EXPECT_EQ(y.forwarded_reads_per_iter, 0);
+}
+
+TEST(Refs, OccurrenceOrderIsGlobalEvaluationOrder) {
+  const Kernel k = kernels::paper_example();
+  const auto groups = collect_ref_groups(k);
+  // Orders: a=0, b=1, d(write)=2, c=3, d(read)=4, e=5.
+  EXPECT_EQ(group_named(groups, "a[k]").first_order, 0);
+  EXPECT_EQ(group_named(groups, "b[k][j]").first_order, 1);
+  EXPECT_EQ(group_named(groups, "d[i][k]").first_order, 2);
+  EXPECT_EQ(group_named(groups, "c[j]").first_order, 3);
+  EXPECT_EQ(group_named(groups, "e[i][j][k]").first_order, 5);
+  EXPECT_EQ(total_occurrences(groups), 6);
+}
+
+TEST(Refs, DistinctSubscriptsOfSameArrayAreDistinctGroups) {
+  const Kernel k = parse_kernel(R"(
+    kernel two {
+      array x[34];
+      array y[32];
+      for i in 0..32 { y[i] = x[i] + x[i + 2]; }
+    }
+  )");
+  const auto groups = collect_ref_groups(k);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].display, "x[i]");
+  EXPECT_EQ(groups[1].display, "x[i + 2]");
+}
+
+TEST(Refs, GroupNamedThrowsForUnknown) {
+  const Kernel k = kernels::paper_example();
+  const auto groups = collect_ref_groups(k);
+  EXPECT_THROW(group_named(groups, "zzz"), Error);
+}
+
+TEST(Refs, AllTableOneKernelsCollect) {
+  for (const auto& nk : kernels::table1_kernels()) {
+    const auto groups = collect_ref_groups(nk.kernel);
+    EXPECT_GE(groups.size(), 3u) << nk.name;
+  }
+}
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "analysis/reuse.h"
+#include "ir/parser.h"
+#include "kernels/kernels.h"
+
+namespace srra {
+namespace {
+
+struct Analyzed {
+  Kernel kernel;
+  std::vector<RefGroup> groups;
+  std::vector<ReuseInfo> reuse;
+};
+
+Analyzed analyze(Kernel kernel) {
+  Analyzed a{std::move(kernel), {}, {}};
+  a.groups = collect_ref_groups(a.kernel);
+  a.reuse = analyze_all_reuse(a.kernel, a.groups);
+  return a;
+}
+
+const ReuseInfo& info_for(const Analyzed& a, const std::string& display) {
+  return a.reuse[static_cast<std::size_t>(group_named(a.groups, display).id)];
+}
+
+// ---- The paper's running example: beta = {a:30, b:600, c:20, d:30, e:1} ----
+
+TEST(Reuse, ExampleBetaValuesMatchPaper) {
+  const Analyzed a = analyze(kernels::paper_example());
+  EXPECT_EQ(info_for(a, "a[k]").beta_full(), 30);
+  EXPECT_EQ(info_for(a, "b[k][j]").beta_full(), 600);
+  EXPECT_EQ(info_for(a, "c[j]").beta_full(), 20);
+  EXPECT_EQ(info_for(a, "d[i][k]").beta_full(), 30);
+  EXPECT_EQ(info_for(a, "e[i][j][k]").beta_full(), 1);
+}
+
+TEST(Reuse, ExampleCarryingLevels) {
+  const Analyzed a = analyze(kernels::paper_example());
+  // a[k] is invariant in i and j: carries at levels 0 and 1.
+  const ReuseInfo& ra = info_for(a, "a[k]");
+  ASSERT_EQ(ra.levels.size(), 2u);
+  EXPECT_EQ(ra.levels[0].level, 0);
+  EXPECT_EQ(ra.levels[1].level, 1);
+  EXPECT_EQ(ra.levels[1].beta, 30);
+  // c[j] is invariant in i and k: levels 0 (beta 20) and 2 (beta 1).
+  const ReuseInfo& rc = info_for(a, "c[j]");
+  ASSERT_EQ(rc.levels.size(), 2u);
+  EXPECT_EQ(rc.levels[0].level, 0);
+  EXPECT_EQ(rc.levels[0].beta, 20);
+  EXPECT_EQ(rc.levels[1].level, 2);
+  EXPECT_EQ(rc.levels[1].beta, 1);
+  // d[i][k] is invariant in j only.
+  const ReuseInfo& rd = info_for(a, "d[i][k]");
+  ASSERT_EQ(rd.levels.size(), 1u);
+  EXPECT_EQ(rd.levels[0].level, 1);
+  // e has no reuse.
+  EXPECT_FALSE(info_for(a, "e[i][j][k]").has_reuse());
+  EXPECT_EQ(info_for(a, "e[i][j][k]").beta_full(), 1);
+}
+
+TEST(Reuse, ExampleCanonicalDistances) {
+  const Analyzed a = analyze(kernels::paper_example());
+  EXPECT_EQ(info_for(a, "a[k]").distance, (std::vector<std::int64_t>{1, 0, 0}));
+  EXPECT_EQ(info_for(a, "d[i][k]").distance, (std::vector<std::int64_t>{0, 1, 0}));
+  EXPECT_EQ(info_for(a, "b[k][j]").distance, (std::vector<std::int64_t>{1, 0, 0}));
+}
+
+// ---- FIR: sliding window ----
+
+TEST(Reuse, FirWindowReference) {
+  const Analyzed a = analyze(kernels::fir());
+  const ReuseInfo& rx = info_for(a, "x[i + j]");
+  ASSERT_TRUE(rx.has_reuse());
+  EXPECT_EQ(rx.outermost_level(), 0);
+  EXPECT_EQ(rx.beta_full(), 32);
+  EXPECT_EQ(rx.distance, (std::vector<std::int64_t>{1, -1}));
+  EXPECT_EQ(info_for(a, "c[j]").beta_full(), 32);
+  EXPECT_EQ(info_for(a, "y[i]").beta_full(), 1);
+  EXPECT_EQ(info_for(a, "y[i]").outermost_level(), 1);
+}
+
+TEST(Reuse, DecFirDecimatedWindow) {
+  const Analyzed a = analyze(kernels::dec_fir());
+  const ReuseInfo& rx = info_for(a, "x[4*i + j]");
+  ASSERT_TRUE(rx.has_reuse());
+  EXPECT_EQ(rx.outermost_level(), 0);
+  EXPECT_EQ(rx.beta_full(), 64);
+  EXPECT_EQ(rx.distance, (std::vector<std::int64_t>{1, -4}));
+}
+
+// ---- MAT ----
+
+TEST(Reuse, MatBetaValues) {
+  const Analyzed a = analyze(kernels::mat());
+  EXPECT_EQ(info_for(a, "a[i][k]").beta_full(), 16);
+  EXPECT_EQ(info_for(a, "a[i][k]").outermost_level(), 1);
+  EXPECT_EQ(info_for(a, "b[k][j]").beta_full(), 256);
+  EXPECT_EQ(info_for(a, "b[k][j]").outermost_level(), 0);
+  EXPECT_EQ(info_for(a, "c[i][j]").beta_full(), 1);
+  EXPECT_EQ(info_for(a, "c[i][j]").outermost_level(), 2);
+}
+
+// ---- BIC: group of four-deep references ----
+
+TEST(Reuse, BicBetaValues) {
+  const Analyzed a = analyze(kernels::bic());
+  EXPECT_EQ(info_for(a, "tpl[i][j]").beta_full(), 64);
+  EXPECT_EQ(info_for(a, "tpl[i][j]").outermost_level(), 0);
+  const ReuseInfo& rimg = info_for(a, "img[r + i][s + j]");
+  ASSERT_TRUE(rimg.has_reuse());
+  EXPECT_EQ(rimg.outermost_level(), 0);
+  EXPECT_EQ(rimg.beta_full(), 8 * 64);  // 8 template rows x 64 image columns
+  EXPECT_EQ(info_for(a, "corr[r][s]").beta_full(), 1);
+}
+
+// ---- IMI ----
+
+TEST(Reuse, ImiImagesCarryAtFrameLoop) {
+  const Analyzed a = analyze(kernels::imi());
+  EXPECT_EQ(info_for(a, "im1[i][j]").outermost_level(), 0);
+  EXPECT_EQ(info_for(a, "im1[i][j]").beta_full(), 32 * 32);
+  EXPECT_FALSE(info_for(a, "out[t][i][j]").has_reuse());
+}
+
+// ---- Edge cases ----
+
+TEST(Reuse, NoReuseWhenEveryLoopIndexesTheArray) {
+  const Analyzed a = analyze(parse_kernel(R"(
+    kernel nr {
+      array z[4][5];
+      for i in 0..4 { for j in 0..5 { z[i][j] = 1; } }
+    }
+  )"));
+  EXPECT_FALSE(a.reuse[0].has_reuse());
+}
+
+TEST(Reuse, ConstantSubscriptIsScalarLikeReuse) {
+  const Analyzed a = analyze(parse_kernel(R"(
+    kernel cs {
+      array s[4];
+      array o[8];
+      for i in 0..8 { o[i] = s[2]; }
+    }
+  )"));
+  const ReuseInfo& rs = info_for(a, "s[2]");
+  ASSERT_TRUE(rs.has_reuse());
+  EXPECT_EQ(rs.outermost_level(), 0);
+  EXPECT_EQ(rs.beta_full(), 1);
+}
+
+TEST(Reuse, InfeasibleDistanceIsRejected) {
+  // x[8*i + j] with j range 4: reuse would need delta_j = 8 > trip - 1.
+  const Analyzed a = analyze(parse_kernel(R"(
+    kernel inf {
+      array x[68];
+      array y[8];
+      for i in 0..8 { for j in 0..4 { y[i] += x[8*i + j]; } }
+    }
+  )"));
+  EXPECT_FALSE(info_for(a, "x[8*i + j]").has_reuse());
+}
+
+TEST(Reuse, BetaAtQueriesLevels) {
+  const Analyzed a = analyze(kernels::paper_example());
+  const ReuseInfo& rc = info_for(a, "c[j]");
+  EXPECT_EQ(rc.beta_at(0), 20);
+  EXPECT_EQ(rc.beta_at(1), -1);
+  EXPECT_EQ(rc.beta_at(2), 1);
+}
+
+}  // namespace
+}  // namespace srra

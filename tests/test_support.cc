@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/csv.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace srra {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(check(true, "fine")); }
+
+TEST(Error, CheckThrowsWithMessageAndLocation) {
+  try {
+    check(false, "boom");
+    FAIL() << "expected srra::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("boom"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cc"), std::string::npos);
+  }
+}
+
+TEST(Error, FailAlwaysThrows) { EXPECT_THROW(fail("nope"), Error); }
+
+TEST(Str, CatConcatenatesMixedTypes) {
+  EXPECT_EQ(cat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Str, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  EXPECT_EQ(split("a,b,c", ','), parts);
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Str, TrimStripsWhitespace) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Str, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 4), "abcde");
+}
+
+TEST(Str, ToFixedAndPercent) {
+  EXPECT_EQ(to_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(to_fixed(-1.0, 1), "-1.0");
+  EXPECT_EQ(to_percent(0.125), "+12.5%");
+  EXPECT_EQ(to_percent(-0.02), "-2.0%");
+  EXPECT_EQ(to_percent(0.0), "0.0%");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(starts_with("kernel fir", "kernel"));
+  EXPECT_FALSE(starts_with("ker", "kernel"));
+}
+
+TEST(Str, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234), "-1,234");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "100"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | count |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     |   100 |"), std::string::npos);
+}
+
+TEST(Table, SeparatorSplitsGroups) {
+  Table t({"k"});
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  const std::string out = t.to_string();
+  // Header rule + top + bottom + group separator = 4 rules.
+  std::size_t rules = 0;
+  for (const auto& line : split(out, '\n')) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"plain", "has,comma", "has\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "ir/printer.h"
+#include "ir/parser.h"
+#include "ir/transform.h"
+#include "kernels/kernels.h"
+#include "sim/interp.h"
+
+namespace srra {
+namespace {
+
+TEST(Transform, InterchangeSwapsLoopsAndSubscripts) {
+  const Kernel k = kernels::mat();
+  const Kernel t = interchange_loops(k, 0, 2);
+  EXPECT_EQ(t.loop(0).var, "k");
+  EXPECT_EQ(t.loop(2).var, "i");
+  // a[i][k] must still read a[i][k] (coefficients follow the loops).
+  const std::string text = kernel_to_string(t);
+  EXPECT_NE(text.find("c[i][j] = c[i][j] + a[i][k] * b[k][j];"), std::string::npos) << text;
+}
+
+TEST(Transform, InterchangePreservesMatSemantics) {
+  // Accumulation is commutative under wrap-around arithmetic, so every loop
+  // order computes bit-identical results.
+  const Kernel k = kernels::mat();
+  ArrayStore base(k);
+  base.randomize(99);
+  ArrayStore reference = base;
+  interpret(k, reference);
+
+  for (const auto [a, b] : {std::pair{0, 1}, std::pair{0, 2}, std::pair{1, 2}}) {
+    const Kernel t = interchange_loops(k, a, b);
+    ArrayStore permuted(t);
+    permuted.randomize(99);
+    interpret(t, permuted);
+    EXPECT_TRUE(permuted.equals(reference)) << "interchange " << a << "<->" << b;
+  }
+}
+
+TEST(Transform, InterchangePreservesExampleSemantics) {
+  const Kernel k = kernels::paper_example();
+  ArrayStore reference(k);
+  reference.randomize(5);
+  interpret(k, reference);
+
+  const Kernel t = interchange_loops(k, 1, 2);  // swap j and k
+  ArrayStore permuted(t);
+  permuted.randomize(5);
+  interpret(t, permuted);
+  EXPECT_TRUE(permuted.equals(reference));
+}
+
+TEST(Transform, InterchangeMovesReuseLevels) {
+  // In mat's (i,j,k) order a[i][k] carries reuse at j (level 1, window 16);
+  // with j outermost the carrying level moves to 0 and the window must span
+  // the whole inner (i,k) subnest — full replacement now needs all 256
+  // elements. Interchange genuinely changes the register economics.
+  const RefModel before(kernels::mat());
+  const RefModel after(interchange_loops(kernels::mat(), 0, 1));
+  const int a_before = group_named(before.groups(), "a[i][k]").id;
+  const int a_after = group_named(after.groups(), "a[i][k]").id;
+  EXPECT_EQ(before.reuse()[a_before].outermost_level(), 1);
+  EXPECT_EQ(before.beta_full(a_before), 16);
+  EXPECT_EQ(after.reuse()[a_after].outermost_level(), 0);
+  EXPECT_EQ(after.beta_full(a_after), 256);
+}
+
+TEST(Transform, SafetyCheckAcceptsPaperKernels) {
+  EXPECT_TRUE(interchange_is_safe(kernels::mat()));
+  EXPECT_TRUE(interchange_is_safe(kernels::fir()));
+  EXPECT_TRUE(interchange_is_safe(kernels::paper_example()));
+}
+
+TEST(Transform, SafetyCheckRejectsNonCommutativeSelfUpdate) {
+  const Kernel k = parse_kernel(R"(
+    kernel shifty {
+      array x[8];
+      for i in 0..8 { for j in 0..4 { x[i] = x[i] * 2 + j; } }
+    }
+  )");
+  EXPECT_FALSE(interchange_is_safe(k));
+}
+
+TEST(Transform, SafetyCheckRejectsCrossSubscriptFlow) {
+  const Kernel k = parse_kernel(R"(
+    kernel chain {
+      array x[10];
+      for i in 0..8 { x[i + 1] = x[i] + 1; }
+    }
+  )");
+  EXPECT_FALSE(interchange_is_safe(k));
+}
+
+TEST(Transform, OutOfRangeLevelThrows) {
+  EXPECT_THROW(interchange_loops(kernels::mat(), 0, 3), Error);
+}
+
+}  // namespace
+}  // namespace srra

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "kernels/kernels.h"
+#include "xform/scalar_replace.h"
+
+namespace srra {
+namespace {
+
+TEST(Xform, PlanMirrorsAllocation) {
+  const RefModel m(kernels::paper_example());
+  const Allocation a = allocate(Algorithm::kCpaRa, m, 64);
+  const TransformPlan plan = plan_scalar_replacement(m, a);
+  ASSERT_EQ(plan.groups.size(), static_cast<std::size_t>(m.group_count()));
+  for (int g = 0; g < m.group_count(); ++g) {
+    EXPECT_EQ(plan.for_group(g).regs, a.at(g));
+    EXPECT_EQ(plan.for_group(g).display, m.groups()[static_cast<std::size_t>(g)].display);
+  }
+}
+
+TEST(Xform, FullVersusPartialClassification) {
+  const RefModel m(kernels::paper_example());
+  const TransformPlan plan = plan_scalar_replacement(m, allocate(Algorithm::kCpaRa, m, 64));
+  const auto& d = plan.for_group(group_named(m.groups(), "d[i][k]").id);
+  EXPECT_TRUE(d.full);
+  EXPECT_TRUE(d.flushes);
+  EXPECT_FALSE(d.fills) << "d is write-first; nothing to preload";
+  const auto& a = plan.for_group(group_named(m.groups(), "a[k]").id);
+  EXPECT_FALSE(a.full);
+  EXPECT_TRUE(a.fills);
+  EXPECT_FALSE(a.flushes);
+  const auto& e = plan.for_group(group_named(m.groups(), "e[i][j][k]").id);
+  EXPECT_FALSE(e.strategy.holds());
+}
+
+TEST(Xform, RotatingWindowDetected) {
+  const RefModel m(kernels::fir());
+  const TransformPlan plan = plan_scalar_replacement(m, allocate(Algorithm::kPrRa, m, 64));
+  const auto& x = plan.for_group(group_named(m.groups(), "x[i + j]").id);
+  ASSERT_TRUE(x.strategy.holds());
+  EXPECT_TRUE(x.rotating);
+  const auto& c = plan.for_group(group_named(m.groups(), "c[j]").id);
+  ASSERT_TRUE(c.strategy.holds());
+  EXPECT_FALSE(c.rotating);
+}
+
+TEST(Xform, InvalidAllocationRejected) {
+  const RefModel m(kernels::paper_example());
+  Allocation a = allocate(Algorithm::kFrRa, m, 64);
+  a.regs[0] = 0;  // drop a feasibility register
+  EXPECT_THROW(plan_scalar_replacement(m, a), Error);
+}
+
+TEST(Xform, DescribeMentionsEveryGroup) {
+  const RefModel m(kernels::paper_example());
+  const TransformPlan plan = plan_scalar_replacement(m, allocate(Algorithm::kCpaRa, m, 64));
+  const std::string text = describe_plan(m, plan);
+  for (const RefGroup& g : m.groups()) {
+    EXPECT_NE(text.find(g.display), std::string::npos) << g.display;
+  }
+  EXPECT_NE(text.find("CPA-RA"), std::string::npos);
+  EXPECT_NE(text.find("partial"), std::string::npos);
+  EXPECT_NE(text.find("full"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srra
