@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Runs every bench binary and records one BENCH_<name>.json per bench, so
+# the performance trajectory of the repo can be tracked PR over PR.
+#
+# Usage: bench/run_all.sh [build-dir] [output-dir]
+#   build-dir   where the bench binaries live (default: build)
+#   output-dir  where BENCH_*.json and BENCH_*.txt are written (default: build-dir)
+#
+# Each JSON file records the bench name, exit code, wall-clock seconds and
+# the path of the captured text report. bench_micro is Google Benchmark
+# based and additionally emits its native JSON counters.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found (run: cmake -B build -S . && cmake --build build --target bench)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+# Portable millisecond-ish timer: prefer date +%s%N when it works.
+now_ms() {
+  ns=$(date +%s%N 2>/dev/null)
+  case "$ns" in
+    *N|'') echo "$(($(date +%s) * 1000))" ;;
+    *) echo "$((ns / 1000000))" ;;
+  esac
+}
+
+failures=0
+ran=0
+
+for bin in "$BUILD_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  case "$bin" in *.json|*.txt) continue ;; esac
+  name=$(basename "$bin")
+  txt="$OUT_DIR/BENCH_${name}.txt"
+  json="$OUT_DIR/BENCH_${name}.json"
+
+  start=$(now_ms)
+  if [ "$name" = "bench_micro" ]; then
+    # Google Benchmark: native JSON counters. Keep stderr out of the JSON
+    # stream so warnings cannot corrupt it.
+    "$bin" --benchmark_format=json >"$txt" 2>"$OUT_DIR/BENCH_${name}.err.txt"
+    code=$?
+  else
+    "$bin" >"$txt" 2>&1
+    code=$?
+  fi
+  end=$(now_ms)
+  wall_ms=$((end - start))
+  bytes=$(wc -c <"$txt" | tr -d ' ')
+
+  printf '{\n  "bench": "%s",\n  "exit_code": %d,\n  "wall_seconds": %d.%03d,\n  "report_bytes": %s,\n  "report": "%s"\n}\n' \
+    "$name" "$code" "$((wall_ms / 1000))" "$((wall_ms % 1000))" "$bytes" "BENCH_${name}.txt" >"$json"
+
+  ran=$((ran + 1))
+  if [ "$code" -ne 0 ]; then
+    failures=$((failures + 1))
+    echo "FAIL $name (exit $code) — see $txt" >&2
+  else
+    echo "ok   $name (${wall_ms} ms) -> $json"
+  fi
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: no bench binaries in '$BUILD_DIR' (build the 'bench' target first)" >&2
+  exit 2
+fi
+
+echo "$((ran - failures))/$ran benches passed"
+[ "$failures" -eq 0 ]

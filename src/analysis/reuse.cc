@@ -16,7 +16,7 @@ std::int64_t ReuseInfo::beta_at(int level) const {
 }
 
 std::int64_t element_at(const Kernel& kernel, const ArrayAccess& access,
-                        std::span<const std::int64_t> iteration) {
+                        srra::span<const std::int64_t> iteration) {
   const ArrayDecl& decl = kernel.array(access.array_id);
   std::int64_t flat = 0;
   for (int d = 0; d < decl.rank(); ++d) {
@@ -43,7 +43,7 @@ IntMatrix access_matrix(const Kernel& kernel, const ArrayAccess& access) {
 
 // A distance vector is feasible if some pair of iterations in the space is
 // separated by it: |d_l| must be at most trip_l - 1 at every level.
-bool feasible(std::span<const std::int64_t> d, std::span<const std::int64_t> trips) {
+bool feasible(srra::span<const std::int64_t> d, srra::span<const std::int64_t> trips) {
   for (std::size_t l = 0; l < d.size(); ++l) {
     const std::int64_t mag = d[l] < 0 ? -d[l] : d[l];
     if (mag > trips[l] - 1) return false;
@@ -52,7 +52,7 @@ bool feasible(std::span<const std::int64_t> d, std::span<const std::int64_t> tri
 }
 
 // Lexicographically positive: first nonzero entry is positive.
-int first_nonzero(std::span<const std::int64_t> d) {
+int first_nonzero(srra::span<const std::int64_t> d) {
   for (std::size_t l = 0; l < d.size(); ++l) {
     if (d[l] != 0) return static_cast<int>(l);
   }

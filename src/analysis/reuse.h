@@ -12,7 +12,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 #include <vector>
 
 #include "analysis/refs.h"
@@ -50,7 +50,7 @@ struct ReuseInfo {
 
 /// Linearized (row-major) element index of `access` at `iteration`.
 std::int64_t element_at(const Kernel& kernel, const ArrayAccess& access,
-                        std::span<const std::int64_t> iteration);
+                        srra::span<const std::int64_t> iteration);
 
 /// Number of distinct elements `access` touches during one iteration of
 /// loop `level` (the register requirement of a window at that level).

@@ -73,7 +73,7 @@ void WindowTracker::flush_all(const EventSink& sink, bool steady) {
   held_.clear();
 }
 
-void WindowTracker::begin_iteration(std::span<const std::int64_t> iteration,
+void WindowTracker::begin_iteration(srra::span<const std::int64_t> iteration,
                                     const EventSink& sink) {
   wrote_this_iter_.clear();
   if (!initialized_) {
@@ -109,7 +109,7 @@ void WindowTracker::begin_iteration(std::span<const std::int64_t> iteration,
   cur_iter_.assign(iteration.begin(), iteration.end());
 }
 
-AccessEvent WindowTracker::on_access(std::span<const std::int64_t> iteration, bool is_write,
+AccessEvent WindowTracker::on_access(srra::span<const std::int64_t> iteration, bool is_write,
                                      int stmt, int order, const EventSink& sink) {
   const std::int64_t element = element_at(kernel_, group_.access, iteration);
 
@@ -244,7 +244,7 @@ std::vector<FlatOccurrence> flatten(const std::vector<RefGroup>& groups) {
 std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
                                            const std::vector<RefGroup>& groups,
                                            const std::vector<ReuseInfo>& reuse,
-                                           std::span<const std::int64_t> regs,
+                                           srra::span<const std::int64_t> regs,
                                            const ModelOptions& options,
                                            const EventSink& sink) {
   check(groups.size() == reuse.size(), "groups/reuse size mismatch");

@@ -25,7 +25,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <span>
+#include "support/span.h"
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -94,12 +94,12 @@ class WindowTracker {
 
   /// Must be called once per iteration before any on_access of the
   /// iteration; emits eviction flushes for crossed window boundaries.
-  void begin_iteration(std::span<const std::int64_t> iteration, const EventSink& sink);
+  void begin_iteration(srra::span<const std::int64_t> iteration, const EventSink& sink);
 
   /// Classifies one access of the group at the current iteration. May first
   /// emit a capacity-eviction kFlush through `sink`; the access's own event
   /// is both returned and sent to `sink`.
-  AccessEvent on_access(std::span<const std::int64_t> iteration, bool is_write, int stmt,
+  AccessEvent on_access(srra::span<const std::int64_t> iteration, bool is_write, int stmt,
                         int order, const EventSink& sink);
 
   /// Emits trailing flushes after the last iteration.
@@ -157,7 +157,7 @@ struct GroupCounts {
 std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
                                            const std::vector<RefGroup>& groups,
                                            const std::vector<ReuseInfo>& reuse,
-                                           std::span<const std::int64_t> regs,
+                                           srra::span<const std::int64_t> regs,
                                            const ModelOptions& options = {},
                                            const EventSink& sink = nullptr);
 

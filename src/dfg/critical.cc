@@ -14,7 +14,7 @@ std::vector<int> CriticalGraph::cg_nodes() const {
   return out;
 }
 
-CriticalGraph critical_graph(const Dfg& dfg, std::span<const std::int64_t> weights) {
+CriticalGraph critical_graph(const Dfg& dfg, srra::span<const std::int64_t> weights) {
   const int n = dfg.node_count();
   check(static_cast<int>(weights.size()) == n, "weights size mismatch");
 
@@ -51,7 +51,7 @@ CriticalGraph critical_graph(const Dfg& dfg, std::span<const std::int64_t> weigh
 namespace {
 
 void extend_paths(const Dfg& dfg, const CriticalGraph& cg,
-                  std::span<const std::int64_t> weights, std::vector<int>& prefix,
+                  srra::span<const std::int64_t> weights, std::vector<int>& prefix,
                   std::vector<std::vector<int>>& out, int max_paths) {
   const int id = prefix.back();
   const DfgNode& node = dfg.node(id);
@@ -81,7 +81,7 @@ void extend_paths(const Dfg& dfg, const CriticalGraph& cg,
 }  // namespace
 
 std::vector<std::vector<int>> critical_paths(const Dfg& dfg, const CriticalGraph& cg,
-                                             std::span<const std::int64_t> weights,
+                                             srra::span<const std::int64_t> weights,
                                              int max_paths) {
   std::vector<std::vector<int>> out;
   for (int id = 0; id < dfg.node_count(); ++id) {

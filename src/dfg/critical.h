@@ -3,7 +3,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 #include <vector>
 
 #include "dfg/dfg.h"
@@ -23,13 +23,13 @@ struct CriticalGraph {
 
 /// Computes the critical graph for node weights `weights` (node-weighted
 /// longest paths; ids are already topologically ordered).
-CriticalGraph critical_graph(const Dfg& dfg, std::span<const std::int64_t> weights);
+CriticalGraph critical_graph(const Dfg& dfg, srra::span<const std::int64_t> weights);
 
 /// Enumerates all source-to-sink paths of the critical graph (paths whose
 /// every node is critical and whose total weight equals the CP length).
 /// Bounded by `max_paths`; throws if the bound is exceeded.
 std::vector<std::vector<int>> critical_paths(const Dfg& dfg, const CriticalGraph& cg,
-                                             std::span<const std::int64_t> weights,
+                                             srra::span<const std::int64_t> weights,
                                              int max_paths = 1024);
 
 }  // namespace srra

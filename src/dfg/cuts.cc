@@ -62,7 +62,7 @@ bool hits_all(const Paths& paths, const std::vector<int>& cut, int skip) {
 }  // namespace
 
 std::vector<std::vector<int>> find_cuts(const Dfg& dfg, const CriticalGraph& cg,
-                                        std::span<const std::int64_t> weights,
+                                        srra::span<const std::int64_t> weights,
                                         const CutOptions& options) {
   const Paths all_paths = critical_paths(dfg, cg, weights, options.max_paths);
 

@@ -25,7 +25,7 @@ struct CutOptions {
 /// list when some CG path contains no candidate reference node (no cut can
 /// disconnect it).
 std::vector<std::vector<int>> find_cuts(const Dfg& dfg, const CriticalGraph& cg,
-                                        std::span<const std::int64_t> weights,
+                                        srra::span<const std::int64_t> weights,
                                         const CutOptions& options = {});
 
 }  // namespace srra

@@ -16,7 +16,7 @@ std::int64_t LatencyModel::op_latency(const DfgNode& node) const {
 }
 
 std::vector<std::int64_t> node_weights(const Dfg& dfg, const RefModel& model,
-                                       std::span<const std::int64_t> regs,
+                                       srra::span<const std::int64_t> regs,
                                        const LatencyModel& latency) {
   check(static_cast<int>(regs.size()) == model.group_count(), "regs size mismatch");
   std::vector<std::int64_t> weights(static_cast<std::size_t>(dfg.node_count()), 0);

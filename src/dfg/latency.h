@@ -3,7 +3,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 #include <vector>
 
 #include "dfg/dfg.h"
@@ -28,7 +28,7 @@ struct LatencyModel {
 /// assignment: a reference node weighs its memory latency while the group
 /// still performs steady-state RAM accesses, 0 once fully covered.
 std::vector<std::int64_t> node_weights(const Dfg& dfg, const RefModel& model,
-                                       std::span<const std::int64_t> regs,
+                                       srra::span<const std::int64_t> regs,
                                        const LatencyModel& latency);
 
 }  // namespace srra

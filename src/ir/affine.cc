@@ -27,7 +27,7 @@ void AffineExpr::set_coeff(int level, std::int64_t value) {
   coeffs_[static_cast<std::size_t>(level)] = value;
 }
 
-std::int64_t AffineExpr::evaluate(std::span<const std::int64_t> iteration) const {
+std::int64_t AffineExpr::evaluate(srra::span<const std::int64_t> iteration) const {
   check(static_cast<int>(iteration.size()) == depth(),
         "iteration vector size must match affine depth");
   std::int64_t sum = constant_;
@@ -60,7 +60,7 @@ AffineExpr AffineExpr::scaled(std::int64_t factor) const {
   return out;
 }
 
-std::string AffineExpr::to_string(std::span<const std::string> loop_names) const {
+std::string AffineExpr::to_string(srra::span<const std::string> loop_names) const {
   check(static_cast<int>(loop_names.size()) == depth(), "loop name count mismatch");
   std::string out;
   for (int l = 0; l < depth(); ++l) {

@@ -5,7 +5,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 #include <string>
 #include <vector>
 
@@ -33,7 +33,7 @@ class AffineExpr {
   void set_constant_term(std::int64_t value) { constant_ = value; }
 
   /// Evaluates at a concrete iteration vector (size must equal depth()).
-  std::int64_t evaluate(std::span<const std::int64_t> iteration) const;
+  std::int64_t evaluate(srra::span<const std::int64_t> iteration) const;
 
   /// True if coeff(level) == 0, i.e. the subscript does not depend on the
   /// loop at `level`.
@@ -45,10 +45,13 @@ class AffineExpr {
   AffineExpr operator+(const AffineExpr& other) const;
   AffineExpr operator-(const AffineExpr& other) const;
   AffineExpr scaled(std::int64_t factor) const;
-  bool operator==(const AffineExpr& other) const = default;
+  bool operator==(const AffineExpr& other) const {
+    return coeffs_ == other.coeffs_ && constant_ == other.constant_;
+  }
+  bool operator!=(const AffineExpr& other) const { return !(*this == other); }
 
   /// Pretty form using the given loop variable names, e.g. "2*i + j + 3".
-  std::string to_string(std::span<const std::string> loop_names) const;
+  std::string to_string(srra::span<const std::string> loop_names) const;
 
  private:
   std::vector<std::int64_t> coeffs_;

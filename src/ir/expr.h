@@ -19,7 +19,10 @@ struct ArrayAccess {
   int array_id = -1;                  ///< index into Kernel::arrays()
   std::vector<AffineExpr> subscripts; ///< one per array dimension
 
-  bool operator==(const ArrayAccess& other) const = default;
+  bool operator==(const ArrayAccess& other) const {
+    return array_id == other.array_id && subscripts == other.subscripts;
+  }
+  bool operator!=(const ArrayAccess& other) const { return !(*this == other); }
 };
 
 /// Expression node kinds.

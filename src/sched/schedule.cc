@@ -8,7 +8,7 @@
 namespace srra {
 
 std::int64_t schedule_iteration(const Dfg& dfg, const IterationProfile& profile,
-                                std::span<const int> array_of_group,
+                                srra::span<const int> array_of_group,
                                 const LatencyModel& latency) {
   check(static_cast<int>(profile.ram_access.size()) == dfg.node_count(),
         "profile size mismatch");

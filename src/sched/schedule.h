@@ -5,7 +5,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 #include <vector>
 
 #include "dfg/dfg.h"
@@ -30,7 +30,7 @@ struct IterationProfile {
 /// ASAP list schedule of one iteration; returns its cycle count.
 /// `array_of_group[g]` identifies the RAM block (per-array single port).
 std::int64_t schedule_iteration(const Dfg& dfg, const IterationProfile& profile,
-                                std::span<const int> array_of_group,
+                                srra::span<const int> array_of_group,
                                 const LatencyModel& latency);
 
 }  // namespace srra

@@ -7,7 +7,7 @@
 namespace srra {
 
 Value eval_expr(const Kernel& kernel, const Expr& expr,
-                std::span<const std::int64_t> iteration, ArrayStore& store) {
+                srra::span<const std::int64_t> iteration, ArrayStore& store) {
   switch (expr.kind()) {
     case ExprKind::kConst:
       return expr.const_value();

@@ -14,6 +14,6 @@ void interpret(const Kernel& kernel, ArrayStore& store);
 
 /// Evaluates one expression at `iteration` against `store` (reads counted).
 Value eval_expr(const Kernel& kernel, const Expr& expr,
-                std::span<const std::int64_t> iteration, ArrayStore& store);
+                srra::span<const std::int64_t> iteration, ArrayStore& store);
 
 }  // namespace srra

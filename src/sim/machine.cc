@@ -78,7 +78,7 @@ class Machine {
     if (e.steady) ++report_.steady_ram_accesses;
   }
 
-  Value read_access(const ArrayAccess& access, std::span<const std::int64_t> iter,
+  Value read_access(const ArrayAccess& access, srra::span<const std::int64_t> iter,
                     int stmt_index, int& order) {
     const int my_order = order++;
     const int g = order_group_[static_cast<std::size_t>(my_order)];
@@ -118,7 +118,7 @@ class Machine {
     }
   }
 
-  void write_access(const ArrayAccess& access, std::span<const std::int64_t> iter,
+  void write_access(const ArrayAccess& access, srra::span<const std::int64_t> iter,
                     int stmt_index, int order, Value value) {
     const int g = order_group_[static_cast<std::size_t>(order)];
     GroupState& s = states_[static_cast<std::size_t>(g)];
@@ -142,7 +142,7 @@ class Machine {
     }
   }
 
-  Value eval(const Expr& expr, std::span<const std::int64_t> iter, int stmt_index,
+  Value eval(const Expr& expr, srra::span<const std::int64_t> iter, int stmt_index,
              int& order) {
     switch (expr.kind()) {
       case ExprKind::kConst:

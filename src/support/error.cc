@@ -4,7 +4,7 @@
 
 namespace srra::detail {
 
-void throw_error(std::string_view message, std::source_location where) {
+void throw_error(std::string_view message, SourceLocation where) {
   std::ostringstream os;
   os << where.file_name() << ':' << where.line() << " (" << where.function_name()
      << "): " << message;

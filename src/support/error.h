@@ -6,7 +6,6 @@
 // helper; it throws `srra::Error` carrying the failing location.
 #pragma once
 
-#include <source_location>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -19,21 +18,46 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// C++17 stand-in for std::source_location (C++20), backed by the GCC/Clang
+/// __builtin_FILE/__builtin_LINE/__builtin_FUNCTION intrinsics so call sites
+/// still capture the *caller's* location through default arguments.
+class SourceLocation {
+ public:
+  static SourceLocation current(const char* file = __builtin_FILE(),
+                                int line = __builtin_LINE(),
+                                const char* function = __builtin_FUNCTION()) {
+    SourceLocation loc;
+    loc.file_ = file;
+    loc.line_ = line;
+    loc.function_ = function;
+    return loc;
+  }
+
+  const char* file_name() const { return file_; }
+  int line() const { return line_; }
+  const char* function_name() const { return function_; }
+
+ private:
+  const char* file_ = "";
+  int line_ = 0;
+  const char* function_ = "";
+};
+
 namespace detail {
-[[noreturn]] void throw_error(std::string_view message, std::source_location where);
+[[noreturn]] void throw_error(std::string_view message, SourceLocation where);
 }  // namespace detail
 
 /// Checks a precondition/invariant; throws srra::Error with location info on
 /// failure. Used instead of assert() so violations are testable and carry a
 /// message even in release builds.
 inline void check(bool condition, std::string_view message,
-                  std::source_location where = std::source_location::current()) {
+                  SourceLocation where = SourceLocation::current()) {
   if (!condition) detail::throw_error(message, where);
 }
 
 /// Unconditional failure with location info (e.g. unreachable switch arms).
 [[noreturn]] inline void fail(std::string_view message,
-                              std::source_location where = std::source_location::current()) {
+                              SourceLocation where = SourceLocation::current()) {
   detail::throw_error(message, where);
 }
 

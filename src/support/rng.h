@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 
 namespace srra {
 
@@ -32,5 +33,35 @@ class Rng {
  private:
   std::uint64_t state_;
 };
+
+/// Reads an unsigned integer from environment variable `name`; returns
+/// `fallback` when the variable is unset or not a number.
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+/// Base seed for the randomized property tests. Fixed by default so CI runs
+/// are reproducible; override with SRRA_FUZZ_SEED to explore other regions
+/// or replay a failure.
+inline std::uint64_t fuzz_seed() { return env_u64("SRRA_FUZZ_SEED", 0); }
+
+/// Number of fuzz iterations (distinct derived seeds) per property.
+/// Override with SRRA_FUZZ_ITERS, e.g. for a long soak run. Clamped to
+/// [1, 1000000]: zero would leave the gtest suite uninstantiated (which
+/// GoogleTest reports as a failure), and each iteration is a registered
+/// gtest instance, so an unbounded count would hang test registration
+/// (for a longer soak, sweep SRRA_FUZZ_SEED across runs instead).
+inline int fuzz_iters() {
+  constexpr std::uint64_t kMaxIters = 1000000;
+  const std::uint64_t iters = env_u64("SRRA_FUZZ_ITERS", 24);
+  if (iters < 1) return 1;
+  if (iters > kMaxIters) return static_cast<int>(kMaxIters);
+  return static_cast<int>(iters);
+}
 
 }  // namespace srra

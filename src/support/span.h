@@ -1,0 +1,84 @@
+// Minimal C++17 stand-in for std::span (C++20).
+//
+// The library only needs read-only contiguous views (`span<const T>`), but the
+// template is written generically. Implicit conversion from std::vector,
+// std::array, C arrays and std::initializer_list mirrors the call sites that
+// were written against std::span.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace srra {
+
+template <typename T>
+class span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+  using size_type = std::size_t;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr span() noexcept = default;
+  constexpr span(T* data, size_type size) noexcept : data_(data), size_(size) {}
+
+  template <std::size_t N>
+  constexpr span(T (&arr)[N]) noexcept : data_(arr), size_(N) {}
+
+  template <typename U, std::size_t N,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  constexpr span(std::array<U, N>& arr) noexcept : data_(arr.data()), size_(N) {}
+
+  template <typename U, std::size_t N,
+            typename = std::enable_if_t<std::is_convertible_v<const U (*)[], T (*)[]>>>
+  constexpr span(const std::array<U, N>& arr) noexcept : data_(arr.data()), size_(N) {}
+
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  span(std::vector<U>& vec) noexcept : data_(vec.data()), size_(vec.size()) {}
+
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<const U (*)[], T (*)[]>>>
+  span(const std::vector<U>& vec) noexcept : data_(vec.data()), size_(vec.size()) {}
+
+  // Lifetime note: only valid while the initializer_list (i.e. the full
+  // expression of the call) is alive — same as std::span in C++26.
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  constexpr span(std::initializer_list<value_type> il) noexcept
+      : data_(il.begin()), size_(il.size()) {}
+
+  // span<T> -> span<const T>
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  constexpr span(span<U> other) noexcept : data_(other.data()), size_(other.size()) {}
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr size_type size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr T& operator[](size_type i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr iterator begin() const noexcept { return data_; }
+  constexpr iterator end() const noexcept { return data_ + size_; }
+
+  constexpr span first(size_type n) const { return span(data_, n); }
+  constexpr span last(size_type n) const { return span(data_ + (size_ - n), n); }
+  constexpr span subspan(size_type offset) const {
+    return span(data_ + offset, size_ - offset);
+  }
+  constexpr span subspan(size_type offset, size_type count) const {
+    return span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_type size_ = 0;
+};
+
+}  // namespace srra

@@ -45,8 +45,12 @@ TEST(Cuts, CriticalGraphExcludesShortPath) {
   const auto weights = node_weights(dfg, m, regs, lat);
   const CriticalGraph cg = critical_graph(dfg, weights);
   for (const DfgNode& n : dfg.nodes()) {
-    if (n.label == "c[j]") EXPECT_FALSE(cg.in_cg[static_cast<std::size_t>(n.id)]);
-    if (n.label == "a[k]") EXPECT_TRUE(cg.in_cg[static_cast<std::size_t>(n.id)]);
+    if (n.label == "c[j]") {
+      EXPECT_FALSE(cg.in_cg[static_cast<std::size_t>(n.id)]);
+    }
+    if (n.label == "a[k]") {
+      EXPECT_TRUE(cg.in_cg[static_cast<std::size_t>(n.id)]);
+    }
   }
   // CP: a(1) -> op1(mul,2) -> d(1) -> op2(mul,2) -> e(1) = 7.
   EXPECT_EQ(cg.length, 7);

@@ -135,7 +135,9 @@ TEST(Latency, WeightsReflectAllocation) {
     if (n.kind == DfgNodeKind::kRead) {
       EXPECT_EQ(w[static_cast<std::size_t>(n.id)], n.label == "c[j]" ? 0 : 1) << n.label;
     }
-    if (n.kind == DfgNodeKind::kWrite) EXPECT_EQ(w[static_cast<std::size_t>(n.id)], 1) << n.label;
+    if (n.kind == DfgNodeKind::kWrite) {
+      EXPECT_EQ(w[static_cast<std::size_t>(n.id)], 1) << n.label;
+    }
   }
 
   // Full scalar replacement of d removes its write cost; full a removes its
@@ -146,8 +148,12 @@ TEST(Latency, WeightsReflectAllocation) {
   regs[static_cast<std::size_t>(d_id)] = 30;
   w = node_weights(dfg, m, regs, lat);
   for (const DfgNode& n : dfg.nodes()) {
-    if (n.is_ref() && n.group == a_id) EXPECT_EQ(w[static_cast<std::size_t>(n.id)], 0);
-    if (n.is_ref() && n.group == d_id) EXPECT_EQ(w[static_cast<std::size_t>(n.id)], 0);
+    if (n.is_ref() && n.group == a_id) {
+      EXPECT_EQ(w[static_cast<std::size_t>(n.id)], 0);
+    }
+    if (n.is_ref() && n.group == d_id) {
+      EXPECT_EQ(w[static_cast<std::size_t>(n.id)], 0);
+    }
   }
 }
 

@@ -1,0 +1,64 @@
+// Smoke tests for the example programs: each must run to exit code 0 and
+// print a non-empty report. The build passes the directory holding the
+// example binaries via SRRA_EXAMPLES_DIR; SRRA_EXAMPLES_DIR can also be set
+// in the environment to point the test at a different build tree.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifndef SRRA_EXAMPLES_DIR
+#define SRRA_EXAMPLES_DIR "."
+#endif
+
+std::string examples_dir() {
+  const char* env = std::getenv("SRRA_EXAMPLES_DIR");
+  return (env != nullptr && *env != '\0') ? env : SRRA_EXAMPLES_DIR;
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Runs `binary` capturing stdout+stderr; popen keeps this portable across
+// the POSIX platforms CI uses without pulling in a process library.
+RunResult run_example(const std::string& binary) {
+  RunResult result;
+  // Single-quote the path so spaces or shell metacharacters in the build
+  // directory cannot split the command.
+  const std::string command = "'" + examples_dir() + "/" + binary + "' 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class Examples : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Examples, RunsCleanlyWithNonEmptyReport) {
+  const RunResult r = run_example(GetParam());
+  EXPECT_EQ(r.exit_code, 0) << "output:\n" << r.output;
+  EXPECT_FALSE(r.output.empty()) << "example printed nothing";
+}
+
+INSTANTIATE_TEST_SUITE_P(Binaries, Examples,
+                         ::testing::Values("quickstart", "fir_design_space",
+                                           "image_correlation", "custom_kernel"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace

@@ -6,7 +6,14 @@
 //  * allocations are structurally valid at random budgets,
 //  * access counts never increase with more registers,
 //  * print -> parse round-trips.
+//
+// Deterministic by default: each property derives its Rng from a fixed base
+// seed plus the instance index, so CI runs are reproducible. Override the
+// base seed with SRRA_FUZZ_SEED and the instance count with SRRA_FUZZ_ITERS;
+// every failure message carries the replay recipe.
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 #include "analysis/walker.h"
 #include "core/registry.h"
@@ -115,10 +122,25 @@ Kernel random_kernel(Rng& rng) {
   return b.build();
 }
 
-class Fuzz : public ::testing::TestWithParam<int> {};
+class Fuzz : public ::testing::TestWithParam<int> {
+ protected:
+  /// Effective seed of this instance: SRRA_FUZZ_SEED (default 0) + index.
+  std::uint64_t seed() const {
+    return fuzz_seed() + static_cast<std::uint64_t>(GetParam());
+  }
+
+  /// Replay recipe attached to every assertion via SCOPED_TRACE.
+  std::string replay_hint() const {
+    std::ostringstream os;
+    os << "fuzz seed " << seed() << " — replay with SRRA_FUZZ_SEED=" << seed()
+       << " SRRA_FUZZ_ITERS=1 ./test_fuzz";
+    return os.str();
+  }
+};
 
 TEST_P(Fuzz, MachineMatchesInterpreterUnderAllAllocators) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 7919 + 1);
   const RefModel model(random_kernel(rng));
   const std::int64_t budget =
       model.group_count() + rng.uniform(0, 40);
@@ -127,17 +149,18 @@ TEST_P(Fuzz, MachineMatchesInterpreterUnderAllAllocators) {
     const Allocation a = allocate(alg, model, budget);
     a.validate(model);
     const VerifyResult r = verify_allocation(model, a, rng.next());
-    EXPECT_TRUE(r.ok) << "seed " << GetParam() << " algorithm " << algorithm_name(alg)
+    EXPECT_TRUE(r.ok) << "seed " << seed() << " algorithm " << algorithm_name(alg)
                       << "\n" << kernel_to_string(model.kernel());
   }
 }
 
 TEST_P(Fuzz, WalkerCountsMatchMachineCounts) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 104729 + 3);
   const RefModel model(random_kernel(rng));
   const Allocation a = allocate(Algorithm::kPrRa, model, model.group_count() + 20);
   ArrayStore store(model.kernel());
-  store.randomize(GetParam());
+  store.randomize(seed());
   const MachineReport machine = run_machine(model, a, store);
   const auto counts = simulate_accesses(model.kernel(), model.groups(), model.reuse(), a.regs);
   std::int64_t walker_ram = 0;
@@ -151,7 +174,8 @@ TEST_P(Fuzz, WalkerCountsMatchMachineCounts) {
 }
 
 TEST_P(Fuzz, AccessCountsMonotoneInRegisters) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 5);
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 1299709 + 5);
   const RefModel model(random_kernel(rng));
   for (int g = 0; g < model.group_count(); ++g) {
     std::int64_t prev = model.accesses(g, 0, CountMode::kSteady);
@@ -165,14 +189,15 @@ TEST_P(Fuzz, AccessCountsMonotoneInRegisters) {
 }
 
 TEST_P(Fuzz, PrintParseRoundTrip) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 7);
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 15485863 + 7);
   const Kernel k = random_kernel(rng);
   const std::string printed = kernel_to_string(k);
   const Kernel reparsed = parse_kernel(printed);
   EXPECT_EQ(printed, kernel_to_string(reparsed)) << printed;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(0, 24));
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(0, fuzz_iters()));
 
 }  // namespace
 }  // namespace srra

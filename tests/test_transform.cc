@@ -29,7 +29,7 @@ TEST(Transform, InterchangePreservesMatSemantics) {
   ArrayStore reference = base;
   interpret(k, reference);
 
-  for (const auto [a, b] : {std::pair{0, 1}, std::pair{0, 2}, std::pair{1, 2}}) {
+  for (const auto& [a, b] : {std::pair{0, 1}, std::pair{0, 2}, std::pair{1, 2}}) {
     const Kernel t = interchange_loops(k, a, b);
     ArrayStore permuted(t);
     permuted.randomize(99);
