@@ -2,11 +2,12 @@
 // reuse-carrying levels, which changes beta requirements and therefore
 // every allocator's decisions; CPA-RA adapts because it re-derives the
 // critical graph per order. All orders compute bit-identical results
-// (verified in test_transform.cc).
+// (verified in test_transform.cc). The order enumeration and evaluation run
+// through the DSE engine's interchange axis (src/dse/space.h), which
+// expands every permutation `interchange_is_safe` admits.
 #include <iostream>
 
-#include "driver/pipeline.h"
-#include "ir/transform.h"
+#include "dse/report.h"
 #include "kernels/kernels.h"
 #include "support/str.h"
 #include "support/table.h"
@@ -16,43 +17,39 @@ int main() {
 
   std::cout << "Loop interchange x allocator (MAT and the worked example, budget 64)\n\n";
 
-  struct Variant {
-    const char* label;
-    Kernel kernel;
-  };
+  const auto run_block = [](const std::string& title, dse::AxisSpec axes) {
+    axes.interchange = true;
+    dse::ExploreOptions options;
+    options.jobs = 0;  // all cores
+    const dse::ExploreResult result = dse::explore(std::move(axes), options);
 
-  const auto run_block = [](const std::string& title, std::vector<Variant> variants) {
     Table table({"Loop order", "Algorithm", "Distribution", "Exec cycles", "Tmem"});
-    for (const Variant& v : variants) {
-      if (!interchange_is_safe(v.kernel)) continue;
-      const RefModel model(v.kernel.clone());
-      for (Algorithm alg : paper_variants()) {
-        const DesignPoint p = run_pipeline(model, alg);
-        table.add_row({v.label, algorithm_name(alg), p.allocation.distribution(),
-                       with_commas(p.cycles.exec_cycles), with_commas(p.cycles.mem_cycles)});
-      }
-      table.add_separator();
+    int last_variant = 0;
+    for (const dse::SpacePoint& point : result.space.points) {
+      const dse::PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+      if (!r.feasible) continue;
+      if (point.variant != last_variant) table.add_separator();
+      last_variant = point.variant;
+      table.add_row({result.variant_of(point).order, algorithm_name(point.algorithm),
+                     r.design.allocation.distribution(),
+                     with_commas(r.design.cycles.exec_cycles),
+                     with_commas(r.design.cycles.mem_cycles)});
     }
+    table.add_separator();
     std::cout << title << "\n";
     table.render(std::cout);
     std::cout << "\n";
   };
 
   {
-    const Kernel base = kernels::mat();
-    std::vector<Variant> variants;
-    variants.push_back(Variant{"(i,j,k)", base.clone()});
-    variants.push_back(Variant{"(j,i,k)", interchange_loops(base, 0, 1)});
-    variants.push_back(Variant{"(k,j,i)", interchange_loops(base, 0, 2)});
-    variants.push_back(Variant{"(i,k,j)", interchange_loops(base, 1, 2)});
-    run_block("MAT (c[i][j] += a[i][k] * b[k][j])", std::move(variants));
+    dse::AxisSpec axes;
+    axes.kernels.push_back({"MAT", kernels::mat()});
+    run_block("MAT (c[i][j] += a[i][k] * b[k][j])", std::move(axes));
   }
   {
-    const Kernel base = kernels::paper_example();
-    std::vector<Variant> variants;
-    variants.push_back(Variant{"(i,j,k)", base.clone()});
-    variants.push_back(Variant{"(i,k,j)", interchange_loops(base, 1, 2)});
-    run_block("Worked example (Figure 1)", std::move(variants));
+    dse::AxisSpec axes;
+    axes.kernels.push_back({"example", kernels::paper_example()});
+    run_block("Worked example (Figure 1)", std::move(axes));
   }
   return 0;
 }

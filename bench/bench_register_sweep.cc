@@ -1,55 +1,61 @@
 // Extension A (DESIGN.md §3): execution cycles as a function of the
 // register budget, per allocator and kernel. The paper fixes the budget at
 // one value; this sweep shows where each algorithm saturates and where
-// CPA-RA's cut-based distribution wins over the greedy ratios. Also emits
-// CSV for plotting.
+// CPA-RA's cut-based distribution wins over the greedy ratios. The sweep
+// itself runs through the DSE engine (src/dse/, DESIGN.md §7) — one
+// RefModel per kernel shared across all budgets, evaluated in parallel —
+// and also emits the engine's CSV report for plotting.
 #include <iostream>
+#include <map>
 
-#include "driver/pipeline.h"
+#include "dse/report.h"
 #include "kernels/kernels.h"
-#include "support/csv.h"
 #include "support/str.h"
 #include "support/table.h"
 
 int main() {
   using namespace srra;
 
-  const std::vector<std::int64_t> budgets{8, 16, 24, 32, 48, 64, 96, 128};
+  dse::AxisSpec axes;
+  std::vector<std::string> descriptions;
+  for (kernels::NamedKernel& nk : kernels::table1_kernels()) {
+    descriptions.push_back(nk.description);
+    axes.kernels.push_back({nk.name, std::move(nk.kernel)});
+  }
+  axes.budgets = {8, 16, 24, 32, 48, 64, 96, 128};
+
+  dse::ExploreOptions options;
+  options.jobs = 0;  // all cores
+  const dse::ExploreResult result = dse::explore(std::move(axes), options);
 
   std::cout << "Register-budget sweep: execution cycles (FR-RA / PR-RA / CPA-RA)\n\n";
-  CsvWriter csv(std::cout);
 
-  for (const auto& nk : kernels::table1_kernels()) {
-    const RefModel model(nk.kernel.clone());
-    Table table({"Budget", "FR-RA cycles", "PR-RA cycles", "CPA-RA cycles", "CPA vs PR"});
-    for (std::int64_t budget : budgets) {
-      if (budget < model.group_count()) continue;
-      PipelineOptions options;
-      options.budget = budget;
-      const auto points = run_paper_variants(model, options);
-      const double gain = 1.0 - static_cast<double>(points[2].cycles.exec_cycles) /
-                                    static_cast<double>(points[1].cycles.exec_cycles);
-      table.add_row({std::to_string(budget), with_commas(points[0].cycles.exec_cycles),
-                     with_commas(points[1].cycles.exec_cycles),
-                     with_commas(points[2].cycles.exec_cycles), to_percent(gain)});
+  // Pivot the flat point list into one (budget -> cycles per algorithm) row
+  // set per kernel. Infeasible points (budget below the kernel's group
+  // count) are skipped, like the pre-engine version of this bench did.
+  for (const dse::Variant& variant : result.space.variants) {
+    std::map<std::int64_t, std::map<Algorithm, std::int64_t>> by_budget;
+    for (const dse::SpacePoint& point : result.space.points) {
+      if (point.variant != variant.index) continue;
+      const dse::PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+      if (!r.feasible) continue;
+      by_budget[point.budget][point.algorithm] = r.design.cycles.exec_cycles;
     }
-    std::cout << nk.name << " (" << nk.description << ")\n";
+    Table table({"Budget", "FR-RA cycles", "PR-RA cycles", "CPA-RA cycles", "CPA vs PR"});
+    for (const auto& [budget, cycles] : by_budget) {
+      const std::int64_t pr = cycles.at(Algorithm::kPrRa);
+      const std::int64_t cpa = cycles.at(Algorithm::kCpaRa);
+      const double gain = 1.0 - static_cast<double>(cpa) / static_cast<double>(pr);
+      table.add_row({std::to_string(budget), with_commas(cycles.at(Algorithm::kFrRa)),
+                     with_commas(pr), with_commas(cpa), to_percent(gain)});
+    }
+    std::cout << variant.kernel_name << " ("
+              << descriptions[static_cast<std::size_t>(variant.index)] << ")\n";
     table.render(std::cout);
     std::cout << "\n";
   }
 
-  std::cout << "CSV series (kernel,budget,algorithm,cycles):\n";
-  for (const auto& nk : kernels::table1_kernels()) {
-    const RefModel model(nk.kernel.clone());
-    for (std::int64_t budget : budgets) {
-      if (budget < model.group_count()) continue;
-      PipelineOptions options;
-      options.budget = budget;
-      for (const DesignPoint& p : run_paper_variants(model, options)) {
-        csv.row({nk.name, std::to_string(budget), algorithm_name(p.algorithm),
-                 std::to_string(p.cycles.exec_cycles)});
-      }
-    }
-  }
+  std::cout << "Engine CSV report (one record per design point):\n";
+  dse::write_points_report(std::cout, result, dse::Format::kCsv);
   return 0;
 }

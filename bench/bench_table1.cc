@@ -2,36 +2,21 @@
 // three register-allocation variants (v1 = FR-RA, v2 = PR-RA, v3 = CPA-RA),
 // the register distribution, execution cycle count (with % reduction vs
 // v1), modeled clock period, wall-clock time (with speedup vs v1), slice
-// usage/occupancy and BlockRAM count. See EXPERIMENTS.md for the
-// paper-vs-measured comparison.
+// usage/occupancy and BlockRAM count. The per-kernel blocks render through
+// dse::write_design_table — the same formatter `srra run` uses, so the CLI
+// and this bench cannot diverge (DESIGN.md §7).
 #include <iostream>
 
 #include "driver/pipeline.h"
+#include "dse/report.h"
 #include "kernels/kernels.h"
 #include "support/str.h"
-#include "support/table.h"
-
-namespace {
-
-const char* version_name(int index) {
-  switch (index) {
-    case 0: return "v1 FR-RA";
-    case 1: return "v2 PR-RA";
-    default: return "v3 CPA-RA";
-  }
-}
-
-}  // namespace
 
 int main() {
   using namespace srra;
 
   std::cout << "Table 1 reproduction: register allocation and hardware designs\n"
             << "(budget 64 registers, Virtex XCV1000 model; see DESIGN.md §4-6)\n\n";
-
-  Table table({"Kernel", "Version", "Required S.R.", "Distribution", "Total",
-               "Cycles", "dCyc", "Clock ns", "Time us", "Speedup", "Slices", "Occup",
-               "RAMs"});
 
   double v2_cycle_gain = 0.0;
   double v3_cycle_gain = 0.0;
@@ -42,39 +27,25 @@ int main() {
 
   for (const auto& nk : kernels::table1_kernels()) {
     const RefModel model(nk.kernel.clone());
-    const PipelineOptions options;
-    const auto points = run_paper_variants(model, options);
-    const DesignPoint& v1 = points[0];
+    const auto points = run_paper_variants(model);
+    dse::write_design_table(std::cout, nk.name, model, points);
+    std::cout << "\n";
 
-    for (std::size_t v = 0; v < points.size(); ++v) {
-      const DesignPoint& p = points[v];
-      const double dcyc = 1.0 - static_cast<double>(p.cycles.exec_cycles) /
-                                    static_cast<double>(v1.cycles.exec_cycles);
-      const double speedup = v1.time_us() / p.time_us();
-      table.add_row({nk.name, version_name(static_cast<int>(v)),
-                     v == 0 ? required_registers_string(model) : "",
-                     p.allocation.distribution(), std::to_string(p.allocation.total()),
-                     with_commas(p.cycles.exec_cycles), v == 0 ? "-" : to_percent(dcyc),
-                     to_fixed(p.hw.clock_ns, 1), to_fixed(p.time_us(), 1),
-                     v == 0 ? "1.00" : to_fixed(speedup, 2), with_commas(p.hw.slices),
-                     to_percent(p.hw.occupancy).substr(1), std::to_string(p.hw.block_rams)});
-      if (v == 1) {
-        v2_cycle_gain += dcyc;
-        v2_wall_gain += 1.0 - p.time_us() / v1.time_us();
-      }
-      if (v == 2) {
-        v3_cycle_gain += dcyc;
-        v3_wall_gain += 1.0 - p.time_us() / v1.time_us();
-        v3_clock_loss += p.hw.clock_ns / v1.hw.clock_ns - 1.0;
-      }
-    }
-    table.add_separator();
+    const DesignPoint& v1 = points[0];
+    const DesignPoint& v2 = points[1];
+    const DesignPoint& v3 = points[2];
+    v2_cycle_gain += 1.0 - static_cast<double>(v2.cycles.exec_cycles) /
+                               static_cast<double>(v1.cycles.exec_cycles);
+    v2_wall_gain += 1.0 - v2.time_us() / v1.time_us();
+    v3_cycle_gain += 1.0 - static_cast<double>(v3.cycles.exec_cycles) /
+                               static_cast<double>(v1.cycles.exec_cycles);
+    v3_wall_gain += 1.0 - v3.time_us() / v1.time_us();
+    v3_clock_loss += v3.hw.clock_ns / v1.hw.clock_ns - 1.0;
     ++kernels_counted;
   }
-  table.render(std::cout);
 
   const double n = kernels_counted;
-  std::cout << "\nAverages vs v1 (paper reports the same aggregates):\n"
+  std::cout << "Averages vs v1 (paper reports the same aggregates):\n"
             << "  v2 cycle reduction: " << to_percent(v2_cycle_gain / n)
             << "   v2 wall-clock gain: " << to_percent(v2_wall_gain / n) << "\n"
             << "  v3 cycle reduction: " << to_percent(v3_cycle_gain / n)

@@ -20,6 +20,13 @@ if [ ! -d "$BUILD_DIR" ]; then
 fi
 mkdir -p "$OUT_DIR"
 
+# Escapes a string for inclusion inside a JSON string literal (backslashes
+# first, then quotes), so exotic build/output paths cannot corrupt the
+# emitted JSON.
+json_escape() {
+  printf '%s' "$1" | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g'
+}
+
 # Portable millisecond-ish timer: prefer date +%s%N when it works.
 now_ms() {
   ns=$(date +%s%N 2>/dev/null)
@@ -54,7 +61,8 @@ for bin in "$BUILD_DIR"/bench_*; do
   bytes=$(wc -c <"$txt" | tr -d ' ')
 
   printf '{\n  "bench": "%s",\n  "exit_code": %d,\n  "wall_seconds": %d.%03d,\n  "report_bytes": %s,\n  "report": "%s"\n}\n' \
-    "$name" "$code" "$((wall_ms / 1000))" "$((wall_ms % 1000))" "$bytes" "BENCH_${name}.txt" >"$json"
+    "$(json_escape "$name")" "$code" "$((wall_ms / 1000))" "$((wall_ms % 1000))" "$bytes" \
+    "$(json_escape "BENCH_${name}.txt")" >"$json"
 
   ran=$((ran + 1))
   if [ "$code" -ne 0 ]; then

@@ -1,7 +1,10 @@
 // FIR design-space exploration: how the three allocators trade registers
 // for cycles on the paper's FIR kernel, with functional verification of
 // every design point on the machine simulator (explicit register file +
-// RAM banks) against the golden interpreter.
+// RAM banks) against the golden interpreter. The (algorithm x budget)
+// sweep itself is one run_budget_sweep call: the analysis stage is shared
+// across every point (driver/pipeline.h; the DSE engine in src/dse/ builds
+// on the same reuse).
 //
 // Build & run:  ./build/examples/fir_design_space
 #include <iostream>
@@ -18,26 +21,28 @@ int main() {
   const RefModel model(kernels::fir());
   std::cout << "FIR: 1024-sample convolution, 32 taps (paper kernel 1)\n\n";
 
-  Table table({"Budget", "Algorithm", "Distribution", "Exec cycles", "RAM accesses",
+  const std::vector<DesignPoint> points =
+      run_budget_sweep(model, paper_variants(), {8, 16, 32, 64});
+
+  Table table({"Algorithm", "Budget", "Distribution", "Exec cycles", "RAM accesses",
                "Time us", "Verified"});
-  for (std::int64_t budget : {8, 16, 32, 64}) {
-    PipelineOptions options;
-    options.budget = budget;
-    for (Algorithm alg : paper_variants()) {
-      const DesignPoint p = run_pipeline(model, alg, options);
-      // Functional check: the design must compute exactly what the source
-      // kernel computes.
-      const VerifyResult check = verify_allocation(model, p.allocation, /*seed=*/42);
-      table.add_row({std::to_string(budget), algorithm_name(alg),
-                     p.allocation.distribution(), with_commas(p.cycles.exec_cycles),
-                     with_commas(check.machine.ram_total()), to_fixed(p.time_us(), 1),
-                     check.ok ? "yes" : "NO"});
-      if (!check.ok) {
-        std::cerr << "verification failed for budget " << budget << "\n";
-        return 1;
-      }
+  std::string last_algorithm;
+  for (const DesignPoint& p : points) {
+    // Functional check: the design must compute exactly what the source
+    // kernel computes.
+    const VerifyResult check = verify_allocation(model, p.allocation, /*seed=*/42);
+    if (!last_algorithm.empty() && p.allocation.algorithm != last_algorithm) {
+      table.add_separator();
     }
-    table.add_separator();
+    last_algorithm = p.allocation.algorithm;
+    table.add_row({algorithm_name(p.algorithm), std::to_string(p.allocation.budget),
+                   p.allocation.distribution(), with_commas(p.cycles.exec_cycles),
+                   with_commas(check.machine.ram_total()), to_fixed(p.time_us(), 1),
+                   check.ok ? "yes" : "NO"});
+    if (!check.ok) {
+      std::cerr << "verification failed for budget " << p.allocation.budget << "\n";
+      return 1;
+    }
   }
   table.render(std::cout);
 

@@ -26,8 +26,10 @@ Algorithm parse_algorithm(const std::string& name) {
   if (name == "fr" || name == "FR-RA") return Algorithm::kFrRa;
   if (name == "pr" || name == "PR-RA") return Algorithm::kPrRa;
   if (name == "cpa" || name == "CPA-RA") return Algorithm::kCpaRa;
-  if (name == "knapsack" || name == "KS-RA") return Algorithm::kKnapsack;
-  if (name == "dp" || name == "DP-RA") return Algorithm::kOptimalDp;
+  if (name == "knapsack" || name == "ks" || name == "KS-RA") return Algorithm::kKnapsack;
+  if (name == "dp" || name == "optimal" || name == "optimal-dp" || name == "DP-RA") {
+    return Algorithm::kOptimalDp;
+  }
   fail(cat("unknown algorithm name: ", name));
 }
 

@@ -22,8 +22,10 @@ enum class Algorithm {
 /// Short display name, e.g. "CPA-RA".
 std::string algorithm_name(Algorithm algorithm);
 
-/// Parses "feasibility" / "fr" / "pr" / "cpa" / "knapsack" (and the display
-/// names); throws on unknown input.
+/// Parses "feasibility" / "fr" / "pr" / "cpa" / "knapsack" / "ks" / "dp" /
+/// "optimal" / "optimal-dp" (and the display names, so
+/// parse_algorithm(algorithm_name(a)) round-trips for every enum value);
+/// throws on unknown input.
 Algorithm parse_algorithm(const std::string& name);
 
 /// Runs the chosen algorithm.

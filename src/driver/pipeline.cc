@@ -25,6 +25,23 @@ std::vector<DesignPoint> run_paper_variants(const RefModel& model,
   return points;
 }
 
+std::vector<DesignPoint> run_budget_sweep(const RefModel& model,
+                                          const std::vector<Algorithm>& algorithms,
+                                          const std::vector<std::int64_t>& budgets,
+                                          const PipelineOptions& options) {
+  std::vector<DesignPoint> points;
+  points.reserve(algorithms.size() * budgets.size());
+  for (const Algorithm algorithm : algorithms) {
+    for (const std::int64_t budget : budgets) {
+      if (budget < model.group_count()) continue;  // below feasibility
+      PipelineOptions point_options = options;
+      point_options.budget = budget;
+      points.push_back(run_pipeline(model, algorithm, point_options));
+    }
+  }
+  return points;
+}
+
 std::string required_registers_string(const RefModel& model) {
   std::vector<std::string> parts;
   parts.reserve(static_cast<std::size_t>(model.group_count()));

@@ -42,6 +42,17 @@ DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
 std::vector<DesignPoint> run_paper_variants(const RefModel& model,
                                             const PipelineOptions& options = {});
 
+/// Evaluates every (algorithm, budget) pair against one shared RefModel, so
+/// the analysis stage (grouping, reuse, access-count cache) is computed once
+/// and amortized across the whole sweep — the per-variant inner loop the DSE
+/// engine builds on (src/dse/explore.h). Results are in (algorithm, budget)
+/// row-major order; budgets too small for the feasibility assignment are
+/// skipped (their DesignPoints are simply absent).
+std::vector<DesignPoint> run_budget_sweep(const RefModel& model,
+                                          const std::vector<Algorithm>& algorithms,
+                                          const std::vector<std::int64_t>& budgets,
+                                          const PipelineOptions& options = {});
+
 /// Per-reference full-scalar-replacement requirements as "30/600/30/20/1"
 /// (Table 1's "Required S.R. Registers" column, in group order).
 std::string required_registers_string(const RefModel& model);

@@ -1,0 +1,287 @@
+#include "dse/cli.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "dse/report.h"
+#include "ir/parser.h"
+#include "kernels/kernels.h"
+#include "support/error.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace srra::dse {
+
+namespace {
+
+const char kUsage[] =
+    "usage: srra <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  list     built-in kernels and algorithms\n"
+    "  run      evaluate one kernel at one budget (Table-1-style report)\n"
+    "  sweep    evaluate the full design space, one record per point\n"
+    "  pareto   sweep, reduced to Pareto frontiers + best-per-budget\n"
+    "\n"
+    "flags:\n"
+    "  --kernel=LIST    built-in names, 'paper', 'all', or a kernel-DSL file\n"
+    "                   (run: exactly one; sweep/pareto default: paper)\n"
+    "  --algos=LIST     algorithm names, 'paper' (default) or 'all'\n"
+    "  --budget=N       register budget for run (default 64)\n"
+    "  --budgets=SPEC   budget axis for sweep/pareto: N | a,b,c | lo:hi[:step]\n"
+    "                   (default 8:128; lo:hi doubles from lo)\n"
+    "  --interchange    also enumerate legal loop-interchange orders\n"
+    "  --fetch=MODE     concurrent operand fetch: on (default) | off | both\n"
+    "  --jobs=N         evaluation threads (default 1; 0 = all cores)\n"
+    "  --format=FMT     text (default) | csv | json\n";
+
+struct Flags {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> order;  // for unknown-flag reporting
+
+  bool has(const std::string& name) const { return values.count(name) != 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
+  Flags flags;
+  for (std::size_t i = first; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    check(starts_with(arg, "--"), cat("unexpected argument: ", arg));
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos ? eq : eq - 2);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    static const char* known[] = {"kernel", "algos",  "budget", "budgets",
+                                  "interchange", "fetch", "jobs", "format"};
+    check(std::find_if(std::begin(known), std::end(known),
+                       [&](const char* k) { return name == k; }) != std::end(known),
+          cat("unknown flag: --", name));
+    check(flags.values.emplace(name, value).second, cat("duplicate flag: --", name));
+    flags.order.push_back(name);
+  }
+  return flags;
+}
+
+// Canonical matching key: lower-case, '-' folded to '_'.
+std::string canon(std::string_view name) {
+  std::string key;
+  for (const char c : name) {
+    key += c == '-' ? '_' : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return key;
+}
+
+std::vector<SpaceKernel> builtin_kernels() {
+  std::vector<SpaceKernel> all;
+  all.push_back({"example", kernels::paper_example()});
+  for (kernels::NamedKernel& nk : kernels::all_kernels()) {
+    all.push_back({nk.name, std::move(nk.kernel)});
+  }
+  return all;
+}
+
+SpaceKernel load_kernel_file(const std::string& path) {
+  std::ifstream in(path);
+  check(in.good(), cat("cannot open kernel file: ", path));
+  std::ostringstream text;
+  text << in.rdbuf();
+  Kernel kernel = parse_kernel(text.str());
+  std::string name = kernel.name();
+  return {std::move(name), std::move(kernel)};
+}
+
+// Resolves one --kernel token: built-in name, set name, or DSL file path.
+void resolve_kernel(const std::string& token, std::vector<SpaceKernel>& out) {
+  const std::string key = canon(token);
+  if (key == "paper") {
+    for (kernels::NamedKernel& nk : kernels::table1_kernels()) {
+      out.push_back({nk.name, std::move(nk.kernel)});
+    }
+    return;
+  }
+  if (key == "all") {
+    for (SpaceKernel& sk : builtin_kernels()) out.push_back(std::move(sk));
+    return;
+  }
+  for (SpaceKernel& sk : builtin_kernels()) {
+    if (canon(sk.name) == key) {
+      out.push_back(std::move(sk));
+      return;
+    }
+  }
+  if (std::ifstream(token).good()) {
+    out.push_back(load_kernel_file(token));
+    return;
+  }
+  fail(cat("unknown kernel '", token,
+           "' (want example, fir, dec_fir, mat, imi, pat, bic, conv2d, matvec, "
+           "paper, all, or a kernel-DSL file path)"));
+}
+
+std::vector<SpaceKernel> resolve_kernels(const std::string& list) {
+  std::vector<SpaceKernel> out;
+  for (const std::string& token : split(list, ',')) {
+    check(!trim(token).empty(), cat("empty kernel name in '", list, "'"));
+    resolve_kernel(std::string(trim(token)), out);
+  }
+  check(!out.empty(), "no kernels selected");
+  return out;
+}
+
+std::vector<Algorithm> resolve_algorithms(const std::string& list) {
+  const std::string key = canon(list);
+  if (key == "paper") return paper_variants();
+  if (key == "all") {
+    return {Algorithm::kFeasibility, Algorithm::kFrRa,     Algorithm::kPrRa,
+            Algorithm::kCpaRa,       Algorithm::kKnapsack, Algorithm::kOptimalDp};
+  }
+  std::vector<Algorithm> algorithms;
+  for (const std::string& token : split(list, ',')) {
+    algorithms.push_back(parse_algorithm(std::string(trim(token))));
+  }
+  check(!algorithms.empty(), "no algorithms selected");
+  return algorithms;
+}
+
+std::vector<bool> resolve_fetch(const std::string& mode) {
+  if (mode == "on") return {true};
+  if (mode == "off") return {false};
+  if (mode == "both") return {true, false};
+  fail(cat("bad --fetch value: ", mode, " (want on|off|both)"));
+}
+
+int parse_int(const std::string& text, const char* what) {
+  // The length bound keeps std::stoi from throwing std::out_of_range,
+  // which would escape run_cli's srra::Error handler and abort.
+  check(!text.empty() && text.size() <= 7 &&
+            text.find_first_not_of("0123456789") == std::string::npos,
+        cat("bad ", what, " value: ", text));
+  return std::stoi(text);
+}
+
+int cmd_list(std::ostream& out) {
+  out << "Built-in kernels:\n";
+  Table kernels_table({"Name", "Depth", "Loops", "Description"});
+  std::vector<SpaceKernel> builtins = builtin_kernels();
+  std::map<std::string, std::string> descriptions;
+  for (const kernels::NamedKernel& nk : kernels::all_kernels()) {
+    descriptions[nk.name] = nk.description;
+  }
+  descriptions["example"] = "Figure 1 worked example";
+  for (const SpaceKernel& sk : builtins) {
+    kernels_table.add_row({sk.name, std::to_string(sk.kernel.depth()),
+                           cat("(", join(sk.kernel.loop_names(), ","), ")"),
+                           descriptions[sk.name]});
+  }
+  kernels_table.set_align(1, Align::kRight);
+  kernels_table.render(out);
+
+  out << "\nAlgorithms:\n";
+  Table algorithms_table({"Name", "Spellings"});
+  algorithms_table.add_row({"feasibility", "feasibility"});
+  algorithms_table.add_row({"FR-RA", "fr, FR-RA"});
+  algorithms_table.add_row({"PR-RA", "pr, PR-RA"});
+  algorithms_table.add_row({"CPA-RA", "cpa, CPA-RA"});
+  algorithms_table.add_row({"KS-RA", "knapsack, KS-RA"});
+  algorithms_table.add_row({"DP-RA", "dp, optimal, optimal-dp, DP-RA"});
+  algorithms_table.render(out);
+  return 0;
+}
+
+int cmd_run(const Flags& flags, std::ostream& out) {
+  check(flags.has("kernel"), "run needs --kernel=NAME|FILE");
+  check(!flags.has("budgets"), "run takes --budget, not --budgets");
+  check(!flags.has("jobs"), "run evaluates one point set; --jobs applies to sweep/pareto");
+  check(!flags.has("interchange"), "--interchange applies to sweep/pareto");
+  std::vector<SpaceKernel> selected = resolve_kernels(flags.get("kernel", ""));
+  check(selected.size() == 1, "run takes exactly one kernel");
+  const std::vector<Algorithm> algorithms = resolve_algorithms(flags.get("algos", "paper"));
+  const std::vector<bool> fetch = resolve_fetch(flags.get("fetch", "on"));
+  check(fetch.size() == 1, "run takes --fetch=on or --fetch=off");
+
+  PipelineOptions options;
+  options.budget = parse_int(flags.get("budget", "64"), "--budget");
+  options.cycles.concurrent_operand_fetch = fetch.front();
+  const Format format = parse_format(flags.get("format", "text"));
+
+  if (format == Format::kText) {
+    const RefModel model(selected.front().kernel.clone());
+    std::vector<DesignPoint> points;
+    for (const Algorithm algorithm : algorithms) {
+      points.push_back(run_pipeline(model, algorithm, options));
+    }
+    out << selected.front().name << " at budget " << options.budget
+        << " (Virtex XCV1000 model; see DESIGN.md §4-6)\n\n";
+    write_design_table(out, selected.front().name, model, points);
+    return 0;
+  }
+
+  AxisSpec axes;
+  axes.kernels = std::move(selected);
+  axes.algorithms = algorithms;
+  axes.budgets = {options.budget};
+  axes.fetch_modes = fetch;
+  ExploreOptions explore_options;
+  explore_options.pipeline = options;
+  write_points_report(out, explore(std::move(axes), explore_options), format);
+  return 0;
+}
+
+int cmd_sweep(const Flags& flags, std::ostream& out, bool reduce_to_pareto) {
+  check(!flags.has("budget"), "sweep/pareto take --budgets, not --budget");
+  AxisSpec axes;
+  axes.kernels = resolve_kernels(flags.get("kernel", "paper"));
+  axes.algorithms = resolve_algorithms(flags.get("algos", "paper"));
+  axes.budgets = parse_budget_spec(flags.get("budgets", "8:128"));
+  axes.fetch_modes = resolve_fetch(flags.get("fetch", "on"));
+  axes.interchange = flags.has("interchange");
+
+  ExploreOptions options;
+  options.jobs = flags.has("jobs") ? parse_int(flags.get("jobs", "1"), "--jobs") : 1;
+  const Format format = parse_format(flags.get("format", "text"));
+
+  const ExploreResult result = explore(std::move(axes), options);
+  if (reduce_to_pareto) {
+    write_pareto_report(out, result, format);
+  } else {
+    write_points_report(out, result, format);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& command = args.front();
+  if (command == "--help" || command == "-h" || command == "help") {
+    out << kUsage;
+    return 0;
+  }
+  try {
+    const Flags flags = parse_flags(args, 1);
+    if (command == "list") {
+      check(flags.values.empty(), "list takes no flags");
+      return cmd_list(out);
+    }
+    if (command == "run") return cmd_run(flags, out);
+    if (command == "sweep") return cmd_sweep(flags, out, /*reduce_to_pareto=*/false);
+    if (command == "pareto") return cmd_sweep(flags, out, /*reduce_to_pareto=*/true);
+    err << "error: unknown command '" << command << "'\n\n" << kUsage;
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace srra::dse

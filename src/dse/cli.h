@@ -1,0 +1,29 @@
+// Command-line front end for the DSE engine (DESIGN.md §7), shared by
+// tools/srra_cli.cc and the in-process CLI tests. Grammar:
+//
+//   srra list
+//   srra run    --kernel=NAME|FILE [--algos=LIST] [--budget=N]
+//               [--fetch=on|off] [--format=text|csv|json]
+//   srra sweep  [--kernel=LIST|all|paper] [--algos=LIST|all|paper]
+//               [--budgets=SPEC] [--interchange] [--fetch=on|off|both]
+//               [--jobs=N] [--format=text|csv|json]
+//   srra pareto (same flags as sweep)
+//
+// --kernel accepts built-in names (example, fir, dec_fir, mat, imi, pat,
+// bic, conv2d, matvec; case- and -/_-insensitive), the sets "paper"
+// (Table 1) and "all", or a path to a kernel-DSL file. --budgets accepts
+// "64", "8,16,64", "8:128" (doubling) or "8:128:8" (arithmetic step).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srra::dse {
+
+/// Runs one srra CLI invocation. `args` excludes argv[0]. Reports go to
+/// `out`; usage and diagnostics go to `err`. Returns the process exit
+/// code: 0 on success, 2 on usage/input errors.
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace srra::dse

@@ -1,0 +1,66 @@
+#include "dse/explore.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/thread_pool.h"
+
+namespace srra::dse {
+
+ExploreResult explore(EnumeratedSpace space, const ExploreOptions& options) {
+  ExploreResult result;
+  result.results.resize(space.points.size());
+  const std::vector<std::vector<int>> groups = space.points_by_variant();
+
+  // Work units are contiguous shards of one variant's point list. One
+  // shard per variant suffices when there are at least as many variants as
+  // lanes; otherwise every variant is split so a single-kernel sweep still
+  // fills the pool — each shard then runs the analysis stage on its own
+  // RefModel (duplicated work traded for parallelism). Sharding cannot
+  // change any result: a point's evaluation never depends on the other
+  // points sharing its model, only the access-count cache does.
+  struct Unit {
+    int variant;
+    std::size_t begin;
+    std::size_t end;
+  };
+  const std::size_t lanes =
+      static_cast<std::size_t>(ThreadPool::clamp_jobs(options.jobs));
+  const std::size_t shards =
+      space.variants.empty() ? 1 : std::max<std::size_t>(1, lanes / space.variants.size());
+  std::vector<Unit> units;
+  for (const Variant& variant : space.variants) {
+    const std::size_t n = groups[static_cast<std::size_t>(variant.index)].size();
+    const std::size_t chunks = std::min(shards, std::max<std::size_t>(n, 1));
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const Unit unit{variant.index, n * c / chunks, n * (c + 1) / chunks};
+      if (unit.begin < unit.end) units.push_back(unit);
+    }
+  }
+
+  ThreadPool pool(options.jobs);
+  pool.parallel_for(static_cast<std::int64_t>(units.size()), [&](std::int64_t u) {
+    const Unit& unit = units[static_cast<std::size_t>(u)];
+    const Variant& variant = space.variants[static_cast<std::size_t>(unit.variant)];
+    const std::vector<int>& indices = groups[static_cast<std::size_t>(unit.variant)];
+    const RefModel model(variant.kernel.clone());
+    for (std::size_t i = unit.begin; i < unit.end; ++i) {
+      const SpacePoint& point = space.points[static_cast<std::size_t>(indices[i])];
+      PointResult& out = result.results[static_cast<std::size_t>(point.index)];
+      PipelineOptions pipeline = options.pipeline;
+      pipeline.budget = point.budget;
+      pipeline.cycles.concurrent_operand_fetch = point.concurrent_fetch;
+      try {
+        out.design = run_pipeline(model, point.algorithm, pipeline);
+        out.feasible = true;
+      } catch (const Error& e) {
+        out.error = e.what();
+      }
+    }
+  });
+
+  result.space = std::move(space);
+  return result;
+}
+
+}  // namespace srra::dse

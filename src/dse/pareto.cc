@@ -1,0 +1,127 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace srra::dse {
+
+std::vector<std::string> kernel_names(const ExploreResult& result) {
+  std::vector<std::string> names;
+  for (const Variant& variant : result.space.variants) {
+    if (std::find(names.begin(), names.end(), variant.kernel_name) == names.end()) {
+      names.push_back(variant.kernel_name);
+    }
+  }
+  return names;
+}
+
+namespace {
+
+Frontier frontier_for(const ExploreResult& result, const std::string& kernel_name,
+                      std::string label, std::string x_name, std::string y_name,
+                      double (*x_of)(const DesignPoint&),
+                      double (*y_of)(const DesignPoint&)) {
+  std::vector<std::pair<double, double>> coords;
+  std::vector<int> owners;  // SpacePoint index per coordinate row
+  for (const SpacePoint& point : result.space.points) {
+    const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+    if (!r.feasible) continue;
+    if (result.variant_of(point).kernel_name != kernel_name) continue;
+    coords.emplace_back(x_of(r.design), y_of(r.design));
+    owners.push_back(point.index);
+  }
+  Frontier frontier;
+  frontier.label = std::move(label);
+  frontier.x_name = std::move(x_name);
+  frontier.y_name = std::move(y_name);
+  for (const int row : pareto_frontier(coords)) {
+    frontier.points.push_back(owners[static_cast<std::size_t>(row)]);
+  }
+  return frontier;
+}
+
+}  // namespace
+
+std::vector<int> pareto_frontier(const std::vector<std::pair<double, double>>& points) {
+  std::vector<int> order(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& pa = points[static_cast<std::size_t>(a)];
+    const auto& pb = points[static_cast<std::size_t>(b)];
+    if (pa.first != pb.first) return pa.first < pb.first;
+    if (pa.second != pb.second) return pa.second < pb.second;
+    return a < b;
+  });
+
+  // Sweep x-ascending: a point survives iff its y is strictly below every
+  // smaller-x point's y. Within one x value only the minimal y survives
+  // (all coordinate-tied copies of it).
+  std::vector<int> frontier;
+  double best_y = std::numeric_limits<double>::infinity();  // over strictly smaller x
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double x = points[static_cast<std::size_t>(order[i])].first;
+    const double group_y = points[static_cast<std::size_t>(order[i])].second;
+    if (group_y < best_y) {
+      for (std::size_t j = i;
+           j < order.size() &&
+           points[static_cast<std::size_t>(order[j])].first == x &&
+           points[static_cast<std::size_t>(order[j])].second == group_y;
+           ++j) {
+        frontier.push_back(order[j]);
+      }
+      best_y = group_y;
+    }
+    while (i < order.size() && points[static_cast<std::size_t>(order[i])].first == x) ++i;
+  }
+  return frontier;
+}
+
+Frontier registers_vs_cycles(const ExploreResult& result, const std::string& kernel_name) {
+  return frontier_for(
+      result, kernel_name, "registers vs exec cycles", "registers", "exec_cycles",
+      [](const DesignPoint& d) { return static_cast<double>(d.allocation.total()); },
+      [](const DesignPoint& d) { return static_cast<double>(d.cycles.exec_cycles); });
+}
+
+Frontier slices_vs_time(const ExploreResult& result, const std::string& kernel_name) {
+  return frontier_for(
+      result, kernel_name, "slices vs time_us", "slices", "time_us",
+      [](const DesignPoint& d) { return static_cast<double>(d.hw.slices); },
+      [](const DesignPoint& d) { return d.time_us(); });
+}
+
+std::vector<int> best_per_budget(const ExploreResult& result) {
+  std::vector<std::int64_t> budgets;
+  for (const SpacePoint& point : result.space.points) budgets.push_back(point.budget);
+  std::sort(budgets.begin(), budgets.end());
+  budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+
+  std::vector<int> best;
+  for (const std::string& name : kernel_names(result)) {
+    for (const std::int64_t budget : budgets) {
+      int winner = -1;
+      for (const SpacePoint& point : result.space.points) {
+        if (point.budget != budget) continue;
+        if (result.variant_of(point).kernel_name != name) continue;
+        const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+        if (!r.feasible) continue;
+        if (winner < 0) {
+          winner = point.index;
+          continue;
+        }
+        const DesignPoint& cur = result.results[static_cast<std::size_t>(winner)].design;
+        const DesignPoint& cand = r.design;
+        if (cand.cycles.exec_cycles != cur.cycles.exec_cycles) {
+          if (cand.cycles.exec_cycles < cur.cycles.exec_cycles) winner = point.index;
+        } else if (cand.allocation.total() < cur.allocation.total()) {
+          winner = point.index;
+        }
+      }
+      if (winner >= 0) best.push_back(winner);
+    }
+  }
+  return best;
+}
+
+}  // namespace srra::dse

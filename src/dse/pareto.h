@@ -1,0 +1,47 @@
+// Pareto-frontier reduction over evaluated design points (DESIGN.md §7).
+// Both objectives are minimized (fewer registers, fewer cycles; fewer
+// slices, less time). Dominance is the usual weak form: a dominates b when
+// a is no worse on both axes and strictly better on at least one. Points
+// with identical coordinates do not dominate each other, so coordinate
+// ties all survive; the returned order is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dse/explore.h"
+
+namespace srra::dse {
+
+/// Indices of the non-dominated points of `points` (minimizing both
+/// coordinates), sorted by (x ascending, y ascending, input index).
+/// Coordinate-tied copies of a frontier point are all kept.
+std::vector<int> pareto_frontier(const std::vector<std::pair<double, double>>& points);
+
+/// Kernel names of `result` in variant declaration order, deduplicated —
+/// the section order shared by every reduced report.
+std::vector<std::string> kernel_names(const ExploreResult& result);
+
+/// A named two-objective reduction of an ExploreResult.
+struct Frontier {
+  std::string label;       ///< e.g. "registers vs exec cycles"
+  std::string x_name;      ///< axis names for reports
+  std::string y_name;
+  std::vector<int> points; ///< SpacePoint indices on the frontier, frontier order
+};
+
+/// The registers-vs-exec-cycles frontier over the feasible points of one
+/// kernel (all loop orders, fetch modes, algorithms and budgets pooled).
+Frontier registers_vs_cycles(const ExploreResult& result, const std::string& kernel_name);
+
+/// The slices-vs-wall-clock (time_us) frontier over the same pool.
+Frontier slices_vs_time(const ExploreResult& result, const std::string& kernel_name);
+
+/// For each (kernel, budget): the feasible point with the fewest execution
+/// cycles (ties: fewer registers, then lower point index). Returned as
+/// SpacePoint indices in (kernel declaration order, budget ascending)
+/// order; budgets with no feasible point are skipped.
+std::vector<int> best_per_budget(const ExploreResult& result);
+
+}  // namespace srra::dse

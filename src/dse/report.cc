@@ -1,0 +1,301 @@
+#include "dse/report.h"
+
+#include <algorithm>
+
+#include "support/csv.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace srra::dse {
+
+namespace {
+
+const char* fetch_name(bool concurrent) { return concurrent ? "concurrent" : "serial"; }
+
+// Tmem per steady outer iteration — the unit Figure 2(c) reports (1800 /
+// 1560 / 1184 on the worked example at budget 64).
+double tmem_per_outer(const Variant& variant, const DesignPoint& d) {
+  return d.cycles.mem_cycles_per_outer(variant.kernel.loop(0).trip_count());
+}
+
+// Emits the per-point payload fields shared by the JSON reports.
+void json_point(JsonWriter& json, const ExploreResult& result, const SpacePoint& point) {
+  const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+  const Variant& variant = result.variant_of(point);
+  json.begin_object();
+  json.field("kernel", variant.kernel_name);
+  json.field("order", variant.order);
+  json.field("fetch", fetch_name(point.concurrent_fetch));
+  json.field("algorithm", algorithm_name(point.algorithm));
+  json.field("budget", point.budget);
+  json.field("feasible", r.feasible);
+  if (!r.feasible) {
+    json.field("error", r.error);
+    json.end_object();
+    return;
+  }
+  const DesignPoint& d = r.design;
+  json.field("registers", d.allocation.total());
+  json.field("distribution", d.allocation.distribution());
+  json.field("mem_cycles", d.cycles.mem_cycles);
+  json.field("mem_cycles_per_outer", tmem_per_outer(variant, d));
+  json.field("ram_accesses", d.cycles.ram_accesses);
+  json.field("exec_cycles", d.cycles.exec_cycles);
+  json.field("clock_ns", d.hw.clock_ns);
+  json.field("time_us", d.time_us());
+  json.field("slices", d.hw.slices);
+  json.field("occupancy", d.hw.occupancy);
+  json.field("block_rams", d.hw.block_rams);
+  json.end_object();
+}
+
+std::vector<std::string> csv_point(const ExploreResult& result, const SpacePoint& point) {
+  const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+  const Variant& variant = result.variant_of(point);
+  std::vector<std::string> row{variant.kernel_name,
+                               variant.order,
+                               fetch_name(point.concurrent_fetch),
+                               algorithm_name(point.algorithm),
+                               std::to_string(point.budget),
+                               r.feasible ? "1" : "0"};
+  if (!r.feasible) {
+    row.insert(row.end(), {"", "", "", "", "", "", "", "", "", "", "", r.error});
+    return row;
+  }
+  const DesignPoint& d = r.design;
+  row.insert(row.end(),
+             {std::to_string(d.allocation.total()), d.allocation.distribution(),
+              std::to_string(d.cycles.mem_cycles), to_fixed(tmem_per_outer(variant, d), 1),
+              std::to_string(d.cycles.ram_accesses),
+              std::to_string(d.cycles.exec_cycles), to_fixed(d.hw.clock_ns, 2),
+              to_fixed(d.time_us(), 3), std::to_string(d.hw.slices),
+              to_fixed(d.hw.occupancy, 4), std::to_string(d.hw.block_rams), ""});
+  return row;
+}
+
+void frontier_rows(Table& table, const ExploreResult& result, const Frontier& frontier,
+                   bool integer_axes) {
+  for (const int index : frontier.points) {
+    const SpacePoint& point = result.space.points[static_cast<std::size_t>(index)];
+    const PointResult& r = result.results[static_cast<std::size_t>(index)];
+    const Variant& variant = result.variant_of(point);
+    const DesignPoint& d = r.design;
+    const bool regs_cycles = integer_axes;
+    table.add_row({regs_cycles ? std::to_string(d.allocation.total())
+                               : with_commas(d.hw.slices),
+                   regs_cycles ? with_commas(d.cycles.exec_cycles)
+                               : to_fixed(d.time_us(), 1),
+                   algorithm_name(point.algorithm), std::to_string(point.budget),
+                   variant.order, fetch_name(point.concurrent_fetch)});
+  }
+}
+
+void json_frontier(JsonWriter& json, const ExploreResult& result, const Frontier& frontier) {
+  json.begin_object();
+  json.field("label", frontier.label);
+  json.field("x", frontier.x_name);
+  json.field("y", frontier.y_name);
+  json.key("points");
+  json.begin_array();
+  for (const int index : frontier.points) {
+    json_point(json, result, result.space.points[static_cast<std::size_t>(index)]);
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+Format parse_format(const std::string& name) {
+  if (name == "text") return Format::kText;
+  if (name == "csv") return Format::kCsv;
+  if (name == "json") return Format::kJson;
+  fail(cat("unknown report format: ", name, " (want text|csv|json)"));
+}
+
+std::string format_name(Format format) {
+  switch (format) {
+    case Format::kText: return "text";
+    case Format::kCsv: return "csv";
+    case Format::kJson: return "json";
+  }
+  fail("unknown Format");
+}
+
+void write_points_report(std::ostream& os, const ExploreResult& result, Format format) {
+  switch (format) {
+    case Format::kText: {
+      os << "Design-space sweep: " << result.space.variants.size() << " variant(s), "
+         << result.space.points.size() << " point(s)\n\n";
+      Table table({"Kernel", "Order", "Fetch", "Algorithm", "Budget", "Regs",
+                   "Distribution", "Tmem", "Tmem/outer", "Exec cycles", "Clock ns",
+                   "Time us", "Slices", "RAMs", "Status"});
+      int last_variant = -1;
+      for (const SpacePoint& point : result.space.points) {
+        const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+        const Variant& variant = result.variant_of(point);
+        if (last_variant >= 0 && point.variant != last_variant) table.add_separator();
+        last_variant = point.variant;
+        if (!r.feasible) {
+          table.add_row({variant.kernel_name, variant.order,
+                         fetch_name(point.concurrent_fetch),
+                         algorithm_name(point.algorithm), std::to_string(point.budget),
+                         "-", "-", "-", "-", "-", "-", "-", "-", "-", "infeasible"});
+          continue;
+        }
+        const DesignPoint& d = r.design;
+        table.add_row({variant.kernel_name, variant.order,
+                       fetch_name(point.concurrent_fetch),
+                       algorithm_name(point.algorithm), std::to_string(point.budget),
+                       std::to_string(d.allocation.total()), d.allocation.distribution(),
+                       with_commas(d.cycles.mem_cycles),
+                       to_fixed(tmem_per_outer(variant, d), 0),
+                       with_commas(d.cycles.exec_cycles), to_fixed(d.hw.clock_ns, 1),
+                       to_fixed(d.time_us(), 1), with_commas(d.hw.slices),
+                       std::to_string(d.hw.block_rams), "ok"});
+      }
+      table.render(os);
+      return;
+    }
+    case Format::kCsv: {
+      CsvWriter csv(os);
+      csv.row({"kernel", "order", "fetch", "algorithm", "budget", "feasible",
+               "registers", "distribution", "mem_cycles", "mem_cycles_per_outer",
+               "ram_accesses", "exec_cycles", "clock_ns", "time_us", "slices",
+               "occupancy", "block_rams", "error"});
+      for (const SpacePoint& point : result.space.points) {
+        csv.row(csv_point(result, point));
+      }
+      return;
+    }
+    case Format::kJson: {
+      JsonWriter json(os);
+      json.begin_object();
+      json.field("schema", "srra-dse-points/v1");
+      json.field("variants", static_cast<std::int64_t>(result.space.variants.size()));
+      json.key("points");
+      json.begin_array();
+      for (const SpacePoint& point : result.space.points) json_point(json, result, point);
+      json.end_array();
+      json.end_object();
+      return;
+    }
+  }
+}
+
+void write_pareto_report(std::ostream& os, const ExploreResult& result, Format format) {
+  const std::vector<std::string> names = kernel_names(result);
+  const std::vector<int> best = best_per_budget(result);
+
+  switch (format) {
+    case Format::kText: {
+      for (const std::string& name : names) {
+        const Frontier rc = registers_vs_cycles(result, name);
+        const Frontier st = slices_vs_time(result, name);
+        os << name << " — Pareto frontier: registers vs exec cycles\n";
+        Table rc_table({"Registers", "Exec cycles", "Algorithm", "Budget", "Order", "Fetch"});
+        frontier_rows(rc_table, result, rc, /*integer_axes=*/true);
+        rc_table.render(os);
+        os << "\n" << name << " — Pareto frontier: slices vs time\n";
+        Table st_table({"Slices", "Time us", "Algorithm", "Budget", "Order", "Fetch"});
+        frontier_rows(st_table, result, st, /*integer_axes=*/false);
+        st_table.render(os);
+        os << "\n";
+      }
+      os << "Best per budget (fewest exec cycles; ties: fewest registers)\n";
+      Table table({"Kernel", "Budget", "Algorithm", "Order", "Fetch", "Regs",
+                   "Exec cycles", "Time us"});
+      for (const int index : best) {
+        const SpacePoint& point = result.space.points[static_cast<std::size_t>(index)];
+        const DesignPoint& d = result.results[static_cast<std::size_t>(index)].design;
+        const Variant& variant = result.variant_of(point);
+        table.add_row({variant.kernel_name, std::to_string(point.budget),
+                       algorithm_name(point.algorithm), variant.order,
+                       fetch_name(point.concurrent_fetch),
+                       std::to_string(d.allocation.total()),
+                       with_commas(d.cycles.exec_cycles), to_fixed(d.time_us(), 1)});
+      }
+      table.render(os);
+      return;
+    }
+    case Format::kCsv: {
+      CsvWriter csv(os);
+      csv.row({"section", "kernel", "order", "fetch", "algorithm", "budget",
+               "registers", "mem_cycles", "exec_cycles", "slices", "time_us"});
+      const auto emit = [&](const std::string& section, int index) {
+        const SpacePoint& point = result.space.points[static_cast<std::size_t>(index)];
+        const DesignPoint& d = result.results[static_cast<std::size_t>(index)].design;
+        const Variant& variant = result.variant_of(point);
+        csv.row({section, variant.kernel_name, variant.order,
+                 fetch_name(point.concurrent_fetch), algorithm_name(point.algorithm),
+                 std::to_string(point.budget), std::to_string(d.allocation.total()),
+                 std::to_string(d.cycles.mem_cycles),
+                 std::to_string(d.cycles.exec_cycles), std::to_string(d.hw.slices),
+                 to_fixed(d.time_us(), 3)});
+      };
+      for (const std::string& name : names) {
+        for (const int i : registers_vs_cycles(result, name).points) {
+          emit("registers_vs_cycles", i);
+        }
+        for (const int i : slices_vs_time(result, name).points) {
+          emit("slices_vs_time", i);
+        }
+      }
+      for (const int i : best) emit("best_per_budget", i);
+      return;
+    }
+    case Format::kJson: {
+      JsonWriter json(os);
+      json.begin_object();
+      json.field("schema", "srra-dse-pareto/v1");
+      json.key("kernels");
+      json.begin_array();
+      for (const std::string& name : names) {
+        json.begin_object();
+        json.field("name", name);
+        json.key("frontiers");
+        json.begin_array();
+        json_frontier(json, result, registers_vs_cycles(result, name));
+        json_frontier(json, result, slices_vs_time(result, name));
+        json.end_array();
+        json.end_object();
+      }
+      json.end_array();
+      json.key("best_per_budget");
+      json.begin_array();
+      for (const int i : best) {
+        json_point(json, result, result.space.points[static_cast<std::size_t>(i)]);
+      }
+      json.end_array();
+      json.end_object();
+      return;
+    }
+  }
+}
+
+void write_design_table(std::ostream& os, const std::string& kernel_name,
+                        const RefModel& model, const std::vector<DesignPoint>& points) {
+  check(!points.empty(), "write_design_table: no design points");
+  Table table({"Kernel", "Version", "Required S.R.", "Distribution", "Total",
+               "Cycles", "dCyc", "Clock ns", "Time us", "Speedup", "Slices", "Occup",
+               "RAMs"});
+  const DesignPoint& v1 = points.front();
+  for (std::size_t v = 0; v < points.size(); ++v) {
+    const DesignPoint& p = points[v];
+    const double dcyc = 1.0 - static_cast<double>(p.cycles.exec_cycles) /
+                                  static_cast<double>(v1.cycles.exec_cycles);
+    const double speedup = v1.time_us() / p.time_us();
+    table.add_row({kernel_name, cat("v", v + 1, " ", algorithm_name(p.algorithm)),
+                   v == 0 ? required_registers_string(model) : "",
+                   p.allocation.distribution(), std::to_string(p.allocation.total()),
+                   with_commas(p.cycles.exec_cycles), v == 0 ? "-" : to_percent(dcyc),
+                   to_fixed(p.hw.clock_ns, 1), to_fixed(p.time_us(), 1),
+                   v == 0 ? "1.00" : to_fixed(speedup, 2), with_commas(p.hw.slices),
+                   to_percent(p.hw.occupancy).substr(1), std::to_string(p.hw.block_rams)});
+  }
+  table.render(os);
+}
+
+}  // namespace srra::dse

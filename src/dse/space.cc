@@ -1,0 +1,133 @@
+#include "dse/space.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ir/transform.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra::dse {
+
+namespace {
+
+// Returns `base` with its loops rearranged so that new level l holds the
+// original level perm[l], composed from pairwise interchanges.
+Kernel apply_order(const Kernel& base, const std::vector<int>& perm) {
+  Kernel kernel = base.clone();
+  std::vector<int> current(perm.size());
+  std::iota(current.begin(), current.end(), 0);  // current[l] = original level at l
+  for (int pos = 0; pos < static_cast<int>(perm.size()); ++pos) {
+    if (current[pos] == perm[pos]) continue;
+    const auto it = std::find(current.begin() + pos, current.end(), perm[pos]);
+    const int src = static_cast<int>(it - current.begin());
+    kernel = interchange_loops(kernel, pos, src);
+    std::swap(current[pos], current[src]);
+  }
+  return kernel;
+}
+
+std::string order_label(const Kernel& base, const std::vector<int>& perm) {
+  const std::vector<std::string> names = base.loop_names();
+  std::vector<std::string> parts;
+  parts.reserve(perm.size());
+  for (const int level : perm) parts.push_back(names[static_cast<std::size_t>(level)]);
+  return cat("(", join(parts, ","), ")");
+}
+
+// Budgets above this are nonsense for any device the hw model knows; the
+// bound also keeps the doubling ladder far from int64 overflow.
+constexpr std::int64_t kMaxBudget = 1'000'000;
+
+std::int64_t parse_positive(std::string_view token, const std::string& spec) {
+  const std::string text(trim(token));
+  check(!text.empty() && text.size() <= 7 &&
+            text.find_first_not_of("0123456789") == std::string::npos,
+        cat("bad budget spec '", spec, "': '", text,
+            "' is not a positive integer <= ", kMaxBudget));
+  const std::int64_t value = std::stoll(text);
+  check(value > 0 && value <= kMaxBudget,
+        cat("bad budget spec '", spec, "': budgets must be in [1, ", kMaxBudget, "]"));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> EnumeratedSpace::points_by_variant() const {
+  std::vector<std::vector<int>> groups(variants.size());
+  for (const SpacePoint& point : points) {
+    groups[static_cast<std::size_t>(point.variant)].push_back(point.index);
+  }
+  return groups;
+}
+
+EnumeratedSpace enumerate_space(AxisSpec axes) {
+  check(!axes.kernels.empty(), "enumerate_space: no kernels");
+  check(!axes.algorithms.empty(), "enumerate_space: no algorithms");
+  check(!axes.budgets.empty(), "enumerate_space: no budgets");
+  check(!axes.fetch_modes.empty(), "enumerate_space: no fetch modes");
+
+  EnumeratedSpace space;
+  for (SpaceKernel& sk : axes.kernels) {
+    const int depth = sk.kernel.depth();
+    std::vector<int> perm(static_cast<std::size_t>(depth));
+    std::iota(perm.begin(), perm.end(), 0);
+    const bool permute = axes.interchange && depth > 1 &&
+                         depth <= axes.max_interchange_depth &&
+                         interchange_is_safe(sk.kernel);
+    do {
+      Variant variant;
+      variant.index = static_cast<int>(space.variants.size());
+      variant.kernel_name = sk.name;
+      variant.order = order_label(sk.kernel, perm);
+      const bool identity = std::is_sorted(perm.begin(), perm.end());
+      variant.kernel = identity ? sk.kernel.clone() : apply_order(sk.kernel, perm);
+      space.variants.push_back(std::move(variant));
+    } while (permute && std::next_permutation(perm.begin(), perm.end()));
+  }
+
+  for (const Variant& variant : space.variants) {
+    for (const bool fetch : axes.fetch_modes) {
+      for (const Algorithm algorithm : axes.algorithms) {
+        for (const std::int64_t budget : axes.budgets) {
+          SpacePoint point;
+          point.index = static_cast<int>(space.points.size());
+          point.variant = variant.index;
+          point.algorithm = algorithm;
+          point.budget = budget;
+          point.concurrent_fetch = fetch;
+          space.points.push_back(point);
+        }
+      }
+    }
+  }
+  return space;
+}
+
+std::vector<std::int64_t> parse_budget_spec(const std::string& spec) {
+  std::vector<std::int64_t> budgets;
+  if (spec.find(':') != std::string::npos) {
+    const std::vector<std::string> parts = split(spec, ':');
+    check(parts.size() == 2 || parts.size() == 3,
+          cat("bad budget spec '", spec, "': want lo:hi or lo:hi:step"));
+    const std::int64_t lo = parse_positive(parts[0], spec);
+    const std::int64_t hi = parse_positive(parts[1], spec);
+    check(lo <= hi, cat("bad budget spec '", spec, "': lo > hi"));
+    if (parts.size() == 3) {
+      const std::int64_t step = parse_positive(parts[2], spec);
+      for (std::int64_t b = lo; b <= hi; b += step) budgets.push_back(b);
+    } else {
+      for (std::int64_t b = lo; b <= hi; b *= 2) budgets.push_back(b);
+    }
+    if (budgets.back() != hi) budgets.push_back(hi);
+  } else {
+    for (const std::string& token : split(spec, ',')) {
+      budgets.push_back(parse_positive(token, spec));
+    }
+  }
+  std::sort(budgets.begin(), budgets.end());
+  budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+  return budgets;
+}
+
+}  // namespace srra::dse

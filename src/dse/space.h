@@ -1,0 +1,84 @@
+// Design-space definition and enumeration (DESIGN.md §7). A space is the
+// cross product of five axes:
+//
+//   kernels x loop orders x fetch modes x algorithms x register budgets
+//
+// Kernel x loop-order combinations are materialized as *variants* (each
+// owns one transformed Kernel); the remaining axes are expanded into flat
+// SpacePoints that reference their variant by index. Enumeration order is
+// deterministic — variants in kernel/order declaration order, points in
+// (variant, fetch, algorithm, budget) lexicographic order — and every
+// point carries its dense index, which is what makes parallel evaluation
+// reproducible (explore.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "ir/kernel.h"
+
+namespace srra::dse {
+
+/// One kernel entering the space, with its display name.
+struct SpaceKernel {
+  std::string name;
+  Kernel kernel;
+};
+
+/// The axes of a design space. Defaults reproduce the paper's setup: the
+/// three Fig. 3/4 allocators at budget 64, source loop order, concurrent
+/// operand fetch.
+struct AxisSpec {
+  std::vector<SpaceKernel> kernels;
+  std::vector<Algorithm> algorithms = paper_variants();
+  std::vector<std::int64_t> budgets = {64};
+  /// Values taken by CycleOptions::concurrent_operand_fetch.
+  std::vector<bool> fetch_modes = {true};
+  /// Enumerate every legal loop-interchange permutation per kernel.
+  bool interchange = false;
+  /// Nests deeper than this keep source order even with interchange on
+  /// (depth d contributes d! orders; 3 ⇒ at most 6 variants per kernel).
+  int max_interchange_depth = 3;
+};
+
+/// One (kernel, loop order) combination; owns the transformed kernel.
+struct Variant {
+  int index = 0;
+  std::string kernel_name;
+  std::string order;  ///< loop-order label, e.g. "(i,j,k)"
+  Kernel kernel;
+};
+
+/// One evaluation point: a variant plus values for the scalar axes.
+struct SpacePoint {
+  int index = 0;    ///< dense id in enumeration order
+  int variant = 0;  ///< index into EnumeratedSpace::variants
+  Algorithm algorithm = Algorithm::kFrRa;
+  std::int64_t budget = 64;
+  bool concurrent_fetch = true;
+};
+
+/// A fully enumerated space.
+struct EnumeratedSpace {
+  std::vector<Variant> variants;
+  std::vector<SpacePoint> points;
+
+  /// Point indices grouped by variant, each group in point order.
+  std::vector<std::vector<int>> points_by_variant() const;
+};
+
+/// Expands `axes` into variants and points. With `interchange` set, every
+/// permutation of the loop nest that `interchange_is_safe` admits is
+/// enumerated (source order first); otherwise only the source order.
+/// Throws srra::Error if any axis is empty.
+EnumeratedSpace enumerate_space(AxisSpec axes);
+
+/// Parses a budget-axis spec: "64" (single), "8,16,64" (list),
+/// "lo:hi" (doubling ladder from lo, hi appended if overshot) or
+/// "lo:hi:step" (arithmetic). Result is sorted ascending, deduplicated.
+/// Throws srra::Error on malformed specs or non-positive budgets.
+std::vector<std::int64_t> parse_budget_spec(const std::string& spec);
+
+}  // namespace srra::dse

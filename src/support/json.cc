@@ -1,0 +1,128 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace srra {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through unchanged
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::begin_value() {
+  check(!done_, "JsonWriter: document already complete");
+  if (stack_.empty()) return;  // root value
+  if (stack_.back() == Scope::kObject) {
+    check(key_pending_, "JsonWriter: object member needs key() first");
+    key_pending_ = false;
+    return;  // key() already wrote separator + indentation
+  }
+  if (has_items_.back()) os_ << ',';
+  indent();
+  has_items_.back() = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  check(!stack_.empty() && stack_.back() == Scope::kObject,
+        "JsonWriter: key() outside an object");
+  check(!key_pending_, "JsonWriter: key() while a key is already pending");
+  if (has_items_.back()) os_ << ',';
+  indent();
+  has_items_.back() = true;
+  os_ << '"' << json_escape(name) << "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::open(Scope scope, char bracket) {
+  begin_value();
+  os_ << bracket;
+  stack_.push_back(scope);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::close(Scope scope, char bracket) {
+  check(!stack_.empty() && stack_.back() == scope && !key_pending_,
+        "JsonWriter: unbalanced end of scope");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) indent();
+  os_ << bracket;
+  if (stack_.empty()) {
+    os_ << '\n';
+    done_ = true;
+  }
+}
+
+void JsonWriter::begin_object() { open(Scope::kObject, '{'); }
+void JsonWriter::end_object() { close(Scope::kObject, '}'); }
+void JsonWriter::begin_array() { open(Scope::kArray, '['); }
+void JsonWriter::end_array() { close(Scope::kArray, ']'); }
+
+void JsonWriter::value(std::string_view text) {
+  begin_value();
+  os_ << '"' << json_escape(text) << '"';
+  if (stack_.empty()) { os_ << '\n'; done_ = true; }
+}
+
+void JsonWriter::value(std::int64_t number) {
+  begin_value();
+  os_ << number;
+  if (stack_.empty()) { os_ << '\n'; done_ = true; }
+}
+
+void JsonWriter::value(double number) {
+  begin_value();
+  if (!std::isfinite(number)) {
+    os_ << "null";
+  } else {
+    // %.12g is locale-independent with snprintf on the platforms we target
+    // and round-trips every value the models produce.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", number);
+    os_ << buf;
+  }
+  if (stack_.empty()) { os_ << '\n'; done_ = true; }
+}
+
+void JsonWriter::value(bool flag) {
+  begin_value();
+  os_ << (flag ? "true" : "false");
+  if (stack_.empty()) { os_ << '\n'; done_ = true; }
+}
+
+void JsonWriter::null() {
+  begin_value();
+  os_ << "null";
+  if (stack_.empty()) { os_ << '\n'; done_ = true; }
+}
+
+}  // namespace srra

@@ -1,0 +1,75 @@
+// Minimal streaming JSON writer with correct string escaping — the
+// machine-readable twin of support/table.h. Emission is fully
+// deterministic (fixed indentation, fixed number formatting, no locale
+// dependence), which the DSE engine relies on for byte-identical reports
+// across thread counts (DESIGN.md §7).
+//
+// Usage:
+//   JsonWriter json(os);
+//   json.begin_object();
+//   json.key("name"); json.value("FIR");
+//   json.key("budgets"); json.begin_array();
+//   json.value(std::int64_t{64});
+//   json.end_array();
+//   json.end_object();   // destructor checks the document is complete
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace srra {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters; no surrounding quotes added).
+std::string json_escape(std::string_view text);
+
+/// Streams one JSON document, pretty-printed with 2-space indentation.
+/// Structural misuse (value without key inside an object, unbalanced
+/// end_*) throws srra::Error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next object member.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(const std::string& text) { value(std::string_view(text)); }
+  void value(std::int64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  /// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  void value(double number);
+  void value(bool flag);
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void field(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void begin_value();  // comma/newline/indent bookkeeping before any value
+  void open(Scope scope, char bracket);
+  void close(Scope scope, char bracket);
+  void indent();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // per scope: something emitted yet?
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace srra

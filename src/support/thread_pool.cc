@@ -1,0 +1,93 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace srra {
+
+int ThreadPool::clamp_jobs(int jobs) {
+  if (jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  // An explicit request is honored even beyond the core count (results are
+  // thread-count-independent by construction; oversubscription only costs
+  // scheduling). The cap is a sanity bound, not a tuning decision.
+  return std::min(jobs, 256);
+}
+
+ThreadPool::ThreadPool(int jobs) {
+  const int lanes = clamp_jobs(jobs <= 0 ? 0 : jobs);
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int w = 0; w < lanes - 1; ++w) {
+    workers_.emplace_back([this] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+          if (shutdown_) return;
+          seen = generation_;
+        }
+        run_batch();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++idle_workers_;
+        }
+        done_cv_.notify_one();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_batch() {
+  for (;;) {
+    const std::int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty()) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);  // inline: exceptions propagate as-is
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    idle_workers_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_batch();  // the calling thread is a lane too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return idle_workers_ == static_cast<int>(workers_.size()); });
+    fn_ = nullptr;
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace srra

@@ -1,0 +1,62 @@
+// Fixed-size thread pool with a deterministic parallel-for. There is no
+// work stealing and no per-thread result state: workers claim indices from
+// a shared counter and every index writes only into its own output slot, so
+// the merged result is identical regardless of thread count or scheduling —
+// the property the DSE engine's byte-identical-reports guarantee rests on
+// (DESIGN.md §7).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace srra {
+
+/// A fixed pool of `jobs - 1` worker threads plus the calling thread.
+/// `jobs <= 1` runs everything inline on the caller (no threads spawned).
+class ThreadPool {
+ public:
+  /// `jobs <= 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread).
+  int jobs() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(i)` for every i in [0, n), spread over the pool; blocks until
+  /// all calls return. The first exception thrown by any `fn(i)` is
+  /// rethrown on the caller once the batch drains. Not reentrant: `fn` must
+  /// not call parallel_for on the same pool.
+  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+  /// Resolves a requested job count: <= 0 becomes hardware_concurrency;
+  /// explicit positive requests are honored (capped at 256).
+  static int clamp_jobs(int jobs);
+
+ private:
+  void run_batch();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped once per parallel_for batch
+  bool shutdown_ = false;
+  int idle_workers_ = 0;  // workers done with the current batch
+
+  // Current batch (valid while a parallel_for is in flight).
+  const std::function<void(std::int64_t)>* fn_ = nullptr;
+  std::int64_t n_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace srra

@@ -140,11 +140,18 @@ TEST(AllocKnapsack, AtLeastAsGoodAsFr) {
 
 TEST(Registry, NamesRoundTrip) {
   for (Algorithm alg : {Algorithm::kFeasibility, Algorithm::kFrRa, Algorithm::kPrRa,
-                        Algorithm::kCpaRa, Algorithm::kKnapsack}) {
+                        Algorithm::kCpaRa, Algorithm::kKnapsack, Algorithm::kOptimalDp}) {
     EXPECT_EQ(parse_algorithm(algorithm_name(alg)), alg);
   }
   EXPECT_EQ(parse_algorithm("cpa"), Algorithm::kCpaRa);
   EXPECT_THROW(parse_algorithm("zzz"), Error);
+}
+
+TEST(Registry, OptimalDpSpellings) {
+  EXPECT_EQ(parse_algorithm("dp"), Algorithm::kOptimalDp);
+  EXPECT_EQ(parse_algorithm("optimal"), Algorithm::kOptimalDp);
+  EXPECT_EQ(parse_algorithm("optimal-dp"), Algorithm::kOptimalDp);
+  EXPECT_EQ(parse_algorithm("ks"), Algorithm::kKnapsack);
 }
 
 TEST(Registry, PaperVariantsAreV1V2V3) {

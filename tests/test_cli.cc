@@ -1,0 +1,147 @@
+// In-process tests for the `srra` CLI (src/dse/cli.h — tools/srra_cli.cc
+// is only the process shell). Pins the acceptance contract: `srra run`
+// table output for the paper kernels at budget 64 equals the
+// run_paper_variants (Table 1) rows, `srra sweep` reproduces Figure 2(c)'s
+// 1800/1560/1184 row, and reports are byte-identical across --jobs values.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "driver/pipeline.h"
+#include "dse/cli.h"
+#include "dse/report.h"
+#include "kernels/kernels.h"
+
+namespace {
+
+using namespace srra;
+
+struct CliResult {
+  int code = -1;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult result;
+  result.code = dse::run_cli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+// CLI spelling of a built-in kernel name ("Dec-FIR" -> "dec_fir").
+std::string cli_name(const std::string& name) {
+  std::string key;
+  for (const char c : name) {
+    key += c == '-' ? '_' : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return key;
+}
+
+// The acceptance criterion: for every paper kernel, `srra run` at the
+// default budget 64 must render exactly the Table-1 rows that
+// run_paper_variants produces.
+TEST(Cli, RunMatchesRunPaperVariantsAtBudget64) {
+  for (const kernels::NamedKernel& nk : kernels::table1_kernels()) {
+    const CliResult cli = run({"run", "--kernel=" + cli_name(nk.name)});
+    ASSERT_EQ(cli.code, 0) << cli.err;
+
+    const RefModel model(nk.kernel.clone());
+    std::ostringstream expected;
+    expected << nk.name << " at budget 64 (Virtex XCV1000 model; see DESIGN.md §4-6)\n\n";
+    dse::write_design_table(expected, nk.name, model, run_paper_variants(model));
+    EXPECT_EQ(cli.out, expected.str()) << nk.name;
+  }
+}
+
+TEST(Cli, SweepReproducesFigure2cRow) {
+  const CliResult cli =
+      run({"sweep", "--kernel=example", "--budgets=64", "--format=csv"});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  // Figure 2(c): Tmem per outer iteration 1800 (FR-RA), 1560 (PR-RA),
+  // 1184 (CPA-RA) at budget 64 — the mem_cycles_per_outer CSV column.
+  EXPECT_NE(cli.out.find("FR-RA,64,1,53,30/1/1/20/1,3600,1800.0"), std::string::npos)
+      << cli.out;
+  EXPECT_NE(cli.out.find("PR-RA,64,1,64,30/1/12/20/1,3120,1560.0"), std::string::npos);
+  EXPECT_NE(cli.out.find("CPA-RA,64,1,64,16/16/30/1/1,2368,1184.0"), std::string::npos);
+}
+
+TEST(Cli, ReportsAreByteIdenticalAcrossJobs) {
+  const std::vector<std::string> base{"sweep", "--kernel=example,fir",
+                                      "--budgets=16:64", "--format=json"};
+  std::vector<std::string> one = base;
+  one.push_back("--jobs=1");
+  std::vector<std::string> four = base;
+  four.push_back("--jobs=4");
+  const CliResult a = run(one);
+  const CliResult b = run(four);
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_FALSE(a.out.empty());
+}
+
+TEST(Cli, ParetoEmitsFrontiersAndBestPerBudget) {
+  const CliResult cli = run({"pareto", "--kernel=example", "--budgets=8:64"});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  EXPECT_NE(cli.out.find("registers vs exec cycles"), std::string::npos);
+  EXPECT_NE(cli.out.find("slices vs time"), std::string::npos);
+  EXPECT_NE(cli.out.find("Best per budget"), std::string::npos);
+}
+
+TEST(Cli, AcceptsKernelDslFiles) {
+  const std::string path = testing::TempDir() + "srra_cli_fir.k";
+  {
+    std::ofstream out(path);
+    out << kernels::kernel_source("fir");
+  }
+  const CliResult cli = run({"run", "--kernel=" + path});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  EXPECT_NE(cli.out.find("at budget 64"), std::string::npos);
+}
+
+TEST(Cli, InterchangeAndFetchAxes) {
+  const CliResult cli = run({"sweep", "--kernel=example", "--budgets=64",
+                             "--interchange", "--fetch=both", "--jobs=2"});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  // 6 loop orders x 2 fetch modes x 3 algorithms x 1 budget.
+  EXPECT_NE(cli.out.find("6 variant(s), 36 point(s)"), std::string::npos) << cli.out;
+  EXPECT_NE(cli.out.find("serial"), std::string::npos);
+}
+
+TEST(Cli, ListShowsKernelsAndAlgorithms) {
+  const CliResult cli = run({"list"});
+  ASSERT_EQ(cli.code, 0);
+  EXPECT_NE(cli.out.find("Dec-FIR"), std::string::npos);
+  EXPECT_NE(cli.out.find("CPA-RA"), std::string::npos);
+  EXPECT_NE(cli.out.find("optimal-dp"), std::string::npos);
+}
+
+TEST(Cli, HelpAndUsageErrors) {
+  EXPECT_EQ(run({"--help"}).code, 0);
+  EXPECT_NE(run({"--help"}).out.find("usage: srra"), std::string::npos);
+  EXPECT_EQ(run({}).code, 2);
+  EXPECT_EQ(run({"frobnicate"}).code, 2);
+
+  const CliResult unknown_kernel = run({"run", "--kernel=nope"});
+  EXPECT_EQ(unknown_kernel.code, 2);
+  EXPECT_NE(unknown_kernel.err.find("unknown kernel"), std::string::npos);
+
+  EXPECT_EQ(run({"sweep", "--kernel=example", "--frobs=3"}).code, 2);
+  EXPECT_EQ(run({"run", "--kernel=fir", "--budgets=8:64"}).code, 2);
+  EXPECT_EQ(run({"sweep", "--kernel=example", "--budget=64"}).code, 2);
+  EXPECT_EQ(run({"sweep", "--kernel=example", "--budgets=64:8"}).code, 2);
+  // Flags that would be silently meaningless for run are rejected.
+  EXPECT_EQ(run({"run", "--kernel=fir", "--jobs=2"}).code, 2);
+  EXPECT_EQ(run({"run", "--kernel=fir", "--interchange"}).code, 2);
+  // Overflow-sized numbers are usage errors, not std::out_of_range aborts.
+  EXPECT_EQ(run({"sweep", "--kernel=example", "--jobs=9999999999"}).code, 2);
+  EXPECT_EQ(run({"sweep", "--kernel=example", "--budgets=99999999999999999999"}).code, 2);
+}
+
+}  // namespace

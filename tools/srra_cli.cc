@@ -1,0 +1,19 @@
+// The `srra` command-line tool: design-space exploration over the paper's
+// kernels (and user kernel-DSL files) without writing C++. All the logic
+// lives in src/dse/cli.{h,cc} so the test suite can drive it in-process;
+// this translation unit is only the process shell.
+//
+//   srra list
+//   srra run    --kernel=fir
+//   srra sweep  --kernel=example --budgets=16:64 --jobs=2 --format=json
+//   srra pareto --kernel=paper --interchange --fetch=both --jobs=0
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dse/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return srra::dse::run_cli(args, std::cout, std::cerr);
+}
