@@ -4,9 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/model.h"
+#include "analysis/periodic.h"
 #include "core/cpa_ra.h"
 #include "core/greedy.h"
 #include "core/knapsack.h"
+#include "core/optimal.h"
 #include "dfg/cuts.h"
 #include "ir/parser.h"
 #include "kernels/kernels.h"
@@ -78,6 +80,40 @@ void BM_AllocateKnapsack(benchmark::State& state) {
 }
 BENCHMARK(BM_AllocateKnapsack)->DenseRange(0, 6);
 
+// Periodic-collapse access counting (the production path) against the
+// full-iteration-space oracle: the tentpole speedup, per kernel. Both run
+// through strategy selection, so the ratio reflects what every allocator
+// query pays.
+void BM_CountAccessesCollapsed(benchmark::State& state) {
+  const Kernel kernel = kernel_by_index(static_cast<int>(state.range(0)));
+  const auto groups = collect_ref_groups(kernel);
+  const auto reuse = analyze_all_reuse(kernel, groups);
+  for (auto _ : state) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      benchmark::DoNotOptimize(count_group_accesses(kernel, groups[g], reuse[g], 16));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kernel.iteration_count() *
+                          static_cast<std::int64_t>(groups.size()));
+}
+BENCHMARK(BM_CountAccessesCollapsed)->DenseRange(0, 6);
+
+void BM_CountAccessesFullWalk(benchmark::State& state) {
+  const Kernel kernel = kernel_by_index(static_cast<int>(state.range(0)));
+  const auto groups = collect_ref_groups(kernel);
+  const auto reuse = analyze_all_reuse(kernel, groups);
+  ModelOptions oracle;
+  oracle.full_walk_oracle = true;
+  for (auto _ : state) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      benchmark::DoNotOptimize(count_group_accesses(kernel, groups[g], reuse[g], 16, oracle));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kernel.iteration_count() *
+                          static_cast<std::int64_t>(groups.size()));
+}
+BENCHMARK(BM_CountAccessesFullWalk)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
 void BM_CycleModel(benchmark::State& state) {
   const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
   const Allocation a = allocate_cpa(model, 64);
@@ -87,6 +123,42 @@ void BM_CycleModel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * model.kernel().iteration_count());
 }
 BENCHMARK(BM_CycleModel)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+// The collapsed cycle walk without the report memo (a fresh model per
+// pause/resume would pay this), vs the full-walk oracle below.
+void BM_CycleModelCollapsedWalk(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  const Allocation a = allocate_cpa(model, 64);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const RefModel fresh(model.kernel().clone());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(estimate_cycles(fresh, a));
+  }
+  state.SetItemsProcessed(state.iterations() * model.kernel().iteration_count());
+}
+BENCHMARK(BM_CycleModelCollapsedWalk)->DenseRange(0, 6);
+
+void BM_CycleModelFullWalk(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  const Allocation a = allocate_cpa(model, 64);
+  CycleOptions full;
+  full.full_iteration_walk = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_cycles(model, a, full));
+  }
+  state.SetItemsProcessed(state.iterations() * model.kernel().iteration_count());
+}
+BENCHMARK(BM_CycleModelFullWalk)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+void BM_AllocateOptimalDp(benchmark::State& state) {
+  const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));
+  (void)allocate_optimal_dp(model, 64);  // warm the access-count cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocate_optimal_dp(model, 64));
+  }
+}
+BENCHMARK(BM_AllocateOptimalDp)->DenseRange(0, 6);
 
 void BM_MachineSimulator(benchmark::State& state) {
   const RefModel model(kernel_by_index(static_cast<int>(state.range(0))));

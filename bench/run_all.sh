@@ -36,6 +36,12 @@ now_ms() {
   esac
 }
 
+# Build type of the srra library itself (Google Benchmark's JSON context
+# only reports how *libbenchmark* was built); recorded in every BENCH JSON
+# so performance trajectories are never compared across build types.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:STRING=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null)
+[ -n "$build_type" ] || build_type=unknown
+
 failures=0
 ran=0
 
@@ -60,8 +66,9 @@ for bin in "$BUILD_DIR"/bench_*; do
   wall_ms=$((end - start))
   bytes=$(wc -c <"$txt" | tr -d ' ')
 
-  printf '{\n  "bench": "%s",\n  "exit_code": %d,\n  "wall_seconds": %d.%03d,\n  "report_bytes": %s,\n  "report": "%s"\n}\n' \
-    "$(json_escape "$name")" "$code" "$((wall_ms / 1000))" "$((wall_ms % 1000))" "$bytes" \
+  printf '{\n  "bench": "%s",\n  "build_type": "%s",\n  "exit_code": %d,\n  "wall_seconds": %d.%03d,\n  "report_bytes": %s,\n  "report": "%s"\n}\n' \
+    "$(json_escape "$name")" "$(json_escape "$build_type")" "$code" \
+    "$((wall_ms / 1000))" "$((wall_ms % 1000))" "$bytes" \
     "$(json_escape "BENCH_${name}.txt")" >"$json"
 
   ran=$((ran + 1))

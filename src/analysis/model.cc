@@ -21,12 +21,33 @@ std::int64_t RefModel::beta_full(int g) const {
 const GroupCounts& RefModel::counts(int g, std::int64_t regs) const {
   check(g >= 0 && g < group_count(), "group id out of range");
   const auto key = std::make_pair(g, regs);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
   const GroupCounts counts = count_group_accesses(
       kernel_, groups_[static_cast<std::size_t>(g)], reuse_[static_cast<std::size_t>(g)],
       regs, options_);
+  // std::map nodes are stable, so the reference survives later insertions;
+  // a racing thread computed the same value and emplace keeps the first.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   return cache_.emplace(key, counts).first->second;
+}
+
+RefStrategy RefModel::strategy(int g, std::int64_t regs) const {
+  check(g >= 0 && g < group_count(), "group id out of range");
+  const auto key = std::make_pair(g, regs);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = strategy_cache_.find(key);
+    if (it != strategy_cache_.end()) return it->second;
+  }
+  const RefStrategy s =
+      select_strategy(kernel_, groups_[static_cast<std::size_t>(g)],
+                      reuse_[static_cast<std::size_t>(g)], regs, options_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return strategy_cache_.emplace(key, s).first->second;
 }
 
 std::int64_t RefModel::accesses(int g, std::int64_t regs, CountMode mode) const {

@@ -11,12 +11,14 @@
 
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <vector>
 
 #include "analysis/refs.h"
 #include "analysis/reuse.h"
 #include "analysis/walker.h"
 #include "ir/kernel.h"
+#include "support/memo.h"
 
 namespace srra {
 
@@ -26,7 +28,12 @@ enum class CountMode {
   kTotal,   ///< everything (benefit metric)
 };
 
-/// Analysis facade owning one kernel.
+/// Analysis facade owning one kernel. All cached queries (accesses, counts,
+/// strategy, the cycle-model memo) are thread-safe, so one RefModel can be
+/// shared by every evaluation lane of a design-space sweep (dse/explore.h):
+/// cache hits take a shared lock, misses compute outside any lock and
+/// publish under an exclusive one — values are deterministic functions of
+/// the key, so racing writers agree.
 class RefModel {
  public:
   explicit RefModel(Kernel kernel, ModelOptions options = {});
@@ -46,6 +53,10 @@ class RefModel {
   /// Full counter detail (cached alongside accesses()).
   const GroupCounts& counts(int g, std::int64_t regs) const;
 
+  /// The strategy select_strategy picks for group `g` at `regs` registers
+  /// (cached; the empirical selection evaluates every candidate window).
+  RefStrategy strategy(int g, std::int64_t regs) const;
+
   /// Accesses eliminated by full scalar replacement (total mode).
   std::int64_t saved(int g) const;
 
@@ -56,12 +67,21 @@ class RefModel {
   /// order in the body (the paper's sorted reference list).
   std::vector<int> sorted_by_benefit() const;
 
+  /// Memo table for the cycle model (sched/cycle_model.cc): one report per
+  /// (per-group strategy vector, CycleOptions knobs). Lives here so a
+  /// budget sweep sharing this model reuses reports across saturated
+  /// budgets and across evaluation lanes.
+  MemoTable& cycle_memo() const { return cycle_memo_; }
+
  private:
   Kernel kernel_;
   ModelOptions options_;
   std::vector<RefGroup> groups_;
   std::vector<ReuseInfo> reuse_;
+  mutable std::shared_mutex mu_;
   mutable std::map<std::pair<int, std::int64_t>, GroupCounts> cache_;
+  mutable std::map<std::pair<int, std::int64_t>, RefStrategy> strategy_cache_;
+  mutable MemoTable cycle_memo_;
 };
 
 }  // namespace srra

@@ -1,0 +1,113 @@
+#include "analysis/periodic.h"
+
+#include "analysis/reuse.h"
+
+namespace srra {
+
+namespace {
+
+void add_scaled(GroupCounts& into, const GroupCounts& delta, std::int64_t factor) {
+  into.miss_reads += delta.miss_reads * factor;
+  into.miss_writes += delta.miss_writes * factor;
+  into.fills += delta.fills * factor;
+  into.steady_fills += delta.steady_fills * factor;
+  into.flushes += delta.flushes * factor;
+  into.steady_flushes += delta.steady_flushes * factor;
+  into.reg_hits += delta.reg_hits * factor;
+  into.reg_writes += delta.reg_writes * factor;
+  into.forwards += delta.forwards * factor;
+}
+
+}  // namespace
+
+std::int64_t element_shift_per_step(const Kernel& kernel, const RefGroup& group,
+                                    int level) {
+  std::vector<std::int64_t> base = first_iteration(kernel);
+  const std::int64_t at_base = element_at(kernel, group.access, base);
+  base[static_cast<std::size_t>(level)] += kernel.loop(level).step;
+  return element_at(kernel, group.access, base) - at_base;
+}
+
+bool next_inner_iteration(const Kernel& kernel, int level,
+                          std::vector<std::int64_t>& iter) {
+  for (int l = kernel.depth() - 1; l > level; --l) {
+    const Loop& loop = kernel.loop(l);
+    auto& v = iter[static_cast<std::size_t>(l)];
+    v += loop.step;
+    if (v < loop.upper) return true;
+    v = loop.lower;
+  }
+  return false;
+}
+
+GroupCounts count_group_accesses_collapsed(const Kernel& kernel, const RefGroup& group,
+                                           RefStrategy strategy) {
+  // Degenerate spaces (a zero-trip loop still contributes one walked
+  // iteration under the do/while walk) stay on the oracle.
+  for (int l = 0; l < kernel.depth(); ++l) {
+    if (kernel.loop(l).trip_count() <= 0) {
+      return count_group_accesses_full(kernel, group, strategy);
+    }
+  }
+
+  GroupCounts per_iter;
+  const EventSink sink = [&per_iter](const AccessEvent& e) { record_event(per_iter, e); };
+  WindowTracker tracker(kernel, group, strategy);
+
+  if (!strategy.holds()) {
+    // No cross-iteration state: every iteration replays the same forwarding
+    // and miss pattern. Walk the first one and scale.
+    const std::vector<std::int64_t> iter = first_iteration(kernel);
+    tracker.begin_iteration(iter, sink);
+    for (const RefOccurrence& occ : group.occurrences) {
+      tracker.on_access(iter, occ.is_write, occ.stmt, occ.order, sink);
+    }
+    GroupCounts total;
+    add_scaled(total, per_iter, kernel.iteration_count());
+    return total;
+  }
+
+  const int level = strategy.carry_level;
+  std::int64_t windows = 1;
+  for (int l = 0; l < level; ++l) windows *= kernel.loop(l).trip_count();
+  const Loop& carry = kernel.loop(level);
+  const std::int64_t trip = carry.trip_count();
+  const std::int64_t delta = element_shift_per_step(kernel, group, level);
+
+  GroupCounts window_counts;
+  std::vector<std::int64_t> iter = first_iteration(kernel);
+  collapse_carry_loop(
+      trip,
+      [&](std::int64_t k) {
+        iter[static_cast<std::size_t>(level)] = carry.value_at(k);
+        for (int l = level + 1; l < kernel.depth(); ++l) {
+          iter[static_cast<std::size_t>(l)] = kernel.loop(l).lower;
+        }
+        per_iter = GroupCounts{};
+        do {
+          tracker.begin_iteration(iter, sink);
+          for (const RefOccurrence& occ : group.occurrences) {
+            tracker.on_access(iter, occ.is_write, occ.stmt, occ.order, sink);
+          }
+        } while (next_inner_iteration(kernel, level, iter));
+        add_scaled(window_counts, per_iter, 1);
+      },
+      [&](std::int64_t k) { return tracker.held_snapshot(k * delta); },
+      [&](std::int64_t, std::int64_t repeats) {
+        add_scaled(window_counts, per_iter, repeats);
+        tracker.translate_held(repeats * delta);
+      });
+  // Trailing window-boundary flushes. In the full walk these are emitted
+  // once per instance (at the next instance's first begin_iteration, or by
+  // finish() for the very last one), always back-peeled; here the single
+  // walked instance ends with finish() and the flushes scale with it.
+  per_iter = GroupCounts{};
+  tracker.finish(sink);
+  add_scaled(window_counts, per_iter, 1);
+
+  GroupCounts total;
+  add_scaled(total, window_counts, windows);
+  return total;
+}
+
+}  // namespace srra

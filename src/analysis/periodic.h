@@ -1,0 +1,83 @@
+// Periodic collapse of the window policy (DESIGN.md §8): access counting in
+// O(window) instead of O(iteration space).
+//
+// The policy's event stream is periodic at two levels, both exactly:
+//
+//  * Across window instances. Element indices are affine in the iteration
+//    vector, so fixing the loops above the carrying level only adds a
+//    constant offset to every element a window instance touches. Identity
+//    patterns — and therefore every classification the WindowTracker makes,
+//    including the first/last-carry-value steady flags — are identical in
+//    each instance. One instance is walked; its counts are scaled by the
+//    instance count.
+//
+//  * Across carry iterations inside a window. Advancing the carrying loop
+//    by one step shifts every element of the group by the same constant, so
+//    once the tracker's resident-set state repeats modulo that shift, every
+//    following carry iteration (until the back-peeled last one) replays the
+//    same events. The walk detects the repeat with normalized state
+//    snapshots, multiplies the steady carry iteration's counts, fast-
+//    forwards the tracker by translation, and walks the last carry
+//    iteration concretely for its excluded-flush accounting.
+//
+// The result is bit-identical to the reference oracle
+// count_group_accesses_full (cross-checked exhaustively in test_periodic).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/walker.h"
+
+namespace srra {
+
+/// Access counters of `group` under `strategy`, computed by walking one
+/// window instance with steady-state detection and scaling. Bit-identical
+/// to count_group_accesses_full; O(window) instead of O(iteration space).
+GroupCounts count_group_accesses_collapsed(const Kernel& kernel, const RefGroup& group,
+                                           RefStrategy strategy);
+
+/// Element-index shift of `group` per single step of loop `level` (constant
+/// because accesses are affine): the translation the periodic collapse
+/// normalizes state snapshots by.
+std::int64_t element_shift_per_step(const Kernel& kernel, const RefGroup& group,
+                                    int level);
+
+/// Advances only the loops strictly below `level` (the sub-space walked
+/// inside one carry iteration); returns false once they wrap.
+bool next_inner_iteration(const Kernel& kernel, int level,
+                          std::vector<std::int64_t>& iter);
+
+/// Shared driver of the carry-loop steady-state collapse, used by both the
+/// access counters and the cycle model so their subtle invariants cannot
+/// drift apart. Calls `walk(k)` for every carry iteration walked
+/// concretely; after each non-final one, compares `snapshot(k)` (the
+/// normalized tracker state) with the previous iteration's. On a repeat at
+/// a middle iteration it calls `fast_forward(k, repeats)` exactly once —
+/// the caller must scale the just-walked iteration's charges by `repeats`
+/// (= the number of skipped middle iterations) and translate its trackers
+/// by `repeats` carry steps — then walks the last iteration concretely for
+/// its back-peeled flush accounting. If the state never repeats, every
+/// carry iteration is walked: the collapse degrades to the oracle, never
+/// to a wrong answer.
+template <typename Walk, typename Snapshot, typename FastForward>
+void collapse_carry_loop(std::int64_t trip, Walk&& walk, Snapshot&& snapshot,
+                         FastForward&& fast_forward) {
+  decltype(snapshot(std::int64_t{0})) prev_state{};
+  bool have_prev = false;
+  std::int64_t k = 0;
+  while (k < trip) {
+    walk(k);
+    if (k == trip - 1) break;
+    auto state = snapshot(k);
+    if (have_prev && k >= 1 && state == prev_state) {
+      fast_forward(k, trip - 2 - k);  // skips carry iterations k+1..trip-2
+      k = trip - 1;
+      continue;
+    }
+    prev_state = std::move(state);
+    have_prev = true;
+    ++k;
+  }
+}
+
+}  // namespace srra

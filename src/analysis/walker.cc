@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "analysis/periodic.h"
 #include "support/error.h"
 
 namespace srra {
+
+void record_event(GroupCounts& counts, const AccessEvent& event) {
+  switch (event.kind) {
+    case AccessKind::kMissRead: ++counts.miss_reads; break;
+    case AccessKind::kMissWrite: ++counts.miss_writes; break;
+    case AccessKind::kFill:
+      ++counts.fills;
+      if (event.steady) ++counts.steady_fills;
+      break;
+    case AccessKind::kFlush:
+      ++counts.flushes;
+      if (event.steady) ++counts.steady_flushes;
+      break;
+    case AccessKind::kRegHit: ++counts.reg_hits; break;
+    case AccessKind::kRegWrite: ++counts.reg_writes; break;
+    case AccessKind::kForward: ++counts.forwards; break;
+  }
+}
 
 bool is_ram_access(AccessKind kind) {
   switch (kind) {
@@ -61,16 +80,40 @@ void WindowTracker::emit(const EventSink& sink, const AccessEvent& event) {
 }
 
 void WindowTracker::flush_all(const EventSink& sink, bool steady) {
-  for (const auto& [element, held] : held_) {
+  for (const Held& held : held_) {
     if (!held.dirty) continue;
     AccessEvent event;
     event.kind = AccessKind::kFlush;
     event.group = group_.id;
-    event.element = element;
+    event.element = held.element;
     event.steady = steady;
     emit(sink, event);
   }
   held_.clear();
+}
+
+std::vector<WindowTracker::HeldElement> WindowTracker::held_snapshot(
+    std::int64_t offset) const {
+  // Reduce last_touch to its rank among residents (absolute sequence
+  // numbers grow forever; only the relative recency order matters).
+  std::vector<std::size_t> by_touch(held_.size());
+  for (std::size_t i = 0; i < held_.size(); ++i) by_touch[i] = i;
+  std::sort(by_touch.begin(), by_touch.end(), [&](std::size_t a, std::size_t b) {
+    return held_[a].last_touch < held_[b].last_touch;
+  });
+  std::vector<HeldElement> snapshot(held_.size());
+  for (std::size_t r = 0; r < by_touch.size(); ++r) {
+    const Held& held = held_[by_touch[r]];
+    snapshot[by_touch[r]] =
+        HeldElement{held.element - offset, held.dirty, static_cast<int>(r)};
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const HeldElement& a, const HeldElement& b) { return a.element < b.element; });
+  return snapshot;
+}
+
+void WindowTracker::translate_held(std::int64_t delta) {
+  for (Held& held : held_) held.element += delta;
 }
 
 void WindowTracker::begin_iteration(srra::span<const std::int64_t> iteration,
@@ -100,11 +143,9 @@ void WindowTracker::begin_iteration(srra::span<const std::int64_t> iteration,
     // last value (lexicographic order), so these flushes live in back-peeled
     // code and are steady-state-excluded.
     flush_all(sink, /*steady=*/!at_last_carry_value());
-    rank_.clear();
-    touch_count_ = 0;
+    rank_order_.clear();
   } else if (carry_changed) {
-    rank_.clear();
-    touch_count_ = 0;
+    rank_order_.clear();
   }
   cur_iter_.assign(iteration.begin(), iteration.end());
 }
@@ -120,13 +161,14 @@ AccessEvent WindowTracker::on_access(srra::span<const std::int64_t> iteration, b
   event.order = order;
 
   // Same-iteration read-after-write is forwarded through the datapath.
-  if (!is_write && wrote_this_iter_.count(element) != 0) {
+  const auto wrote = std::find(wrote_this_iter_.begin(), wrote_this_iter_.end(), element);
+  if (!is_write && wrote != wrote_this_iter_.end()) {
     event.kind = AccessKind::kForward;
     event.steady = false;
     emit(sink, event);
     return event;
   }
-  if (is_write) wrote_this_iter_.insert(element);
+  if (is_write && wrote == wrote_this_iter_.end()) wrote_this_iter_.push_back(element);
 
   if (!strategy_.holds()) {
     event.kind = is_write ? AccessKind::kMissWrite : AccessKind::kMissRead;
@@ -135,17 +177,17 @@ AccessEvent WindowTracker::on_access(srra::span<const std::int64_t> iteration, b
     return event;
   }
 
-  // Rank of the element in this carry-iteration's touch order.
-  int rank = 0;
-  const auto it = rank_.find(element);
-  if (it != rank_.end()) {
-    rank = it->second;
-  } else {
-    rank = touch_count_++;
-    rank_.emplace(element, rank);
+  // Window membership by touch rank: the first held_limit distinct elements
+  // of this carry iteration are in the window; everything later misses.
+  bool in_window =
+      std::find(rank_order_.begin(), rank_order_.end(), element) != rank_order_.end();
+  if (!in_window &&
+      static_cast<std::int64_t>(rank_order_.size()) < strategy_.held_limit) {
+    rank_order_.push_back(element);
+    in_window = true;
   }
 
-  if (rank >= strategy_.held_limit) {
+  if (!in_window) {
     event.kind = is_write ? AccessKind::kMissWrite : AccessKind::kMissRead;
     event.steady = true;
     emit(sink, event);
@@ -153,10 +195,11 @@ AccessEvent WindowTracker::on_access(srra::span<const std::int64_t> iteration, b
   }
 
   ++seq_;
-  const auto held_it = held_.find(element);
+  const auto held_it = std::find_if(held_.begin(), held_.end(),
+                                    [&](const Held& h) { return h.element == element; });
   if (held_it != held_.end()) {
-    held_it->second.last_touch = seq_;
-    if (is_write) held_it->second.dirty = true;
+    held_it->last_touch = seq_;
+    if (is_write) held_it->dirty = true;
     event.kind = is_write ? AccessKind::kRegWrite : AccessKind::kRegHit;
     event.steady = false;
     emit(sink, event);
@@ -168,20 +211,20 @@ AccessEvent WindowTracker::on_access(srra::span<const std::int64_t> iteration, b
   if (static_cast<std::int64_t>(held_.size()) >= strategy_.held_limit) {
     auto victim = held_.begin();
     for (auto h = held_.begin(); h != held_.end(); ++h) {
-      if (h->second.last_touch < victim->second.last_touch) victim = h;
+      if (h->last_touch < victim->last_touch) victim = h;
     }
-    if (victim->second.dirty) {
+    if (victim->dirty) {
       AccessEvent flush;
       flush.kind = AccessKind::kFlush;
       flush.group = group_.id;
-      flush.element = victim->first;
+      flush.element = victim->element;
       flush.steady = !at_last_carry_value();
       emit(sink, flush);
     }
     held_.erase(victim);
   }
 
-  held_.emplace(element, Held{is_write, seq_});
+  held_.push_back(Held{element, is_write, seq_});
   if (is_write) {
     // Whole-element overwrite: no fill needed.
     event.kind = AccessKind::kRegWrite;
@@ -252,22 +295,7 @@ std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
 
   std::vector<GroupCounts> counts(groups.size());
   const auto counting_sink = [&](const AccessEvent& e) {
-    GroupCounts& c = counts[static_cast<std::size_t>(e.group)];
-    switch (e.kind) {
-      case AccessKind::kMissRead: ++c.miss_reads; break;
-      case AccessKind::kMissWrite: ++c.miss_writes; break;
-      case AccessKind::kFill:
-        ++c.fills;
-        if (e.steady) ++c.steady_fills;
-        break;
-      case AccessKind::kFlush:
-        ++c.flushes;
-        if (e.steady) ++c.steady_flushes;
-        break;
-      case AccessKind::kRegHit: ++c.reg_hits; break;
-      case AccessKind::kRegWrite: ++c.reg_writes; break;
-      case AccessKind::kForward: ++c.forwards; break;
-    }
+    record_event(counts[static_cast<std::size_t>(e.group)], e);
     if (sink) sink(e);
   };
 
@@ -291,29 +319,10 @@ std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
   return counts;
 }
 
-namespace {
-
-// One tracker pass for a fixed strategy; returns the group's counters.
-GroupCounts run_group_pass(const Kernel& kernel, const RefGroup& group,
-                           RefStrategy strategy) {
+GroupCounts count_group_accesses_full(const Kernel& kernel, const RefGroup& group,
+                                      RefStrategy strategy) {
   GroupCounts counts;
-  const EventSink sink = [&](const AccessEvent& e) {
-    switch (e.kind) {
-      case AccessKind::kMissRead: ++counts.miss_reads; break;
-      case AccessKind::kMissWrite: ++counts.miss_writes; break;
-      case AccessKind::kFill:
-        ++counts.fills;
-        if (e.steady) ++counts.steady_fills;
-        break;
-      case AccessKind::kFlush:
-        ++counts.flushes;
-        if (e.steady) ++counts.steady_flushes;
-        break;
-      case AccessKind::kRegHit: ++counts.reg_hits; break;
-      case AccessKind::kRegWrite: ++counts.reg_writes; break;
-      case AccessKind::kForward: ++counts.forwards; break;
-    }
-  };
+  const EventSink sink = [&](const AccessEvent& e) { record_event(counts, e); };
   WindowTracker tracker(kernel, group, strategy);
   std::vector<std::int64_t> iter = first_iteration(kernel);
   do {
@@ -324,6 +333,16 @@ GroupCounts run_group_pass(const Kernel& kernel, const RefGroup& group,
   } while (next_iteration(kernel, iter));
   tracker.finish(sink);
   return counts;
+}
+
+namespace {
+
+// One counting pass for a fixed strategy: the periodic collapse by default,
+// the full-walk oracle when requested.
+GroupCounts run_group_pass(const Kernel& kernel, const RefGroup& group,
+                           RefStrategy strategy, const ModelOptions& options) {
+  if (options.full_walk_oracle) return count_group_accesses_full(kernel, group, strategy);
+  return count_group_accesses_collapsed(kernel, group, strategy);
 }
 
 }  // namespace
@@ -345,9 +364,9 @@ RefStrategy select_strategy(const Kernel& kernel, const RefGroup& group,
   }
 
   RefStrategy best = candidates.front();
-  GroupCounts best_counts = run_group_pass(kernel, group, best);
+  GroupCounts best_counts = run_group_pass(kernel, group, best, options);
   for (std::size_t c = 1; c < candidates.size(); ++c) {
-    const GroupCounts counts = run_group_pass(kernel, group, candidates[c]);
+    const GroupCounts counts = run_group_pass(kernel, group, candidates[c], options);
     const bool better =
         counts.steady_total() < best_counts.steady_total() ||
         (counts.steady_total() == best_counts.steady_total() &&
@@ -365,7 +384,8 @@ RefStrategy select_strategy(const Kernel& kernel, const RefGroup& group,
 GroupCounts count_group_accesses(const Kernel& kernel, const RefGroup& group,
                                  const ReuseInfo& reuse, std::int64_t regs,
                                  const ModelOptions& options) {
-  return run_group_pass(kernel, group, select_strategy(kernel, group, reuse, regs, options));
+  return run_group_pass(kernel, group,
+                        select_strategy(kernel, group, reuse, regs, options), options);
 }
 
 }  // namespace srra

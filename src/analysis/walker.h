@@ -26,8 +26,6 @@
 #include <cstdint>
 #include <functional>
 #include "support/span.h"
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "analysis/refs.h"
@@ -67,6 +65,11 @@ struct ModelOptions {
   /// Allow a single register to act as a holding register even when no
   /// carrying level fully fits (default off: it is the operand latch).
   bool single_register_holding = false;
+  /// Count accesses with the full iteration-space walk instead of the
+  /// periodic collapse (analysis/periodic.h). The two are bit-identical
+  /// (cross-checked in test_periodic); the full walk is the reference
+  /// oracle and is O(iteration space) rather than O(window).
+  bool full_walk_oracle = false;
 };
 
 /// Heuristic strategy choice for `regs` registers: full exploitation at the
@@ -107,8 +110,34 @@ class WindowTracker {
 
   const RefStrategy& strategy() const { return strategy_; }
 
+  /// One resident element in a normalized state snapshot.
+  struct HeldElement {
+    std::int64_t element = 0;  ///< element index minus the caller's offset
+    bool dirty = false;
+    int touch_rank = 0;  ///< recency rank among residents (0 = oldest)
+
+    bool operator==(const HeldElement& other) const {
+      return element == other.element && dirty == other.dirty &&
+             touch_rank == other.touch_rank;
+    }
+  };
+
+  /// Normalized snapshot of the cross-carry-iteration state (the resident
+  /// elements; touch ranks and other per-carry-iteration state reset at
+  /// every carry boundary). Entries are sorted by element, each shifted by
+  /// -`offset`. Two trackers whose snapshots agree behave identically over
+  /// any continuation whose accesses are shifted by the same offset — the
+  /// periodicity test analysis/periodic.h relies on.
+  std::vector<HeldElement> held_snapshot(std::int64_t offset) const;
+
+  /// Shifts every resident element by `delta`: fast-forwards the tracker
+  /// across carry iterations whose event streams are translations of each
+  /// other (analysis/periodic.h).
+  void translate_held(std::int64_t delta);
+
  private:
   struct Held {
+    std::int64_t element = 0;
     bool dirty = false;
     std::uint64_t last_touch = 0;
   };
@@ -124,10 +153,14 @@ class WindowTracker {
 
   bool initialized_ = false;
   std::vector<std::int64_t> cur_iter_;
-  std::unordered_map<std::int64_t, int> rank_;       // per carry-iteration touch ranks
-  int touch_count_ = 0;
-  std::unordered_map<std::int64_t, Held> held_;      // resident elements
-  std::unordered_set<std::int64_t> wrote_this_iter_; // forwarding info
+  // First <= held_limit distinct elements touched this carry iteration, in
+  // touch order (rank = position). Elements past the list once it is full
+  // have rank >= held_limit and always miss, so their exact ranks are never
+  // needed — this keeps the hot lookup a short linear scan over a flat
+  // vector instead of a hash probe.
+  std::vector<std::int64_t> rank_order_;
+  std::vector<Held> held_;                      // resident elements (<= held_limit)
+  std::vector<std::int64_t> wrote_this_iter_;   // forwarding info
   std::uint64_t seq_ = 0;
 };
 
@@ -151,6 +184,11 @@ struct GroupCounts {
   std::int64_t total() const { return miss_reads + miss_writes + fills + flushes; }
 };
 
+/// Applies one classified event to the counters — the single event-to-
+/// counter mapping shared by every counting sink (full walk, periodic
+/// collapse, simulate_accesses).
+void record_event(GroupCounts& counts, const AccessEvent& event);
+
 /// Runs the window policy over the whole iteration space for all groups with
 /// the given per-group register counts; streams every event to `sink`
 /// (pass nullptr to only count) and returns per-group counters.
@@ -165,6 +203,12 @@ std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
 GroupCounts count_group_accesses(const Kernel& kernel, const RefGroup& group,
                                  const ReuseInfo& reuse, std::int64_t regs,
                                  const ModelOptions& options = {});
+
+/// Reference oracle: one full iteration-space pass for a fixed strategy.
+/// O(iteration space); the periodic collapse (analysis/periodic.h) must be
+/// bit-identical to this.
+GroupCounts count_group_accesses_full(const Kernel& kernel, const RefGroup& group,
+                                      RefStrategy strategy);
 
 /// Advances `iter` (normalized loop positions are recomputed from values) to
 /// the next lexicographic iteration; returns false when the space is

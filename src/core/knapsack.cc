@@ -22,24 +22,29 @@ Allocation allocate_knapsack(const RefModel& model, std::int64_t budget) {
     items.push_back(Item{g, weight, value});
   }
 
-  // dp[c] = best value with capacity c; keep[i][c] records choices.
+  // dp[c] = best value with capacity c. Choices live in one flat bitset
+  // (row i = item, bit c = capacity) — a single allocation instead of one
+  // heap vector<bool> per item in the O(items x capacity) DP.
   const auto cap = static_cast<std::size_t>(capacity);
+  const std::size_t row_words = cap / 64 + 1;
   std::vector<std::int64_t> dp(cap + 1, 0);
-  std::vector<std::vector<bool>> keep(items.size(), std::vector<bool>(cap + 1, false));
+  std::vector<std::uint64_t> keep(items.size() * row_words, 0);
   for (std::size_t i = 0; i < items.size(); ++i) {
     const auto w = static_cast<std::size_t>(items[i].weight);
+    std::uint64_t* row = keep.data() + i * row_words;
     for (std::size_t c = cap + 1; c-- > w;) {
       const std::int64_t with = dp[c - w] + items[i].value;
       if (with > dp[c]) {
         dp[c] = with;
-        keep[i][c] = true;
+        row[c / 64] |= std::uint64_t{1} << (c % 64);
       }
     }
   }
 
   std::size_t c = cap;
   for (std::size_t i = items.size(); i-- > 0;) {
-    if (!keep[i][c]) continue;
+    const std::uint64_t* row = keep.data() + i * row_words;
+    if ((row[c / 64] >> (c % 64) & 1) == 0) continue;
     a.regs[static_cast<std::size_t>(items[i].group)] += items[i].weight;
     c -= static_cast<std::size_t>(items[i].weight);
   }

@@ -18,28 +18,32 @@ Allocation allocate_optimal_dp(const RefModel& model, std::int64_t budget) {
   }
 
   // dp[b] = minimal steady accesses for the first `g` groups using exactly
-  // the feasibility register plus b extra registers in total; choice[g][b]
-  // records how many extras group g takes.
+  // the feasibility register plus b extra registers in total. Choices live
+  // in one contiguous groups x width buffer (row g, column b) instead of a
+  // vector-of-vectors: one allocation, cache-line-friendly reconstruction.
   const std::int64_t extra_budget = budget - groups;
   const auto width = static_cast<std::size_t>(extra_budget + 1);
   constexpr std::int64_t kInf = std::int64_t{1} << 60;
   std::vector<std::int64_t> dp(width, 0);
-  std::vector<std::vector<std::int64_t>> choice(
-      static_cast<std::size_t>(groups), std::vector<std::int64_t>(width, 0));
+  std::vector<std::int64_t> choice(static_cast<std::size_t>(groups) * width, 0);
 
   for (int g = 0; g < groups; ++g) {
     std::vector<std::int64_t> next(width, kInf);
+    std::int64_t* row = choice.data() + static_cast<std::size_t>(g) * width;
     const std::int64_t max_extra = cap[static_cast<std::size_t>(g)] - 1;
     for (std::int64_t b = 0; b <= extra_budget; ++b) {
       if (dp[static_cast<std::size_t>(b)] >= kInf) continue;
-      for (std::int64_t take = 0; take <= max_extra && b + take <= extra_budget; ++take) {
+      // Tightened inner bound: takes past extra_budget - b overflow the
+      // budget and were skipped one comparison at a time before.
+      const std::int64_t take_limit = std::min(max_extra, extra_budget - b);
+      for (std::int64_t take = 0; take <= take_limit; ++take) {
         const std::int64_t cost =
             dp[static_cast<std::size_t>(b)] +
             model.accesses(g, 1 + take, CountMode::kSteady);
         auto& cell = next[static_cast<std::size_t>(b + take)];
         if (cost < cell) {
           cell = cost;
-          choice[static_cast<std::size_t>(g)][static_cast<std::size_t>(b + take)] = take;
+          row[static_cast<std::size_t>(b + take)] = take;
         }
       }
     }
@@ -48,7 +52,7 @@ Allocation allocate_optimal_dp(const RefModel& model, std::int64_t budget) {
     for (std::size_t b = 1; b < width; ++b) {
       if (next[b] > next[b - 1]) {
         next[b] = next[b - 1];
-        choice[static_cast<std::size_t>(g)][b] = -1;  // marker: look left
+        row[b] = -1;  // marker: look left
       }
     }
     dp = std::move(next);
@@ -57,8 +61,9 @@ Allocation allocate_optimal_dp(const RefModel& model, std::int64_t budget) {
   // Reconstruct.
   std::int64_t b = extra_budget;
   for (int g = groups - 1; g >= 0; --g) {
-    while (choice[static_cast<std::size_t>(g)][static_cast<std::size_t>(b)] < 0) --b;
-    const std::int64_t take = choice[static_cast<std::size_t>(g)][static_cast<std::size_t>(b)];
+    const std::int64_t* row = choice.data() + static_cast<std::size_t>(g) * width;
+    while (row[static_cast<std::size_t>(b)] < 0) --b;
+    const std::int64_t take = row[static_cast<std::size_t>(b)];
     a.regs[static_cast<std::size_t>(g)] += take;
     b -= take;
   }

@@ -1,6 +1,7 @@
 #include "dse/explore.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "support/error.h"
 #include "support/thread_pool.h"
@@ -12,13 +13,22 @@ ExploreResult explore(EnumeratedSpace space, const ExploreOptions& options) {
   result.results.resize(space.points.size());
   const std::vector<std::vector<int>> groups = space.points_by_variant();
 
+  // One shared RefModel per variant: its caches (access counts, strategy
+  // selections, cycle-model memo) are thread-safe, so every shard of the
+  // variant reuses the same analysis instead of redoing grouping, reuse and
+  // counting per shard. Results cannot depend on sharing: every cached
+  // value is a deterministic function of its key, so reports stay
+  // byte-identical for any --jobs.
+  std::vector<std::unique_ptr<RefModel>> models;
+  models.reserve(space.variants.size());
+  for (const Variant& variant : space.variants) {
+    models.push_back(std::make_unique<RefModel>(variant.kernel.clone()));
+  }
+
   // Work units are contiguous shards of one variant's point list. One
   // shard per variant suffices when there are at least as many variants as
   // lanes; otherwise every variant is split so a single-kernel sweep still
-  // fills the pool — each shard then runs the analysis stage on its own
-  // RefModel (duplicated work traded for parallelism). Sharding cannot
-  // change any result: a point's evaluation never depends on the other
-  // points sharing its model, only the access-count cache does.
+  // fills the pool.
   struct Unit {
     int variant;
     std::size_t begin;
@@ -41,9 +51,8 @@ ExploreResult explore(EnumeratedSpace space, const ExploreOptions& options) {
   ThreadPool pool(options.jobs);
   pool.parallel_for(static_cast<std::int64_t>(units.size()), [&](std::int64_t u) {
     const Unit& unit = units[static_cast<std::size_t>(u)];
-    const Variant& variant = space.variants[static_cast<std::size_t>(unit.variant)];
+    const RefModel& model = *models[static_cast<std::size_t>(unit.variant)];
     const std::vector<int>& indices = groups[static_cast<std::size_t>(unit.variant)];
-    const RefModel model(variant.kernel.clone());
     for (std::size_t i = unit.begin; i < unit.end; ++i) {
       const SpacePoint& point = space.points[static_cast<std::size_t>(indices[i])];
       PointResult& out = result.results[static_cast<std::size_t>(point.index)];

@@ -6,11 +6,12 @@
 //
 // Parallelism runs on a fixed ThreadPool over contiguous shards of each
 // variant's point list (variants are split further when there are more
-// lanes than variants, so single-kernel sweeps still fill the pool; each
-// shard then carries its own RefModel). Workers claim shard indices from a
-// shared counter and write each point result into its preallocated slot
-// (results[point.index]), so the merged ExploreResult is identical for any
-// --jobs value — the byte-identical-reports guarantee.
+// lanes than variants, so single-kernel sweeps still fill the pool). All
+// shards of a variant share one thread-safe RefModel, so the analysis is
+// computed once per variant for any lane count. Workers claim shard
+// indices from a shared counter and write each point result into its
+// preallocated slot (results[point.index]), so the merged ExploreResult is
+// identical for any --jobs value — the byte-identical-reports guarantee.
 #pragma once
 
 #include <string>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/periodic.h"
 #include "analysis/walker.h"
 #include "sched/schedule.h"
 #include "support/error.h"
@@ -31,100 +32,190 @@ std::vector<FlatOccurrence> flatten(const std::vector<RefGroup>& groups) {
   return flat;
 }
 
-}  // namespace
-
-CycleReport estimate_cycles(const RefModel& model, const Allocation& allocation,
-                            const CycleOptions& options) {
-  const Kernel& kernel = model.kernel();
-  const auto& groups = model.groups();
-  check(static_cast<int>(allocation.regs.size()) == model.group_count(),
-        "allocation size mismatch");
-
-  const Dfg dfg = Dfg::build(kernel, groups);
-  const LatencyModel& lat = options.latency;
-
-  std::vector<int> array_of_group(groups.size());
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    array_of_group[g] = groups[g].access.array_id;
+// Hashed flat schedule cache: open addressing with linear probing over
+// contiguous arrays. Keys are the iteration profile's RAM bits packed into
+// words plus the boundary-flush count; values are schedule lengths. The
+// tree-map this replaces paid a node allocation plus O(log n) vector<bool>
+// comparisons per iteration of the nest.
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(int node_count)
+      : words_(static_cast<std::size_t>(node_count + 63) / 64 + 1) {
+    rehash(64);
   }
 
-  std::vector<WindowTracker> trackers;
-  trackers.reserve(groups.size());
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    trackers.emplace_back(kernel, groups[g],
-                          select_strategy(kernel, groups[g], model.reuse()[g],
-                                          allocation.regs[g], model.options()));
+  // Packs `profile` into the reusable probe key.
+  void pack(const IterationProfile& profile) {
+    probe_.assign(words_, 0);
+    for (std::size_t n = 0; n < profile.ram_access.size(); ++n) {
+      if (profile.ram_access[n]) probe_[n / 64] |= std::uint64_t{1} << (n % 64);
+    }
+    probe_.back() = static_cast<std::uint64_t>(profile.boundary_flushes);
   }
-  const std::vector<FlatOccurrence> flat = flatten(groups);
 
-  CycleReport report;
-  report.iterations = kernel.iteration_count();
+  /// Looks up the packed probe key; false on miss.
+  bool lookup(std::int64_t& out) const {
+    std::size_t slot = hash(probe_) & mask_;
+    while (used_[slot]) {
+      if (key_equals(slot)) {
+        out = values_[slot];
+        return true;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return false;
+  }
 
-  // Per-iteration scratch: steady RAM reads grouped by consuming op, steady
-  // writes, boundary flushes, and the schedule profile.
-  struct PendingRead {
-    int consumer = -1;  // op node id, -1 = direct-to-write copy
-    int array = -1;
-  };
-  std::vector<PendingRead> reads;
-  std::int64_t writes = 0;
-  std::int64_t flushes = 0;
-  IterationProfile profile;
-  profile.ram_access.assign(static_cast<std::size_t>(dfg.node_count()), false);
-  std::map<IterationProfile, std::int64_t> schedule_cache;
-  std::int64_t compute_only_length = -1;
+  /// Inserts the packed probe key (must not be present).
+  void insert(std::int64_t value) {
+    if ((size_ + 1) * 10 >= capacity() * 7) rehash(capacity() * 2);
+    insert_key(probe_, value);
+    ++size_;
+  }
 
-  const EventSink sink = [&](const AccessEvent& e) {
+ private:
+  std::size_t capacity() const { return mask_ + 1; }
+
+  static std::uint64_t hash(const std::vector<std::uint64_t>& key) {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the words
+    for (const std::uint64_t w : key) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  bool key_equals(std::size_t slot) const {
+    const std::uint64_t* stored = &keys_[slot * words_];
+    for (std::size_t w = 0; w < words_; ++w) {
+      if (stored[w] != probe_[w]) return false;
+    }
+    return true;
+  }
+
+  void insert_key(const std::vector<std::uint64_t>& key, std::int64_t value) {
+    std::size_t slot = hash(key) & mask_;
+    while (used_[slot]) slot = (slot + 1) & mask_;
+    std::copy(key.begin(), key.end(), keys_.begin() + static_cast<std::ptrdiff_t>(slot * words_));
+    values_[slot] = value;
+    used_[slot] = 1;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    const std::vector<std::uint64_t> old_keys = std::move(keys_);
+    const std::vector<std::int64_t> old_values = std::move(values_);
+    const std::vector<std::uint8_t> old_used = std::move(used_);
+    const std::size_t old_capacity = old_used.size();
+    mask_ = new_capacity - 1;
+    keys_.assign(new_capacity * words_, 0);
+    values_.assign(new_capacity, 0);
+    used_.assign(new_capacity, 0);
+    std::vector<std::uint64_t> key(words_);
+    for (std::size_t slot = 0; slot < old_capacity; ++slot) {
+      if (!old_used[slot]) continue;
+      std::copy(old_keys.begin() + static_cast<std::ptrdiff_t>(slot * words_),
+                old_keys.begin() + static_cast<std::ptrdiff_t>((slot + 1) * words_),
+                key.begin());
+      insert_key(key, old_values[slot]);
+    }
+  }
+
+  std::size_t words_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> probe_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::int64_t> values_;
+  std::vector<std::uint8_t> used_;
+};
+
+// Shared per-iteration evaluation machinery of the reference and collapsed
+// walks: classifies one iteration's accesses through the window trackers
+// and charges its memory and schedule cycles to the report.
+class CycleWalker {
+ public:
+  CycleWalker(const RefModel& model, const std::vector<RefStrategy>& strategies,
+              const CycleOptions& options)
+      : kernel_(model.kernel()),
+        groups_(model.groups()),
+        options_(options),
+        dfg_(Dfg::build(kernel_, groups_)),
+        cache_(dfg_.node_count()) {
+    array_of_group_.resize(groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      array_of_group_[g] = groups_[g].access.array_id;
+    }
+    trackers_.reserve(groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      trackers_.emplace_back(kernel_, groups_[g], strategies[g]);
+    }
+    flat_ = flatten(groups_);
+    profile_.ram_access.assign(static_cast<std::size_t>(dfg_.node_count()), false);
+    sink_ = [this](const AccessEvent& e) { on_event(e); };
+    report_.iterations = kernel_.iteration_count();
+  }
+
+  /// Runs one iteration of the nest and charges it to the report.
+  void run_iteration(srra::span<const std::int64_t> iter) {
+    reads_.clear();
+    writes_ = 0;
+    flushes_ = 0;
+    std::fill(profile_.ram_access.begin(), profile_.ram_access.end(), false);
+
+    for (WindowTracker& t : trackers_) t.begin_iteration(iter, sink_);
+    for (const FlatOccurrence& occ : flat_) {
+      trackers_[static_cast<std::size_t>(occ.group)].on_access(iter, occ.is_write, occ.stmt,
+                                                               occ.order, sink_);
+    }
+    charge();
+  }
+
+  /// Trailing flushes: every event is back-peeled (never steady), so this
+  /// cannot change the report — called for model fidelity only.
+  void finish() {
+    for (WindowTracker& t : trackers_) t.finish(sink_);
+  }
+
+  std::vector<WindowTracker>& trackers() { return trackers_; }
+  CycleReport& report() { return report_; }
+
+ private:
+  void on_event(const AccessEvent& e) {
     if (!is_ram_access(e.kind) || !e.steady) return;
-    ++report.ram_accesses;
+    ++report_.ram_accesses;
     if (e.order < 0) {  // boundary flush
-      ++flushes;
+      ++flushes_;
       return;
     }
-    const int node = dfg.node_for_occurrence(e.order);
+    const int node = dfg_.node_for_occurrence(e.order);
     switch (e.kind) {
       case AccessKind::kMissRead:
       case AccessKind::kFill:
-        reads.push_back(PendingRead{dfg.consumer_op(e.order),
-                                    array_of_group[static_cast<std::size_t>(e.group)]});
-        profile.ram_access[static_cast<std::size_t>(node)] = true;
+        reads_.push_back(PendingRead{dfg_.consumer_op(e.order),
+                                     array_of_group_[static_cast<std::size_t>(e.group)]});
+        profile_.ram_access[static_cast<std::size_t>(node)] = true;
         break;
       case AccessKind::kMissWrite:
       case AccessKind::kFlush:
-        ++writes;
-        profile.ram_access[static_cast<std::size_t>(node)] = true;
+        ++writes_;
+        profile_.ram_access[static_cast<std::size_t>(node)] = true;
         break;
       default:
         break;
     }
-  };
+  }
 
-  std::vector<std::int64_t> iter = first_iteration(kernel);
-  bool more = true;
-  while (more) {
-    reads.clear();
-    writes = 0;
-    flushes = 0;
-    std::fill(profile.ram_access.begin(), profile.ram_access.end(), false);
-
-    for (WindowTracker& t : trackers) t.begin_iteration(iter, sink);
-    for (const FlatOccurrence& occ : flat) {
-      trackers[static_cast<std::size_t>(occ.group)].on_access(iter, occ.is_write, occ.stmt,
-                                                              occ.order, sink);
-    }
-    more = next_iteration(kernel, iter);
-    if (!more) {
-      for (WindowTracker& t : trackers) t.finish(sink);
-    }
+  void charge() {
+    const LatencyModel& lat = options_.latency;
 
     // ---- Tmem ----
     std::int64_t read_cycles = 0;
-    if (options.concurrent_operand_fetch) {
+    if (options_.concurrent_operand_fetch) {
       // Group by consuming op; within a group, fetches from distinct RAM
       // blocks overlap, same-block fetches serialize.
       std::map<int, std::map<int, std::int64_t>> per_op_array_counts;
       std::int64_t solo = 0;
-      for (const PendingRead& r : reads) {
+      for (const PendingRead& r : reads_) {
         if (r.consumer < 0) {
           ++solo;
         } else {
@@ -138,35 +229,216 @@ CycleReport estimate_cycles(const RefModel& model, const Allocation& allocation,
       }
       read_cycles += solo * lat.mem_read;
     } else {
-      read_cycles = static_cast<std::int64_t>(reads.size()) * lat.mem_read;
+      read_cycles = static_cast<std::int64_t>(reads_.size()) * lat.mem_read;
     }
     const std::int64_t iter_mem =
-        read_cycles + writes * lat.mem_write + flushes * lat.mem_write;
-    report.mem_cycles += iter_mem;
+        read_cycles + writes_ * lat.mem_write + flushes_ * lat.mem_write;
+    report_.mem_cycles += iter_mem;
 
     // ---- Texec ----
     std::int64_t length = 0;
-    if (options.fsm_serial_memory) {
+    if (options_.fsm_serial_memory) {
       // Monet-style FSM: memory states serialize with the datapath; the
       // compute critical path is iteration-invariant and cached.
-      if (compute_only_length < 0) {
+      if (compute_only_length_ < 0) {
         IterationProfile compute_profile;
-        compute_profile.ram_access.assign(static_cast<std::size_t>(dfg.node_count()), false);
-        compute_only_length =
-            schedule_iteration(dfg, compute_profile, array_of_group, lat);
+        compute_profile.ram_access.assign(static_cast<std::size_t>(dfg_.node_count()), false);
+        compute_only_length_ =
+            schedule_iteration(dfg_, compute_profile, array_of_group_, lat);
       }
-      length = compute_only_length + iter_mem;
+      length = compute_only_length_ + iter_mem;
     } else {
-      profile.boundary_flushes = static_cast<int>(flushes);
-      const auto cached = schedule_cache.find(profile);
-      if (cached != schedule_cache.end()) {
-        length = cached->second;
-      } else {
-        length = schedule_iteration(dfg, profile, array_of_group, lat);
-        schedule_cache.emplace(profile, length);
+      profile_.boundary_flushes = static_cast<int>(flushes_);
+      cache_.pack(profile_);
+      if (!cache_.lookup(length)) {
+        length = schedule_iteration(dfg_, profile_, array_of_group_, lat);
+        cache_.insert(length);
       }
     }
-    report.exec_cycles += length + options.loop_overhead;
+    report_.exec_cycles += length + options_.loop_overhead;
+  }
+
+  struct PendingRead {
+    int consumer = -1;  // op node id, -1 = direct-to-write copy
+    int array = -1;
+  };
+
+  const Kernel& kernel_;
+  const std::vector<RefGroup>& groups_;
+  const CycleOptions& options_;
+  const Dfg dfg_;
+  ScheduleCache cache_;
+  std::vector<int> array_of_group_;
+  std::vector<WindowTracker> trackers_;
+  std::vector<FlatOccurrence> flat_;
+  EventSink sink_;
+
+  // Per-iteration scratch.
+  std::vector<PendingRead> reads_;
+  std::int64_t writes_ = 0;
+  std::int64_t flushes_ = 0;
+  IterationProfile profile_;
+  std::int64_t compute_only_length_ = -1;
+  CycleReport report_;
+};
+
+// Reference walk: the whole iteration space, one iteration at a time. In
+// the original formulation finish() ran before the last iteration's charge;
+// its events are all back-peeled and dropped by the sink, so charging the
+// last iteration first is equivalent.
+CycleReport walk_full(CycleWalker& walker, const Kernel& kernel) {
+  std::vector<std::int64_t> iter = first_iteration(kernel);
+  do {
+    walker.run_iteration(iter);
+  } while (next_iteration(kernel, iter));
+  walker.finish();
+  return walker.report();
+}
+
+// Collapsed walk (DESIGN.md §8): one instance of the loops below the
+// outermost carrying level, with steady-state detection along that carrying
+// loop, scaled by the instance count. Exact for the same reason the access
+// counters collapse: element indices are affine, so instances are
+// translations of each other and the trackers' combined state signature
+// certifies carry-level periodicity.
+CycleReport walk_collapsed(CycleWalker& walker, const RefModel& model,
+                           const std::vector<RefStrategy>& strategies) {
+  const Kernel& kernel = model.kernel();
+  for (int l = 0; l < kernel.depth(); ++l) {
+    if (kernel.loop(l).trip_count() <= 0) return walk_full(walker, kernel);
+  }
+
+  // The collapse level: every group's stream repeats identically across
+  // instances of the loops above its own carrying level, hence across
+  // instances of the loops above the outermost one. Groups that hold
+  // nothing repeat every iteration and do not constrain the level.
+  int level = kernel.depth();
+  for (const RefStrategy& s : strategies) {
+    if (s.holds()) level = std::min(level, s.carry_level);
+  }
+  std::int64_t instances = 1;
+  for (int l = 0; l < level; ++l) instances *= kernel.loop(l).trip_count();
+
+  CycleReport& report = walker.report();
+  std::vector<std::int64_t> iter = first_iteration(kernel);
+
+  if (level == kernel.depth()) {
+    // No cross-iteration state anywhere: one iteration stands for all.
+    walker.run_iteration(iter);
+    report.mem_cycles *= instances;
+    report.exec_cycles *= instances;
+    report.ram_accesses *= instances;
+    walker.finish();
+    return report;
+  }
+
+  const Loop& carry = kernel.loop(level);
+  const std::int64_t trip = carry.trip_count();
+  std::vector<std::int64_t> deltas(strategies.size(), 0);
+  for (std::size_t g = 0; g < strategies.size(); ++g) {
+    deltas[g] = element_shift_per_step(kernel, model.groups()[g], level);
+  }
+
+  // Per-carry-iteration charges, stashed by the walk for the fast-forward.
+  std::int64_t mem_k = 0;
+  std::int64_t exec_k = 0;
+  std::int64_t ram_k = 0;
+  collapse_carry_loop(
+      trip,
+      [&](std::int64_t k) {
+        iter[static_cast<std::size_t>(level)] = carry.value_at(k);
+        for (int l = level + 1; l < kernel.depth(); ++l) {
+          iter[static_cast<std::size_t>(l)] = kernel.loop(l).lower;
+        }
+        const std::int64_t mem0 = report.mem_cycles;
+        const std::int64_t exec0 = report.exec_cycles;
+        const std::int64_t ram0 = report.ram_accesses;
+        do {
+          walker.run_iteration(iter);
+        } while (next_inner_iteration(kernel, level, iter));
+        mem_k = report.mem_cycles - mem0;
+        exec_k = report.exec_cycles - exec0;
+        ram_k = report.ram_accesses - ram0;
+      },
+      [&](std::int64_t k) {
+        std::vector<std::vector<WindowTracker::HeldElement>> state(strategies.size());
+        for (std::size_t g = 0; g < strategies.size(); ++g) {
+          state[g] = walker.trackers()[g].held_snapshot(k * deltas[g]);
+        }
+        return state;
+      },
+      [&](std::int64_t, std::int64_t repeats) {
+        report.mem_cycles += mem_k * repeats;
+        report.exec_cycles += exec_k * repeats;
+        report.ram_accesses += ram_k * repeats;
+        for (std::size_t g = 0; g < strategies.size(); ++g) {
+          walker.trackers()[g].translate_held(repeats * deltas[g]);
+        }
+      });
+  walker.finish();
+
+  report.mem_cycles *= instances;
+  report.exec_cycles *= instances;
+  report.ram_accesses *= instances;
+  return report;
+}
+
+// Memo key: every cycle-model knob plus the per-group strategies — the
+// only inputs the report depends on besides the model itself.
+std::vector<std::int64_t> memo_key(const std::vector<RefStrategy>& strategies,
+                                   const CycleOptions& options) {
+  std::vector<std::int64_t> key;
+  key.reserve(8 + 2 * strategies.size());
+  key.push_back(options.concurrent_operand_fetch ? 1 : 0);
+  key.push_back(options.fsm_serial_memory ? 1 : 0);
+  key.push_back(options.loop_overhead);
+  key.push_back(options.latency.mem_read);
+  key.push_back(options.latency.mem_write);
+  key.push_back(options.latency.add);
+  key.push_back(options.latency.mul);
+  key.push_back(options.latency.div);
+  for (const RefStrategy& s : strategies) {
+    key.push_back(s.carry_level);
+    key.push_back(s.held_limit);
+  }
+  return key;
+}
+
+}  // namespace
+
+CycleReport estimate_cycles(const RefModel& model, const Allocation& allocation,
+                            const CycleOptions& options) {
+  check(static_cast<int>(allocation.regs.size()) == model.group_count(),
+        "allocation size mismatch");
+
+  // The report is a function of the chosen strategies, not the raw register
+  // counts: saturated budgets collapse onto one memo entry.
+  std::vector<RefStrategy> strategies(static_cast<std::size_t>(model.group_count()));
+  for (int g = 0; g < model.group_count(); ++g) {
+    strategies[static_cast<std::size_t>(g)] = model.strategy(g, allocation.regs[g]);
+  }
+
+  const bool collapse = !options.full_iteration_walk;
+  std::vector<std::int64_t> key;
+  if (collapse) {
+    key = memo_key(strategies, options);
+    std::vector<std::int64_t> record;
+    if (model.cycle_memo().lookup(key, record) && record.size() == 4) {
+      CycleReport report;
+      report.mem_cycles = record[0];
+      report.ram_accesses = record[1];
+      report.exec_cycles = record[2];
+      report.iterations = record[3];
+      return report;
+    }
+  }
+
+  CycleWalker walker(model, strategies, options);
+  const CycleReport report = collapse ? walk_collapsed(walker, model, strategies)
+                                      : walk_full(walker, model.kernel());
+  if (collapse) {
+    model.cycle_memo().store(
+        key, {report.mem_cycles, report.ram_accesses, report.exec_cycles, report.iterations});
   }
   return report;
 }

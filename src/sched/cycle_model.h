@@ -32,6 +32,11 @@ struct CycleOptions {
   bool fsm_serial_memory = true;
   /// Control (FSM) cycles per loop iteration.
   std::int64_t loop_overhead = 1;
+  /// Evaluate with the reference full-iteration-space walk instead of the
+  /// periodic collapse (DESIGN.md §8). Bit-identical results (cross-checked
+  /// in test_periodic); the full walk also bypasses the per-model report
+  /// memo, so it is the oracle for both layers.
+  bool full_iteration_walk = false;
 };
 
 /// Cycle totals for a kernel under an allocation.
@@ -49,8 +54,11 @@ struct CycleReport {
   }
 };
 
-/// Runs the window policy over the whole iteration space and accumulates
-/// Tmem / Texec for `allocation`.
+/// Tmem / Texec for `allocation`. Evaluates the window policy over one
+/// periodic instance and scales (O(window); see analysis/periodic.h), and
+/// memoizes the report on `model` keyed by (per-group strategy vector,
+/// options) — budget sweeps whose allocations saturate hit the memo. Set
+/// options.full_iteration_walk for the whole-space reference walk.
 CycleReport estimate_cycles(const RefModel& model, const Allocation& allocation,
                             const CycleOptions& options = {});
 

@@ -1,0 +1,39 @@
+// Thread-safe memo table mapping a flat integer key to a flat integer
+// record. Used for derived-analysis caches that live on a shared RefModel
+// (the cycle-model memo): readers take a shared lock, a miss computes
+// outside any lock and publishes under an exclusive one, so two racing
+// writers simply store the same deterministic value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace srra {
+
+class MemoTable {
+ public:
+  /// Copies the record for `key` into `out`; false on miss.
+  bool lookup(const std::vector<std::int64_t>& key, std::vector<std::int64_t>& out) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = table_.find(key);
+    if (it == table_.end()) return false;
+    out = it->second;
+    return true;
+  }
+
+  /// Publishes a record (first store wins; later stores of the same key
+  /// are dropped — values are deterministic functions of the key).
+  void store(const std::vector<std::int64_t>& key, std::vector<std::int64_t> value) const {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    table_.emplace(key, std::move(value));
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  mutable std::map<std::vector<std::int64_t>, std::vector<std::int64_t>> table_;
+};
+
+}  // namespace srra

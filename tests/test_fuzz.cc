@@ -17,110 +17,16 @@
 
 #include "analysis/walker.h"
 #include "core/registry.h"
-#include "ir/builder.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "random_kernel.h"
 #include "sim/machine.h"
 #include "support/rng.h"
 
 namespace srra {
 namespace {
 
-// Generates a random valid kernel: 2-3 perfectly nested loops with small
-// bounds, 2-4 arrays with affine subscripts built from the enclosing loop
-// variables, and 1-2 statements with random operator trees.
-Kernel random_kernel(Rng& rng) {
-  KernelBuilder b("fuzz");
-  const int depth = static_cast<int>(rng.uniform(2, 3));
-  std::vector<std::string> loop_names;
-  std::vector<std::int64_t> trips;
-  for (int l = 0; l < depth; ++l) {
-    loop_names.push_back(std::string(1, static_cast<char>('i' + l)));
-    trips.push_back(rng.uniform(2, 6));
-  }
-
-  // Arrays: each indexed by a random subset of loops (possibly with a
-  // sliding i+j pair), sized to cover the subscript range.
-  struct ArraySpec {
-    std::string name;
-    std::vector<std::vector<std::int64_t>> coeffs;  // per dim: per level
-  };
-  const int array_count = static_cast<int>(rng.uniform(2, 4));
-  std::vector<ArraySpec> specs;
-  for (int a = 0; a < array_count; ++a) {
-    ArraySpec spec;
-    spec.name = std::string(1, static_cast<char>('p' + a));
-    const int rank = static_cast<int>(rng.uniform(1, 2));
-    for (int d = 0; d < rank; ++d) {
-      std::vector<std::int64_t> coeffs(static_cast<std::size_t>(depth), 0);
-      // 1 or 2 participating loops with coefficient 1..2.
-      const int participants = static_cast<int>(rng.uniform(1, 2));
-      for (int p = 0; p < participants; ++p) {
-        coeffs[static_cast<std::size_t>(rng.uniform(0, depth - 1))] = rng.uniform(1, 2);
-      }
-      spec.coeffs.push_back(std::move(coeffs));
-    }
-    std::vector<std::int64_t> dims;
-    for (const auto& coeffs : spec.coeffs) {
-      std::int64_t extent = 1;
-      for (int l = 0; l < depth; ++l) {
-        extent += coeffs[static_cast<std::size_t>(l)] * (trips[static_cast<std::size_t>(l)] - 1);
-      }
-      dims.push_back(extent);
-    }
-    const ScalarType type = rng.uniform01() < 0.5 ? ScalarType::kS32 : ScalarType::kU8;
-    b.array(spec.name, dims, type);
-    specs.push_back(std::move(spec));
-  }
-  for (int l = 0; l < depth; ++l) b.loop(loop_names[static_cast<std::size_t>(l)], 0, trips[static_cast<std::size_t>(l)]);
-
-  const auto make_subs = [&](const ArraySpec& spec) {
-    std::vector<AffineExpr> subs;
-    for (const auto& coeffs : spec.coeffs) {
-      AffineExpr e = b.lit(0);
-      for (int l = 0; l < depth; ++l) {
-        if (coeffs[static_cast<std::size_t>(l)] != 0) {
-          e = e + b.var(loop_names[static_cast<std::size_t>(l)]).scaled(coeffs[static_cast<std::size_t>(l)]);
-        }
-      }
-      subs.push_back(e);
-    }
-    return subs;
-  };
-
-  const auto random_leaf = [&]() -> ExprPtr {
-    const int pick = static_cast<int>(rng.uniform(0, 3));
-    if (pick == 0) return b.num(rng.uniform(-4, 4));
-    if (pick == 1) return b.loop_expr(loop_names[static_cast<std::size_t>(rng.uniform(0, depth - 1))]);
-    const ArraySpec& spec = specs[static_cast<std::size_t>(rng.uniform(0, array_count - 1))];
-    return b.ref(spec.name, make_subs(spec));
-  };
-
-  const auto random_expr = [&]() -> ExprPtr {
-    ExprPtr node = random_leaf();
-    const int ops = static_cast<int>(rng.uniform(1, 3));
-    for (int o = 0; o < ops; ++o) {
-      const int pick = static_cast<int>(rng.uniform(0, 5));
-      ExprPtr other = random_leaf();
-      switch (pick) {
-        case 0: node = add(std::move(node), std::move(other)); break;
-        case 1: node = sub(std::move(node), std::move(other)); break;
-        case 2: node = mul(std::move(node), std::move(other)); break;
-        case 3: node = bxor(std::move(node), std::move(other)); break;
-        case 4: node = min_op(std::move(node), std::move(other)); break;
-        default: node = eq(std::move(node), std::move(other)); break;
-      }
-    }
-    return node;
-  };
-
-  const int stmts = static_cast<int>(rng.uniform(1, 2));
-  for (int s = 0; s < stmts; ++s) {
-    const ArraySpec& spec = specs[static_cast<std::size_t>(rng.uniform(0, array_count - 1))];
-    b.assign(spec.name, make_subs(spec), random_expr());
-  }
-  return b.build();
-}
+using srra::testing::random_kernel;
 
 class Fuzz : public ::testing::TestWithParam<int> {
  protected:

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <sstream>
+
 #include "core/optimal.h"
 #include "core/registry.h"
 #include "kernels/kernels.h"
@@ -61,6 +65,126 @@ TEST(OptimalDp, MonotoneInBudget) {
     EXPECT_LE(cur, prev) << "budget " << budget;
     prev = cur;
   }
+}
+
+// Golden allocations captured from the pre-flattening DP and keep-matrix
+// knapsack implementations: the buffer layout and inner-bound changes must
+// not move a single register. One line per (kernel, algorithm, budget).
+constexpr const char* kGoldenAllocations = R"(
+example DP-RA 8 2/1/3/1/1
+example KS-RA 8 1/1/1/1/1
+example DP-RA 16 2/1/11/1/1
+example KS-RA 16 1/1/1/1/1
+example DP-RA 32 2/1/27/1/1
+example KS-RA 32 1/1/1/20/1
+example DP-RA 64 30/2/30/1/1
+example KS-RA 64 30/1/1/20/1
+example DP-RA 128 30/66/30/1/1
+example KS-RA 128 30/1/30/20/1
+FIR DP-RA 8 1/2/5
+FIR KS-RA 8 1/1/1
+FIR DP-RA 16 1/2/13
+FIR KS-RA 16 1/1/1
+FIR DP-RA 32 1/2/29
+FIR KS-RA 32 1/1/1
+FIR DP-RA 64 1/31/32
+FIR KS-RA 64 1/32/1
+FIR DP-RA 128 1/32/32
+FIR KS-RA 128 1/32/32
+Dec-FIR DP-RA 8 1/6/1
+Dec-FIR KS-RA 8 1/1/1
+Dec-FIR DP-RA 16 1/14/1
+Dec-FIR KS-RA 16 1/1/1
+Dec-FIR DP-RA 32 1/30/1
+Dec-FIR KS-RA 32 1/1/1
+Dec-FIR DP-RA 64 1/62/1
+Dec-FIR KS-RA 64 1/1/1
+Dec-FIR DP-RA 128 1/63/64
+Dec-FIR KS-RA 128 1/64/1
+IMI DP-RA 8 2/5/1
+IMI KS-RA 8 1/1/1
+IMI DP-RA 16 2/13/1
+IMI KS-RA 16 1/1/1
+IMI DP-RA 32 2/29/1
+IMI KS-RA 32 1/1/1
+IMI DP-RA 64 2/61/1
+IMI KS-RA 64 1/1/1
+IMI DP-RA 128 2/125/1
+IMI KS-RA 128 1/1/1
+MAT DP-RA 8 1/6/1
+MAT KS-RA 8 1/1/1
+MAT DP-RA 16 1/14/1
+MAT KS-RA 16 1/1/1
+MAT DP-RA 32 1/16/15
+MAT KS-RA 32 1/16/1
+MAT DP-RA 64 1/16/47
+MAT KS-RA 64 1/16/1
+MAT DP-RA 128 1/16/111
+MAT KS-RA 128 1/16/1
+PAT DP-RA 8 1/2/5
+PAT KS-RA 8 1/1/1
+PAT DP-RA 16 1/2/13
+PAT KS-RA 16 1/1/1
+PAT DP-RA 32 1/2/29
+PAT KS-RA 32 1/1/1
+PAT DP-RA 64 1/31/32
+PAT KS-RA 64 1/1/32
+PAT DP-RA 128 1/32/32
+PAT KS-RA 128 1/32/32
+BIC DP-RA 8 1/2/5
+BIC KS-RA 8 1/1/1
+BIC DP-RA 16 1/7/8
+BIC KS-RA 16 1/1/1
+BIC DP-RA 32 1/23/8
+BIC KS-RA 32 1/1/1
+BIC DP-RA 64 1/55/8
+BIC KS-RA 64 1/1/1
+BIC DP-RA 128 1/63/64
+BIC KS-RA 128 1/64/1
+CONV2D DP-RA 8 1/4/3
+CONV2D KS-RA 8 1/1/1
+CONV2D DP-RA 16 1/9/6
+CONV2D KS-RA 16 1/9/1
+CONV2D DP-RA 32 1/9/22
+CONV2D KS-RA 32 1/9/1
+CONV2D DP-RA 64 1/9/54
+CONV2D KS-RA 64 1/9/1
+CONV2D DP-RA 128 1/9/118
+CONV2D KS-RA 128 1/9/1
+MATVEC DP-RA 8 1/1/6
+MATVEC KS-RA 8 1/1/1
+MATVEC DP-RA 16 1/1/14
+MATVEC KS-RA 16 1/1/1
+MATVEC DP-RA 32 1/1/30
+MATVEC KS-RA 32 1/1/1
+MATVEC DP-RA 64 1/1/32
+MATVEC KS-RA 64 1/1/32
+MATVEC DP-RA 128 1/1/32
+MATVEC KS-RA 128 1/1/32
+)";
+
+TEST(OptimalDp, GoldenAllocationsOnAllBuiltinKernels) {
+  std::map<std::string, std::unique_ptr<RefModel>> models;
+  models.emplace("example", std::make_unique<RefModel>(kernels::paper_example()));
+  for (kernels::NamedKernel& nk : kernels::all_kernels()) {
+    models.emplace(nk.name, std::make_unique<RefModel>(std::move(nk.kernel)));
+  }
+
+  std::istringstream lines(kGoldenAllocations);
+  std::string kernel, alg_name, expected;
+  std::int64_t budget = 0;
+  int rows = 0;
+  while (lines >> kernel >> alg_name >> budget >> expected) {
+    const auto it = models.find(kernel);
+    ASSERT_NE(it, models.end()) << kernel;
+    const Algorithm alg =
+        alg_name == "DP-RA" ? Algorithm::kOptimalDp : Algorithm::kKnapsack;
+    const Allocation a = allocate(alg, *it->second, budget);
+    EXPECT_EQ(a.distribution(), expected)
+        << kernel << " " << alg_name << " at budget " << budget;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 90);
 }
 
 TEST(OptimalDp, RegistryDispatch) {
