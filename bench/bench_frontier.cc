@@ -1,0 +1,123 @@
+// All-budget allocation frontier bench (DESIGN.md §9): evaluates *every*
+// feasible budget up to kMaxBudget for every algorithm two ways —
+//
+//   frontier:   one AllocationFrontier per (kernel, algorithm), sliced per
+//               budget (what run_budget_sweep and dse/explore do), and
+//   per-budget: one allocator call per (algorithm, budget) point (the
+//               oracle the frontier slices are byte-identical to),
+//
+// verifies both paths agree on every single allocation, and prints the
+// per-phase timings (access-curve build, frontier builds, slicing, the
+// per-budget loop) as a table plus a BENCH JSON blob for run_all.sh
+// artifact tracking.
+#include <chrono>
+#include <iostream>
+
+#include "core/frontier.h"
+#include "kernels/kernels.h"
+#include "support/str.h"
+#include "support/table.h"
+
+int main() {
+  using namespace srra;
+  using Clock = std::chrono::steady_clock;
+  const auto ms = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+
+  constexpr std::int64_t kMaxBudget = 128;
+  const std::vector<Algorithm> algorithms = all_algorithms();
+
+  std::cout << "All-budget allocation frontiers vs per-budget allocator runs\n"
+            << "(every feasible budget up to " << kMaxBudget
+            << ", all six algorithms; outputs cross-checked per budget)\n\n";
+
+  Table table({"Kernel", "Budgets", "Curve (ms)", "Frontier (ms)", "Slice (ms)",
+               "Per-budget (ms)", "Speedup"});
+  double total_curve = 0;
+  double total_frontier = 0;
+  double total_slice = 0;
+  double total_per_budget = 0;
+  std::int64_t mismatches = 0;
+
+  for (kernels::NamedKernel& nk : kernels::table1_kernels()) {
+    // Frontier arm: one shared model, one frontier per algorithm, slices.
+    const RefModel model(nk.kernel.clone());
+    const std::int64_t budgets = kMaxBudget - model.group_count() + 1;
+
+    const auto c0 = Clock::now();
+    (void)model.access_curve(kMaxBudget);
+    const auto c1 = Clock::now();
+    std::vector<AllocationFrontier> frontiers;
+    frontiers.reserve(algorithms.size());
+    for (const Algorithm algorithm : algorithms) {
+      frontiers.push_back(allocate_frontier(algorithm, model, kMaxBudget));
+    }
+    const auto c2 = Clock::now();
+    std::vector<Allocation> slices;
+    slices.reserve(frontiers.size() * static_cast<std::size_t>(budgets));
+    for (const AllocationFrontier& frontier : frontiers) {
+      for (std::int64_t b = frontier.min_budget; b <= frontier.max_budget; ++b) {
+        slices.push_back(frontier.at(b));
+      }
+    }
+    const auto c3 = Clock::now();
+
+    // Per-budget arm: its own shared model, one allocator call per point.
+    const RefModel per_point_model(nk.kernel.clone());
+    const auto p0 = Clock::now();
+    std::vector<Allocation> per_point;
+    per_point.reserve(slices.size());
+    for (const Algorithm algorithm : algorithms) {
+      for (std::int64_t b = per_point_model.group_count(); b <= kMaxBudget; ++b) {
+        per_point.push_back(allocate(algorithm, per_point_model, b));
+      }
+    }
+    const auto p1 = Clock::now();
+
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      if (slices[i].regs != per_point[i].regs || slices[i].budget != per_point[i].budget ||
+          slices[i].algorithm != per_point[i].algorithm) {
+        ++mismatches;
+      }
+    }
+
+    const double curve_ms = ms(c0, c1);
+    const double frontier_ms = ms(c1, c2);
+    const double slice_ms = ms(c2, c3);
+    const double per_budget_ms = ms(p0, p1);
+    total_curve += curve_ms;
+    total_frontier += frontier_ms;
+    total_slice += slice_ms;
+    total_per_budget += per_budget_ms;
+    const double frontier_total = curve_ms + frontier_ms + slice_ms;
+    table.add_row({nk.name, std::to_string(budgets), to_fixed(curve_ms, 2),
+                   to_fixed(frontier_ms, 2), to_fixed(slice_ms, 2),
+                   to_fixed(per_budget_ms, 2),
+                   frontier_total > 0 ? cat(to_fixed(per_budget_ms / frontier_total, 1), "x")
+                                      : "-"});
+  }
+
+  const double frontier_total = total_curve + total_frontier + total_slice;
+  table.add_row({"total", "", to_fixed(total_curve, 2), to_fixed(total_frontier, 2),
+                 to_fixed(total_slice, 2), to_fixed(total_per_budget, 2),
+                 frontier_total > 0 ? cat(to_fixed(total_per_budget / frontier_total, 1), "x")
+                                    : "-"});
+  table.render(std::cout);
+  std::cout << "\ncross-check mismatches: " << mismatches
+            << (mismatches == 0 ? " (frontier slices byte-identical to per-budget runs)"
+                                : " (FRONTIER/PER-BUDGET DISAGREE)")
+            << "\n\n";
+
+  // Machine-readable per-phase record (run_all.sh stores this report next
+  // to its own wall-clock JSON).
+  std::cout << "BENCH JSON: {\"bench\": \"bench_frontier\", \"max_budget\": " << kMaxBudget
+            << ", \"curve_ms\": " << to_fixed(total_curve, 3)
+            << ", \"frontier_ms\": " << to_fixed(total_frontier, 3)
+            << ", \"slice_ms\": " << to_fixed(total_slice, 3)
+            << ", \"per_budget_ms\": " << to_fixed(total_per_budget, 3)
+            << ", \"speedup\": "
+            << to_fixed(frontier_total > 0 ? total_per_budget / frontier_total : 0.0, 2)
+            << ", \"mismatches\": " << mismatches << "}\n";
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+#include "analysis/curve.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+
+namespace srra {
+
+AccessCurve::AccessCurve(const Kernel& kernel, const std::vector<RefGroup>& groups,
+                         const std::vector<ReuseInfo>& reuse, std::int64_t max_regs,
+                         const ModelOptions& options)
+    : max_regs_(max_regs) {
+  check(groups.size() == reuse.size(), "groups/reuse size mismatch");
+  check(max_regs >= 0, "access curve needs a non-negative register bound");
+
+  saturation_.reserve(groups.size());
+  offset_.reserve(groups.size() + 1);
+  offset_.push_back(0);
+  for (const ReuseInfo& info : reuse) {
+    std::int64_t sat = 0;
+    for (const CarryLevel& cl : info.levels) sat = std::max(sat, cl.beta);
+    saturation_.push_back(sat);
+    offset_.push_back(offset_.back() +
+                      static_cast<std::size_t>(std::min(sat, max_regs)) + 1);
+  }
+
+  const std::size_t slots = offset_.back();
+  steady_.reserve(slots);
+  total_.reserve(slots);
+  strategy_level_.reserve(slots);
+  strategy_held_.reserve(slots);
+  detail_.reserve(slots);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::int64_t cap = std::min(saturation_[g], max_regs);
+    // Candidate passes memoized per distinct strategy across the whole
+    // register range: the no-holding and full-exploitation candidates are
+    // the same at every r, so each is walked once instead of cap times
+    // (only the partial windows change per r).
+    std::map<std::pair<int, std::int64_t>, GroupCounts> pass_memo;
+    const auto pass = [&](const RefStrategy& s) -> const GroupCounts& {
+      const auto key = std::make_pair(s.carry_level, s.held_limit);
+      const auto it = pass_memo.find(key);
+      if (it != pass_memo.end()) return it->second;
+      return pass_memo
+          .emplace(key, count_group_accesses_strategy(kernel, groups[g], s, options))
+          .first->second;
+    };
+    for (std::int64_t r = 0; r <= cap; ++r) {
+      const std::vector<RefStrategy> candidates =
+          strategy_candidates(reuse[g], r, options);
+      RefStrategy best = candidates.front();
+      GroupCounts best_counts = pass(best);
+      for (std::size_t c = 1; c < candidates.size(); ++c) {
+        const GroupCounts& counts = pass(candidates[c]);
+        if (strategy_counts_better(candidates[c], counts, best, best_counts)) {
+          best = candidates[c];
+          best_counts = counts;
+        }
+      }
+      steady_.push_back(best_counts.steady_total());
+      total_.push_back(best_counts.total());
+      strategy_level_.push_back(best.carry_level);
+      strategy_held_.push_back(best.held_limit);
+      detail_.push_back(best_counts);
+    }
+  }
+}
+
+std::size_t AccessCurve::slot(int g, std::int64_t regs) const {
+  check(g >= 0 && g < group_count(), "group id out of range");
+  check(covers(g, regs), "access curve does not cover this register count");
+  return offset_[static_cast<std::size_t>(g)] +
+         static_cast<std::size_t>(std::min(regs, cap(g)));
+}
+
+}  // namespace srra

@@ -1,0 +1,90 @@
+// Dense access-curve tables (DESIGN.md §9): for every reference group the
+// full registers -> accesses curve, tabulated once and read lock-free.
+//
+// A group's counters are a function of its selected strategy, which is a
+// function of its own register count only — so the whole curve for regs in
+// [0, min(saturation, max_regs)] can be computed in one pass per group and
+// shared by every allocator query thereafter. `saturation` is the largest
+// carrying-window requirement (the outermost level's beta): past it the
+// candidate set select_strategy evaluates no longer changes, so every
+// counter is constant and queries clamp to the last tabulated slot.
+//
+// The table is immutable after construction. The per-group curves live in
+// flat structure-of-arrays planes (steady totals, full totals, strategy
+// fields) indexed by one offset table, so the allocator hot loops — the
+// DP-RA inner loop, CPA-RA's cut weighing — are plain array reads instead
+// of the shared-mutex memo lookups RefModel::counts() pays (model.h keeps
+// that memo for queries the curve does not cover).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/refs.h"
+#include "analysis/reuse.h"
+#include "analysis/walker.h"
+#include "ir/kernel.h"
+
+namespace srra {
+
+class AccessCurve {
+ public:
+  /// Tabulates every group's curve up to min(saturation(g), max_regs).
+  /// Each slot holds exactly what count_group_accesses / select_strategy
+  /// return for that (group, regs) — the memo and the curve agree by
+  /// construction (cross-checked in test_frontier.cc).
+  AccessCurve(const Kernel& kernel, const std::vector<RefGroup>& groups,
+              const std::vector<ReuseInfo>& reuse, std::int64_t max_regs,
+              const ModelOptions& options = {});
+
+  std::int64_t max_regs() const { return max_regs_; }
+  int group_count() const { return static_cast<int>(saturation_.size()); }
+
+  /// True when every group is tabulated all the way to its saturation
+  /// point: the table then answers *any* register count by clamping, so a
+  /// larger max_regs would rebuild an identical table.
+  bool saturated() const {
+    for (int g = 0; g < group_count(); ++g) {
+      if (cap(g) < saturation_[static_cast<std::size_t>(g)]) return false;
+    }
+    return true;
+  }
+
+  /// Last tabulated register count of group `g`.
+  std::int64_t cap(int g) const {
+    return static_cast<std::int64_t>(offset_[static_cast<std::size_t>(g) + 1] -
+                                     offset_[static_cast<std::size_t>(g)]) -
+           1;
+  }
+
+  /// True when the curve answers queries for (g, regs): either regs is
+  /// tabulated, or the group saturated inside the table so larger counts
+  /// clamp to the saturation slot.
+  bool covers(int g, std::int64_t regs) const {
+    return regs >= 0 &&
+           (regs <= cap(g) || cap(g) == saturation_[static_cast<std::size_t>(g)]);
+  }
+
+  std::int64_t steady(int g, std::int64_t regs) const { return steady_[slot(g, regs)]; }
+  std::int64_t total(int g, std::int64_t regs) const { return total_[slot(g, regs)]; }
+  const GroupCounts& counts(int g, std::int64_t regs) const { return detail_[slot(g, regs)]; }
+  RefStrategy strategy(int g, std::int64_t regs) const {
+    const std::size_t s = slot(g, regs);
+    return RefStrategy{strategy_level_[s], strategy_held_[s]};
+  }
+
+ private:
+  std::size_t slot(int g, std::int64_t regs) const;
+
+  std::int64_t max_regs_ = 0;
+  std::vector<std::int64_t> saturation_;  ///< per group: largest carrying beta
+  std::vector<std::size_t> offset_;       ///< group -> first slot; back() = size
+  // Flat per-slot planes (slot = offset_[g] + regs).
+  std::vector<std::int64_t> steady_;
+  std::vector<std::int64_t> total_;
+  std::vector<std::int32_t> strategy_level_;
+  std::vector<std::int64_t> strategy_held_;
+  std::vector<GroupCounts> detail_;
+};
+
+}  // namespace srra

@@ -20,6 +20,7 @@ std::int64_t RefModel::beta_full(int g) const {
 
 const GroupCounts& RefModel::counts(int g, std::int64_t regs) const {
   check(g >= 0 && g < group_count(), "group id out of range");
+  if (const AccessCurve* curve = covering_curve(g, regs)) return curve->counts(g, regs);
   const auto key = std::make_pair(g, regs);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -37,6 +38,7 @@ const GroupCounts& RefModel::counts(int g, std::int64_t regs) const {
 
 RefStrategy RefModel::strategy(int g, std::int64_t regs) const {
   check(g >= 0 && g < group_count(), "group id out of range");
+  if (const AccessCurve* curve = covering_curve(g, regs)) return curve->strategy(g, regs);
   const auto key = std::make_pair(g, regs);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -50,7 +52,79 @@ RefStrategy RefModel::strategy(int g, std::int64_t regs) const {
   return strategy_cache_.emplace(key, s).first->second;
 }
 
+std::vector<RefStrategy> RefModel::strategies(srra::span<const std::int64_t> regs) const {
+  check(static_cast<int>(regs.size()) == group_count(),
+        "strategies() needs one register count per group");
+  std::vector<RefStrategy> out(regs.size());
+  std::vector<int> missing;
+
+  // Lock-free curve slice first, then one shared-lock pass for the rest.
+  const AccessCurve* curve = curve_.load(std::memory_order_acquire);
+  std::vector<bool> resolved(regs.size(), false);
+  for (std::size_t g = 0; g < regs.size(); ++g) {
+    if (curve != nullptr && curve->covers(static_cast<int>(g), regs[g])) {
+      out[g] = curve->strategy(static_cast<int>(g), regs[g]);
+      resolved[g] = true;
+    }
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (std::size_t g = 0; g < regs.size(); ++g) {
+      if (resolved[g]) continue;
+      const auto it = strategy_cache_.find(std::make_pair(static_cast<int>(g), regs[g]));
+      if (it != strategy_cache_.end()) {
+        out[g] = it->second;
+        resolved[g] = true;
+      } else {
+        missing.push_back(static_cast<int>(g));
+      }
+    }
+  }
+  if (missing.empty()) return out;
+
+  // Compute the misses outside any lock; the selection's counters seed the
+  // count cache too, so a later counts() for the same point is a hit.
+  std::vector<StrategyChoice> computed;
+  computed.reserve(missing.size());
+  for (const int g : missing) {
+    computed.push_back(select_strategy_counted(
+        kernel_, groups_[static_cast<std::size_t>(g)],
+        reuse_[static_cast<std::size_t>(g)], regs[static_cast<std::size_t>(g)], options_));
+    out[static_cast<std::size_t>(g)] = computed.back().strategy;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    const auto key =
+        std::make_pair(missing[i], regs[static_cast<std::size_t>(missing[i])]);
+    strategy_cache_.emplace(key, computed[i].strategy);
+    cache_.emplace(key, computed[i].counts);
+  }
+  return out;
+}
+
+const AccessCurve& RefModel::access_curve(std::int64_t max_regs) const {
+  // A saturated table answers any register count by clamping, so growing
+  // it would only rebuild an identical table.
+  const AccessCurve* curve = curve_.load(std::memory_order_acquire);
+  if (curve != nullptr && (curve->max_regs() >= max_regs || curve->saturated())) {
+    return *curve;
+  }
+  std::lock_guard<std::mutex> lock(curve_mu_);
+  curve = curve_.load(std::memory_order_relaxed);
+  if (curve != nullptr && (curve->max_regs() >= max_regs || curve->saturated())) {
+    return *curve;
+  }
+  curves_.push_back(
+      std::make_unique<AccessCurve>(kernel_, groups_, reuse_, max_regs, options_));
+  curve_.store(curves_.back().get(), std::memory_order_release);
+  return *curves_.back();
+}
+
 std::int64_t RefModel::accesses(int g, std::int64_t regs, CountMode mode) const {
+  check(g >= 0 && g < group_count(), "group id out of range");
+  if (const AccessCurve* curve = covering_curve(g, regs)) {
+    return mode == CountMode::kSteady ? curve->steady(g, regs) : curve->total(g, regs);
+  }
   const GroupCounts& c = counts(g, regs);
   return mode == CountMode::kSteady ? c.steady_total() : c.total();
 }

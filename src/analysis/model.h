@@ -9,16 +9,21 @@
 // a reference with no exploitable reuse worth exactly 0.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <vector>
 
+#include "analysis/curve.h"
 #include "analysis/refs.h"
 #include "analysis/reuse.h"
 #include "analysis/walker.h"
 #include "ir/kernel.h"
 #include "support/memo.h"
+#include "support/span.h"
 
 namespace srra {
 
@@ -33,7 +38,8 @@ enum class CountMode {
 /// shared by every evaluation lane of a design-space sweep (dse/explore.h):
 /// cache hits take a shared lock, misses compute outside any lock and
 /// publish under an exclusive one — values are deterministic functions of
-/// the key, so racing writers agree.
+/// the key, so racing writers agree. Queries covered by a published
+/// AccessCurve (access_curve()) bypass the memo locks entirely.
 class RefModel {
  public:
   explicit RefModel(Kernel kernel, ModelOptions options = {});
@@ -57,6 +63,21 @@ class RefModel {
   /// (cached; the empirical selection evaluates every candidate window).
   RefStrategy strategy(int g, std::int64_t regs) const;
 
+  /// Batched strategy lookup for one whole allocation (regs[g] registers
+  /// for group g): one shared-lock pass gathers the cache hits, the misses
+  /// are computed outside any lock and published under a single exclusive
+  /// lock — instead of one lock round-trip per group (sched/cycle_model.cc
+  /// builds its memo key this way).
+  std::vector<RefStrategy> strategies(srra::span<const std::int64_t> regs) const;
+
+  /// The dense access-curve table covering register counts up to at least
+  /// `max_regs`, built on first call (or grown if a smaller table was
+  /// published earlier) and read lock-free afterwards. Slices every
+  /// accesses()/counts()/strategy() query it covers without touching the
+  /// memo locks; the returned reference stays valid for the model's
+  /// lifetime.
+  const AccessCurve& access_curve(std::int64_t max_regs) const;
+
   /// Accesses eliminated by full scalar replacement (total mode).
   std::int64_t saved(int g) const;
 
@@ -74,6 +95,13 @@ class RefModel {
   MemoTable& cycle_memo() const { return cycle_memo_; }
 
  private:
+  /// The published curve if it covers (g, regs), else nullptr. Lock-free:
+  /// one acquire load; the curve itself is immutable.
+  const AccessCurve* covering_curve(int g, std::int64_t regs) const {
+    const AccessCurve* curve = curve_.load(std::memory_order_acquire);
+    return curve != nullptr && curve->covers(g, regs) ? curve : nullptr;
+  }
+
   Kernel kernel_;
   ModelOptions options_;
   std::vector<RefGroup> groups_;
@@ -82,6 +110,12 @@ class RefModel {
   mutable std::map<std::pair<int, std::int64_t>, GroupCounts> cache_;
   mutable std::map<std::pair<int, std::int64_t>, RefStrategy> strategy_cache_;
   mutable MemoTable cycle_memo_;
+  // Access-curve publication: built under curve_mu_, then published through
+  // the atomic for lock-free readers. Superseded (smaller) tables are kept
+  // in curves_ so outstanding references never dangle.
+  mutable std::mutex curve_mu_;
+  mutable std::vector<std::unique_ptr<AccessCurve>> curves_;
+  mutable std::atomic<const AccessCurve*> curve_{nullptr};
 };
 
 }  // namespace srra

@@ -51,7 +51,8 @@ GroupCounts count_group_accesses_collapsed(const Kernel& kernel, const RefGroup&
   }
 
   GroupCounts per_iter;
-  const EventSink sink = [&per_iter](const AccessEvent& e) { record_event(per_iter, e); };
+  const auto count_event = [&per_iter](const AccessEvent& e) { record_event(per_iter, e); };
+  const EventSink sink(count_event);
   WindowTracker tracker(kernel, group, strategy);
 
   if (!strategy.holds()) {

@@ -26,6 +26,16 @@ std::int64_t element_at(const Kernel& kernel, const ArrayAccess& access,
   return flat;
 }
 
+AffineExpr linearize_access(const Kernel& kernel, const ArrayAccess& access) {
+  const ArrayDecl& decl = kernel.array(access.array_id);
+  AffineExpr flat(kernel.depth());
+  for (int d = 0; d < decl.rank(); ++d) {
+    flat = flat.scaled(decl.dims[static_cast<std::size_t>(d)]) +
+           access.subscripts[static_cast<std::size_t>(d)];
+  }
+  return flat;
+}
+
 namespace {
 
 // Builds the access matrix: one row per array dimension, one column per loop

@@ -52,6 +52,13 @@ struct ReuseInfo {
 std::int64_t element_at(const Kernel& kernel, const ArrayAccess& access,
                         srra::span<const std::int64_t> iteration);
 
+/// The linearized element index as a single affine function of the
+/// iteration vector: element_at(kernel, access, it) ==
+/// linearize_access(kernel, access).evaluate(it) for every iteration.
+/// Hot walkers precompute this form once instead of re-composing the
+/// per-dimension subscripts on every access.
+AffineExpr linearize_access(const Kernel& kernel, const ArrayAccess& access);
+
 /// Number of distinct elements `access` touches during one iteration of
 /// loop `level` (the register requirement of a window at that level).
 std::int64_t window_size(const Kernel& kernel, const ArrayAccess& access, int level);

@@ -60,9 +60,28 @@ RefStrategy choose_strategy(const ReuseInfo& info, std::int64_t regs,
   return strategy;
 }
 
+void WindowTracker::ElementSet::reset(std::size_t expected_elements) {
+  std::size_t capacity = 8;
+  while (capacity < expected_elements * 2) capacity *= 2;
+  keys_.assign(capacity, 0);
+  epochs_.assign(capacity, 0);
+  mask_ = capacity - 1;
+  epoch_ = 1;
+}
+
 WindowTracker::WindowTracker(const Kernel& kernel, const RefGroup& group,
                              RefStrategy strategy)
-    : kernel_(kernel), group_(group), strategy_(strategy) {}
+    : kernel_(kernel), group_(group), strategy_(strategy) {
+  const AffineExpr flat = linearize_access(kernel, group.access);
+  elem_const_ = flat.constant_term();
+  elem_coeffs_.resize(static_cast<std::size_t>(flat.depth()));
+  for (int l = 0; l < flat.depth(); ++l) {
+    elem_coeffs_[static_cast<std::size_t>(l)] = flat.coeff(l);
+  }
+  if (strategy_.holds()) {
+    rank_members_.reset(static_cast<std::size_t>(strategy_.held_limit));
+  }
+}
 
 bool WindowTracker::at_first_carry_value() const {
   const int l = strategy_.carry_level;
@@ -112,8 +131,35 @@ std::vector<WindowTracker::HeldElement> WindowTracker::held_snapshot(
   return snapshot;
 }
 
+void WindowTracker::append_state_signature(std::int64_t offset,
+                                           std::vector<std::int64_t>& out) const {
+  out.push_back(static_cast<std::int64_t>(rank_order_.size()));
+  for (const std::int64_t element : rank_order_) out.push_back(element - offset);
+  out.push_back(static_cast<std::int64_t>(held_.size()));
+  std::uint64_t base = 0;
+  bool have_base = false;
+  for (const Held& held : held_) {
+    if (!have_base || held.last_touch < base) {
+      base = held.last_touch;
+      have_base = true;
+    }
+  }
+  for (const Held& held : held_) {
+    out.push_back(held.element - offset);
+    out.push_back(held.dirty ? 1 : 0);
+    out.push_back(static_cast<std::int64_t>(held.last_touch - base));
+  }
+}
+
 void WindowTracker::translate_held(std::int64_t delta) {
   for (Held& held : held_) held.element += delta;
+  if (!rank_order_.empty()) {
+    rank_members_.clear();
+    for (std::int64_t& element : rank_order_) {
+      element += delta;
+      rank_members_.insert(element);
+    }
+  }
 }
 
 void WindowTracker::begin_iteration(srra::span<const std::int64_t> iteration,
@@ -144,15 +190,20 @@ void WindowTracker::begin_iteration(srra::span<const std::int64_t> iteration,
     // code and are steady-state-excluded.
     flush_all(sink, /*steady=*/!at_last_carry_value());
     rank_order_.clear();
+    rank_members_.clear();
   } else if (carry_changed) {
     rank_order_.clear();
+    rank_members_.clear();
   }
   cur_iter_.assign(iteration.begin(), iteration.end());
 }
 
 AccessEvent WindowTracker::on_access(srra::span<const std::int64_t> iteration, bool is_write,
                                      int stmt, int order, const EventSink& sink) {
-  const std::int64_t element = element_at(kernel_, group_.access, iteration);
+  std::int64_t element = elem_const_;
+  for (std::size_t l = 0; l < elem_coeffs_.size(); ++l) {
+    element += elem_coeffs_[l] * iteration[l];
+  }
 
   AccessEvent event;
   event.group = group_.id;
@@ -179,11 +230,11 @@ AccessEvent WindowTracker::on_access(srra::span<const std::int64_t> iteration, b
 
   // Window membership by touch rank: the first held_limit distinct elements
   // of this carry iteration are in the window; everything later misses.
-  bool in_window =
-      std::find(rank_order_.begin(), rank_order_.end(), element) != rank_order_.end();
+  bool in_window = rank_members_.contains(element);
   if (!in_window &&
       static_cast<std::int64_t>(rank_order_.size()) < strategy_.held_limit) {
     rank_order_.push_back(element);
+    rank_members_.insert(element);
     in_window = true;
   }
 
@@ -294,10 +345,11 @@ std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
   check(groups.size() == regs.size(), "groups/regs size mismatch");
 
   std::vector<GroupCounts> counts(groups.size());
-  const auto counting_sink = [&](const AccessEvent& e) {
+  const auto count_event = [&](const AccessEvent& e) {
     record_event(counts[static_cast<std::size_t>(e.group)], e);
     if (sink) sink(e);
   };
+  const EventSink counting_sink(count_event);
 
   std::vector<WindowTracker> trackers;
   trackers.reserve(groups.size());
@@ -322,7 +374,8 @@ std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
 GroupCounts count_group_accesses_full(const Kernel& kernel, const RefGroup& group,
                                       RefStrategy strategy) {
   GroupCounts counts;
-  const EventSink sink = [&](const AccessEvent& e) { record_event(counts, e); };
+  const auto count_event = [&](const AccessEvent& e) { record_event(counts, e); };
+  const EventSink sink(count_event);
   WindowTracker tracker(kernel, group, strategy);
   std::vector<std::int64_t> iter = first_iteration(kernel);
   do {
@@ -347,13 +400,17 @@ GroupCounts run_group_pass(const Kernel& kernel, const RefGroup& group,
 
 }  // namespace
 
-RefStrategy select_strategy(const Kernel& kernel, const RefGroup& group,
-                            const ReuseInfo& info, std::int64_t regs,
-                            const ModelOptions& options) {
-  if (!info.has_reuse() || regs <= 0) return RefStrategy{};
+GroupCounts count_group_accesses_strategy(const Kernel& kernel, const RefGroup& group,
+                                          RefStrategy strategy,
+                                          const ModelOptions& options) {
+  return run_group_pass(kernel, group, strategy, options);
+}
 
+std::vector<RefStrategy> strategy_candidates(const ReuseInfo& info, std::int64_t regs,
+                                             const ModelOptions& options) {
   std::vector<RefStrategy> candidates;
   candidates.push_back(RefStrategy{});  // no holding
+  if (!info.has_reuse() || regs <= 0) return candidates;
   const std::int64_t min_partial = options.single_register_holding ? 1 : 2;
   for (const CarryLevel& cl : info.levels) {
     if (cl.beta <= regs) {
@@ -362,30 +419,51 @@ RefStrategy select_strategy(const Kernel& kernel, const RefGroup& group,
       candidates.push_back(RefStrategy{cl.level, regs});
     }
   }
+  return candidates;
+}
 
-  RefStrategy best = candidates.front();
-  GroupCounts best_counts = run_group_pass(kernel, group, best, options);
+bool strategy_counts_better(const RefStrategy& candidate, const GroupCounts& counts,
+                            const RefStrategy& best, const GroupCounts& best_counts) {
+  return counts.steady_total() < best_counts.steady_total() ||
+         (counts.steady_total() == best_counts.steady_total() &&
+          (counts.total() < best_counts.total() ||
+           (counts.total() == best_counts.total() &&
+            candidate.carry_level < best.carry_level)));
+}
+
+StrategyChoice select_strategy_counted(const Kernel& kernel, const RefGroup& group,
+                                       const ReuseInfo& info, std::int64_t regs,
+                                       const ModelOptions& options) {
+  StrategyChoice choice;
+  if (!info.has_reuse() || regs <= 0) {
+    choice.counts = run_group_pass(kernel, group, choice.strategy, options);
+    return choice;
+  }
+
+  const std::vector<RefStrategy> candidates = strategy_candidates(info, regs, options);
+  choice.strategy = candidates.front();
+  choice.counts = run_group_pass(kernel, group, choice.strategy, options);
   for (std::size_t c = 1; c < candidates.size(); ++c) {
     const GroupCounts counts = run_group_pass(kernel, group, candidates[c], options);
-    const bool better =
-        counts.steady_total() < best_counts.steady_total() ||
-        (counts.steady_total() == best_counts.steady_total() &&
-         (counts.total() < best_counts.total() ||
-          (counts.total() == best_counts.total() &&
-           candidates[c].carry_level < best.carry_level)));
-    if (better) {
-      best = candidates[c];
-      best_counts = counts;
+    if (strategy_counts_better(candidates[c], counts, choice.strategy, choice.counts)) {
+      choice.strategy = candidates[c];
+      choice.counts = counts;
     }
   }
-  return best;
+  return choice;
+}
+
+RefStrategy select_strategy(const Kernel& kernel, const RefGroup& group,
+                            const ReuseInfo& info, std::int64_t regs,
+                            const ModelOptions& options) {
+  if (!info.has_reuse() || regs <= 0) return RefStrategy{};
+  return select_strategy_counted(kernel, group, info, regs, options).strategy;
 }
 
 GroupCounts count_group_accesses(const Kernel& kernel, const RefGroup& group,
                                  const ReuseInfo& reuse, std::int64_t regs,
                                  const ModelOptions& options) {
-  return run_group_pass(kernel, group,
-                        select_strategy(kernel, group, reuse, regs, options), options);
+  return select_strategy_counted(kernel, group, reuse, regs, options).counts;
 }
 
 }  // namespace srra

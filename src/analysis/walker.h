@@ -24,7 +24,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <cstddef>
+#include <type_traits>
 #include "support/span.h"
 #include <vector>
 
@@ -50,7 +51,31 @@ struct AccessEvent {
   int order = -1;       ///< occurrence order within the iteration (-1: flush)
 };
 
-using EventSink = std::function<void(const AccessEvent&)>;
+/// Non-owning event callback (a function_ref): one raw indirect call on the
+/// per-access hot path, no std::function construction or type-erasure
+/// management. It only *references* the callable — bind named lambdas,
+/// function objects or members that outlive every use, never temporaries
+/// that die before the walk (the lvalue-reference constructor enforces
+/// this at the construction site).
+class EventSink {
+ public:
+  EventSink() = default;
+  EventSink(std::nullptr_t) {}  // NOLINT: nullptr means "no sink"
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventSink>>>
+  EventSink(F& callable)  // NOLINT: intentionally implicit, function_ref-style
+      : ctx_(const_cast<void*>(static_cast<const void*>(&callable))),
+        fn_([](void* ctx, const AccessEvent& event) {
+          (*static_cast<F*>(ctx))(event);
+        }) {}
+
+  explicit operator bool() const { return fn_ != nullptr; }
+  void operator()(const AccessEvent& event) const { fn_(ctx_, event); }
+
+ private:
+  void* ctx_ = nullptr;
+  void (*fn_)(void*, const AccessEvent&) = nullptr;
+};
 
 /// How a reference group uses its registers.
 struct RefStrategy {
@@ -127,12 +152,26 @@ class WindowTracker {
   /// every carry boundary). Entries are sorted by element, each shifted by
   /// -`offset`. Two trackers whose snapshots agree behave identically over
   /// any continuation whose accesses are shifted by the same offset — the
-  /// periodicity test analysis/periodic.h relies on.
+  /// periodicity test analysis/periodic.h relies on. Only valid at the
+  /// tracker's own carry boundaries, where the first-touch membership list
+  /// has just reset; mid-carry state comparisons need
+  /// append_state_signature.
   std::vector<HeldElement> held_snapshot(std::int64_t offset) const;
 
-  /// Shifts every resident element by `delta`: fast-forwards the tracker
-  /// across carry iterations whose event streams are translations of each
-  /// other (analysis/periodic.h).
+  /// Appends a strict normalized signature of the *complete* classification
+  /// state to `out`: the first-touch window membership and the residents
+  /// (dirty flags, relative touch ranks), in storage order, every element
+  /// shifted by -`offset`. Strictly finer than held_snapshot equality and
+  /// valid between any two iterations — equal signatures imply identical
+  /// behavior over offset-shifted continuations. Storage order makes it
+  /// conservative: a repeat can be detected late (the walk then just keeps
+  /// walking), never falsely. No sorting, no allocation beyond `out`.
+  void append_state_signature(std::int64_t offset, std::vector<std::int64_t>& out) const;
+
+  /// Shifts every element the state remembers (residents and the
+  /// first-touch membership list) by `delta`: fast-forwards the tracker
+  /// across iterations whose event streams are translations of each other
+  /// (analysis/periodic.h, the cycle model's nested collapse).
   void translate_held(std::int64_t delta);
 
  private:
@@ -140,6 +179,43 @@ class WindowTracker {
     std::int64_t element = 0;
     bool dirty = false;
     std::uint64_t last_touch = 0;
+  };
+
+  // Epoch-stamped open-addressing membership set for the first-touch window
+  // list: clear() is O(1) (bump the epoch), so the per-carry-iteration reset
+  // costs nothing and the per-access membership probe is O(1) instead of a
+  // linear scan over up to held_limit elements.
+  class ElementSet {
+   public:
+    void reset(std::size_t expected_elements);
+    bool contains(std::int64_t element) const {
+      if (keys_.empty()) return false;
+      std::size_t slot = hash(element);
+      while (epochs_[slot] == epoch_) {
+        if (keys_[slot] == element) return true;
+        slot = (slot + 1) & mask_;
+      }
+      return false;
+    }
+    void insert(std::int64_t element) {
+      std::size_t slot = hash(element);
+      while (epochs_[slot] == epoch_) slot = (slot + 1) & mask_;
+      keys_[slot] = element;
+      epochs_[slot] = epoch_;
+    }
+    void clear() { ++epoch_; }
+
+   private:
+    std::size_t hash(std::int64_t element) const {
+      return static_cast<std::size_t>(static_cast<std::uint64_t>(element) *
+                                      0x9E3779B97F4A7C15ull >>
+                                      33) &
+             mask_;
+    }
+    std::vector<std::int64_t> keys_;
+    std::vector<std::uint64_t> epochs_;
+    std::size_t mask_ = 0;
+    std::uint64_t epoch_ = 1;
   };
 
   bool at_first_carry_value() const;
@@ -151,14 +227,21 @@ class WindowTracker {
   const RefGroup& group_;
   RefStrategy strategy_;
 
+  // The group's linearized element index as a flat affine form (constant +
+  // per-level coefficients), so the hot on_access path is a short dot
+  // product instead of an array lookup plus per-dimension AffineExpr walks.
+  std::int64_t elem_const_ = 0;
+  std::vector<std::int64_t> elem_coeffs_;
+
   bool initialized_ = false;
   std::vector<std::int64_t> cur_iter_;
   // First <= held_limit distinct elements touched this carry iteration, in
   // touch order (rank = position). Elements past the list once it is full
   // have rank >= held_limit and always miss, so their exact ranks are never
-  // needed — this keeps the hot lookup a short linear scan over a flat
-  // vector instead of a hash probe.
+  // needed. rank_members_ mirrors the list as an O(1) membership probe (the
+  // list itself stays the source of truth for signatures and translation).
   std::vector<std::int64_t> rank_order_;
+  ElementSet rank_members_;
   std::vector<Held> held_;                      // resident elements (<= held_limit)
   std::vector<std::int64_t> wrote_this_iter_;   // forwarding info
   std::uint64_t seq_ = 0;
@@ -189,6 +272,19 @@ struct GroupCounts {
 /// collapse, simulate_accesses).
 void record_event(GroupCounts& counts, const AccessEvent& event);
 
+/// A strategy selection together with the winner's counters — the selection
+/// already evaluates every candidate, so returning both saves callers
+/// (count_group_accesses, the access-curve tabulation) one redundant pass.
+struct StrategyChoice {
+  RefStrategy strategy;
+  GroupCounts counts;
+};
+
+/// As select_strategy, also returning the winning candidate's counters.
+StrategyChoice select_strategy_counted(const Kernel& kernel, const RefGroup& group,
+                                       const ReuseInfo& info, std::int64_t regs,
+                                       const ModelOptions& options = {});
+
 /// Runs the window policy over the whole iteration space for all groups with
 /// the given per-group register counts; streams every event to `sink`
 /// (pass nullptr to only count) and returns per-group counters.
@@ -203,6 +299,28 @@ std::vector<GroupCounts> simulate_accesses(const Kernel& kernel,
 GroupCounts count_group_accesses(const Kernel& kernel, const RefGroup& group,
                                  const ReuseInfo& reuse, std::int64_t regs,
                                  const ModelOptions& options = {});
+
+/// One counting pass for a fixed strategy: the periodic collapse by
+/// default, the full-walk oracle under options.full_walk_oracle. This is
+/// the pass select_strategy runs per candidate; the access-curve build
+/// (analysis/curve.cc) memoizes it per distinct strategy across register
+/// counts.
+GroupCounts count_group_accesses_strategy(const Kernel& kernel, const RefGroup& group,
+                                          RefStrategy strategy,
+                                          const ModelOptions& options = {});
+
+/// The candidate strategies select_strategy evaluates for `regs` registers,
+/// in evaluation order (no holding first, then per carrying level full or
+/// partial). Exposed so the access-curve tabulation enumerates exactly the
+/// same set.
+std::vector<RefStrategy> strategy_candidates(const ReuseInfo& info, std::int64_t regs,
+                                             const ModelOptions& options = {});
+
+/// select_strategy's tie-break: true when (candidate, counts) beats the
+/// incumbent (fewer steady accesses; ties by total accesses, then by
+/// outermost level).
+bool strategy_counts_better(const RefStrategy& candidate, const GroupCounts& counts,
+                            const RefStrategy& best, const GroupCounts& best_counts);
 
 /// Reference oracle: one full iteration-space pass for a fixed strategy.
 /// O(iteration space); the periodic collapse (analysis/periodic.h) must be

@@ -1,0 +1,87 @@
+// All-budget allocation frontiers (DESIGN.md §9): one evaluation per
+// (model, algorithm) that yields the allocator's result for *every* budget
+// up to a bound, instead of one full allocator run per budget point.
+//
+//  * DP-RA: the budget DP already computes the optimal value for every
+//    intermediate budget; keeping the whole choice matrix and
+//    reconstructing per budget turns the O(B * G*B^2) sweep into one
+//    O(G*B^2) pass. The monotone best-so-far propagation makes the slice
+//    at budget b byte-identical to a standalone run at b.
+//  * FR-RA / PR-RA: one benefit-sorted pass precomputes the order, needs
+//    and ratios; each budget is then an O(G) greedy replay.
+//  * KS-RA: one knapsack DP at the largest capacity; per-budget
+//    reconstructions read the shared keep matrix (items heavier than a
+//    smaller capacity never set bits at its columns, so slices match the
+//    standalone filtered runs exactly).
+//  * CPA-RA: one traced run at the largest budget. Every smaller budget
+//    replays a prefix of the same rounds — the round state depends only on
+//    the current assignment, never on the remaining budget — and
+//    water-fills the first round that no longer fits.
+//
+// Every slice is byte-identical to running the per-budget allocator
+// directly (cross-checked, including on fuzzed kernels, in
+// tests/test_frontier.cc); the per-budget entry points in greedy.h,
+// knapsack.h and optimal.h are thin slices of these builders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/cpa_ra.h"
+#include "core/registry.h"
+
+namespace srra {
+
+/// The per-budget results of one allocator over every feasible budget in
+/// [group_count, max_budget], stored as deduplicated breakpoint allocations
+/// plus a dense budget -> breakpoint index.
+struct AllocationFrontier {
+  std::string algorithm;         ///< display name, e.g. "DP-RA"
+  std::int64_t min_budget = 0;   ///< group count: the first feasible budget
+  std::int64_t max_budget = 0;
+  std::vector<Allocation> steps;    ///< unique allocations, budget-ascending;
+                                    ///< each stamped with its first budget
+  std::vector<std::int32_t> index;  ///< budget - min_budget -> steps index
+
+  bool covers(std::int64_t budget) const {
+    return budget >= min_budget && budget <= max_budget;
+  }
+
+  /// The allocation for one budget: a copy of its breakpoint with `budget`
+  /// stamped, byte-identical to the per-budget allocator run. Throws
+  /// srra::Error outside [min_budget, max_budget].
+  Allocation at(std::int64_t budget) const;
+};
+
+/// One register per group at every budget (the trivial frontier).
+AllocationFrontier allocate_feasibility_frontier(const RefModel& model,
+                                                 std::int64_t max_budget);
+
+/// Full Reuse RA for every budget from one benefit-sorted pass.
+AllocationFrontier allocate_fr_frontier(const RefModel& model, std::int64_t max_budget);
+
+/// Partial Reuse RA for every budget from one benefit-sorted pass.
+AllocationFrontier allocate_pr_frontier(const RefModel& model, std::int64_t max_budget);
+
+/// 0/1-knapsack optimum for every budget from one DP at the top capacity.
+AllocationFrontier allocate_knapsack_frontier(const RefModel& model,
+                                              std::int64_t max_budget);
+
+/// Serial-access optimum for every budget from a single O(G*B^2) DP over
+/// the model's access curve (model.access_curve(max_budget), built here if
+/// absent and lock-free for every later query).
+AllocationFrontier allocate_optimal_dp_frontier(const RefModel& model,
+                                                std::int64_t max_budget);
+
+/// CPA-RA for every budget from one traced run at max_budget.
+AllocationFrontier allocate_cpa_frontier(const RefModel& model, std::int64_t max_budget,
+                                         const CpaOptions& options = {});
+
+/// Frontier dispatch for any Algorithm (CPA-RA uses default CpaOptions,
+/// matching allocate()).
+AllocationFrontier allocate_frontier(Algorithm algorithm, const RefModel& model,
+                                     std::int64_t max_budget);
+
+}  // namespace srra

@@ -8,6 +8,9 @@
 // PR-RA (Partial Reuse Register Allocation): FR-RA, then pour the leftover
 // registers into the next profitable references in the same order (partial
 // reuse), capping each at beta_full.
+//
+// Both are implemented in core/frontier.cc as single-budget replays of the
+// benefit-sorted plan their all-budget frontier builders share.
 #pragma once
 
 #include "core/allocation.h"

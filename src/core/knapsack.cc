@@ -1,54 +1,13 @@
 #include "core/knapsack.h"
 
-#include "support/error.h"
+#include "core/frontier.h"
 
 namespace srra {
 
+// Thin slice of the all-budget knapsack frontier (core/frontier.cc owns the
+// keep-matrix DP); a budget sweep builds the frontier once instead.
 Allocation allocate_knapsack(const RefModel& model, std::int64_t budget) {
-  Allocation a = feasibility_allocation(model, budget);
-  a.algorithm = "KS-RA";
-  const std::int64_t capacity = budget - a.total();
-
-  struct Item {
-    int group;
-    std::int64_t weight;
-    std::int64_t value;
-  };
-  std::vector<Item> items;
-  for (int g = 0; g < model.group_count(); ++g) {
-    const std::int64_t weight = model.beta_full(g) - 1;
-    const std::int64_t value = model.saved(g);
-    if (weight <= 0 || value <= 0 || weight > capacity) continue;
-    items.push_back(Item{g, weight, value});
-  }
-
-  // dp[c] = best value with capacity c. Choices live in one flat bitset
-  // (row i = item, bit c = capacity) — a single allocation instead of one
-  // heap vector<bool> per item in the O(items x capacity) DP.
-  const auto cap = static_cast<std::size_t>(capacity);
-  const std::size_t row_words = cap / 64 + 1;
-  std::vector<std::int64_t> dp(cap + 1, 0);
-  std::vector<std::uint64_t> keep(items.size() * row_words, 0);
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    const auto w = static_cast<std::size_t>(items[i].weight);
-    std::uint64_t* row = keep.data() + i * row_words;
-    for (std::size_t c = cap + 1; c-- > w;) {
-      const std::int64_t with = dp[c - w] + items[i].value;
-      if (with > dp[c]) {
-        dp[c] = with;
-        row[c / 64] |= std::uint64_t{1} << (c % 64);
-      }
-    }
-  }
-
-  std::size_t c = cap;
-  for (std::size_t i = items.size(); i-- > 0;) {
-    const std::uint64_t* row = keep.data() + i * row_words;
-    if ((row[c / 64] >> (c % 64) & 1) == 0) continue;
-    a.regs[static_cast<std::size_t>(items[i].group)] += items[i].weight;
-    c -= static_cast<std::size_t>(items[i].weight);
-  }
-  return a;
+  return allocate_knapsack_frontier(model, budget).at(budget);
 }
 
 }  // namespace srra

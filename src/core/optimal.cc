@@ -1,74 +1,14 @@
 #include "core/optimal.h"
 
-#include <algorithm>
-
-#include "support/error.h"
+#include "core/frontier.h"
 
 namespace srra {
 
+// Thin slice of the all-budget DP frontier (core/frontier.cc owns the
+// choice-matrix DP over the model's access curve); a budget sweep builds
+// the frontier once — O(G*B^2) total instead of per point.
 Allocation allocate_optimal_dp(const RefModel& model, std::int64_t budget) {
-  Allocation a = feasibility_allocation(model, budget);
-  a.algorithm = "DP-RA";
-
-  const int groups = model.group_count();
-  // Per group, the useful register range is [1, min(beta_full, budget)].
-  std::vector<std::int64_t> cap(static_cast<std::size_t>(groups));
-  for (int g = 0; g < groups; ++g) {
-    cap[static_cast<std::size_t>(g)] = std::min<std::int64_t>(model.beta_full(g), budget);
-  }
-
-  // dp[b] = minimal steady accesses for the first `g` groups using exactly
-  // the feasibility register plus b extra registers in total. Choices live
-  // in one contiguous groups x width buffer (row g, column b) instead of a
-  // vector-of-vectors: one allocation, cache-line-friendly reconstruction.
-  const std::int64_t extra_budget = budget - groups;
-  const auto width = static_cast<std::size_t>(extra_budget + 1);
-  constexpr std::int64_t kInf = std::int64_t{1} << 60;
-  std::vector<std::int64_t> dp(width, 0);
-  std::vector<std::int64_t> choice(static_cast<std::size_t>(groups) * width, 0);
-
-  for (int g = 0; g < groups; ++g) {
-    std::vector<std::int64_t> next(width, kInf);
-    std::int64_t* row = choice.data() + static_cast<std::size_t>(g) * width;
-    const std::int64_t max_extra = cap[static_cast<std::size_t>(g)] - 1;
-    for (std::int64_t b = 0; b <= extra_budget; ++b) {
-      if (dp[static_cast<std::size_t>(b)] >= kInf) continue;
-      // Tightened inner bound: takes past extra_budget - b overflow the
-      // budget and were skipped one comparison at a time before.
-      const std::int64_t take_limit = std::min(max_extra, extra_budget - b);
-      for (std::int64_t take = 0; take <= take_limit; ++take) {
-        const std::int64_t cost =
-            dp[static_cast<std::size_t>(b)] +
-            model.accesses(g, 1 + take, CountMode::kSteady);
-        auto& cell = next[static_cast<std::size_t>(b + take)];
-        if (cost < cell) {
-          cell = cost;
-          row[static_cast<std::size_t>(b + take)] = take;
-        }
-      }
-    }
-    // Allow leaving budget unused: propagate best-so-far forward so that
-    // next[b] is monotone (using fewer registers is always permitted).
-    for (std::size_t b = 1; b < width; ++b) {
-      if (next[b] > next[b - 1]) {
-        next[b] = next[b - 1];
-        row[b] = -1;  // marker: look left
-      }
-    }
-    dp = std::move(next);
-  }
-
-  // Reconstruct.
-  std::int64_t b = extra_budget;
-  for (int g = groups - 1; g >= 0; --g) {
-    const std::int64_t* row = choice.data() + static_cast<std::size_t>(g) * width;
-    while (row[static_cast<std::size_t>(b)] < 0) --b;
-    const std::int64_t take = row[static_cast<std::size_t>(b)];
-    a.regs[static_cast<std::size_t>(g)] += take;
-    b -= take;
-  }
-  check(a.total() <= budget, "DP reconstruction exceeded the budget");
-  return a;
+  return allocate_optimal_dp_frontier(model, budget).at(budget);
 }
 
 }  // namespace srra

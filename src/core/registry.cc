@@ -49,4 +49,9 @@ std::vector<Algorithm> paper_variants() {
   return {Algorithm::kFrRa, Algorithm::kPrRa, Algorithm::kCpaRa};
 }
 
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kFeasibility, Algorithm::kFrRa,     Algorithm::kPrRa,
+          Algorithm::kCpaRa,       Algorithm::kKnapsack, Algorithm::kOptimalDp};
+}
+
 }  // namespace srra

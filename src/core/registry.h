@@ -19,6 +19,12 @@ enum class Algorithm {
   kOptimalDp,    ///< DP-optimal partial allocation for the serial access metric
 };
 
+/// Number of Algorithm enum values (dense, starting at 0) — sized arrays
+/// indexed by static_cast<std::size_t>(algorithm) use this.
+constexpr int kAlgorithmCount = 6;
+static_assert(static_cast<int>(Algorithm::kOptimalDp) + 1 == kAlgorithmCount,
+              "kAlgorithmCount must track the last Algorithm enumerator");
+
 /// Short display name, e.g. "CPA-RA".
 std::string algorithm_name(Algorithm algorithm);
 
@@ -33,5 +39,8 @@ Allocation allocate(Algorithm algorithm, const RefModel& model, std::int64_t bud
 
 /// The paper's three variants in Table 1 order (v1, v2, v3).
 std::vector<Algorithm> paper_variants();
+
+/// Every algorithm, in enum order.
+std::vector<Algorithm> all_algorithms();
 
 }  // namespace srra

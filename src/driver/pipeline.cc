@@ -1,19 +1,28 @@
 #include "driver/pipeline.h"
 
+#include <algorithm>
+
+#include "core/frontier.h"
 #include "support/str.h"
 
 namespace srra {
 
-DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
-                         const PipelineOptions& options) {
+DesignPoint evaluate_design(const RefModel& model, Algorithm algorithm,
+                            Allocation allocation, const PipelineOptions& options) {
   DesignPoint point;
   point.algorithm = algorithm;
-  point.allocation = allocate(algorithm, model, options.budget);
+  point.allocation = std::move(allocation);
   point.allocation.validate(model);
   point.cycles = estimate_cycles(model, point.allocation, options.cycles);
   point.hw = estimate_hw(model, point.allocation, options.device, options.area,
                          options.clock);
   return point;
+}
+
+DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
+                         const PipelineOptions& options) {
+  return evaluate_design(model, algorithm, allocate(algorithm, model, options.budget),
+                         options);
 }
 
 std::vector<DesignPoint> run_paper_variants(const RefModel& model,
@@ -31,12 +40,22 @@ std::vector<DesignPoint> run_budget_sweep(const RefModel& model,
                                           const PipelineOptions& options) {
   std::vector<DesignPoint> points;
   points.reserve(algorithms.size() * budgets.size());
+  std::int64_t max_budget = -1;
+  for (const std::int64_t budget : budgets) {
+    if (budget >= model.group_count()) max_budget = std::max(max_budget, budget);
+  }
+  if (max_budget < 0) return points;  // every budget is below feasibility
+
   for (const Algorithm algorithm : algorithms) {
+    // One frontier evaluation covers the whole budget axis; each point is a
+    // slice (byte-identical to a per-budget allocator run).
+    const AllocationFrontier frontier = allocate_frontier(algorithm, model, max_budget);
     for (const std::int64_t budget : budgets) {
       if (budget < model.group_count()) continue;  // below feasibility
       PipelineOptions point_options = options;
       point_options.budget = budget;
-      points.push_back(run_pipeline(model, algorithm, point_options));
+      points.push_back(
+          evaluate_design(model, algorithm, frontier.at(budget), point_options));
     }
   }
   return points;

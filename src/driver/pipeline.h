@@ -38,6 +38,13 @@ struct DesignPoint {
 DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
                          const PipelineOptions& options = {});
 
+/// The tail of run_pipeline for an already-computed allocation: validate,
+/// cycle model, hardware estimate. Frontier-based sweeps (run_budget_sweep,
+/// dse/explore.cc) slice per-budget allocations out of one
+/// AllocationFrontier and feed them here.
+DesignPoint evaluate_design(const RefModel& model, Algorithm algorithm,
+                            Allocation allocation, const PipelineOptions& options = {});
+
 /// Runs v1/v2/v3 (FR-RA, PR-RA, CPA-RA), the paper's three design versions.
 std::vector<DesignPoint> run_paper_variants(const RefModel& model,
                                             const PipelineOptions& options = {});
@@ -45,9 +52,12 @@ std::vector<DesignPoint> run_paper_variants(const RefModel& model,
 /// Evaluates every (algorithm, budget) pair against one shared RefModel, so
 /// the analysis stage (grouping, reuse, access-count cache) is computed once
 /// and amortized across the whole sweep — the per-variant inner loop the DSE
-/// engine builds on (src/dse/explore.h). Results are in (algorithm, budget)
-/// row-major order; budgets too small for the feasibility assignment are
-/// skipped (their DesignPoints are simply absent).
+/// engine builds on (src/dse/explore.h). The whole budget axis of each
+/// algorithm collapses into one AllocationFrontier evaluation; per-budget
+/// results are slices of it (byte-identical to per-point allocator runs).
+/// Results are in (algorithm, budget) row-major order; budgets too small
+/// for the feasibility assignment are skipped (their DesignPoints are
+/// simply absent).
 std::vector<DesignPoint> run_budget_sweep(const RefModel& model,
                                           const std::vector<Algorithm>& algorithms,
                                           const std::vector<std::int64_t>& budgets,

@@ -36,7 +36,12 @@ const char kUsage[] =
     "  --interchange    also enumerate legal loop-interchange orders\n"
     "  --fetch=MODE     concurrent operand fetch: on (default) | off | both\n"
     "  --jobs=N         evaluation threads (default 1; 0 = all cores)\n"
-    "  --format=FMT     text (default) | csv | json\n";
+    "  --format=FMT     text (default) | csv | json\n"
+    "  --frontier       sweep/pareto: one all-budget allocation frontier per\n"
+    "                   (variant, algorithm), sliced per budget (default)\n"
+    "  --per-point      sweep/pareto: run every (algorithm, budget) point\n"
+    "                   through its own allocator call (the frontier's\n"
+    "                   oracle; output is byte-identical to --frontier)\n";
 
 struct Flags {
   std::map<std::string, std::string> values;
@@ -57,8 +62,9 @@ Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
     const std::size_t eq = arg.find('=');
     const std::string name = arg.substr(2, eq == std::string::npos ? eq : eq - 2);
     const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
-    static const char* known[] = {"kernel", "algos",  "budget", "budgets",
-                                  "interchange", "fetch", "jobs", "format"};
+    static const char* known[] = {"kernel", "algos",  "budget",   "budgets",
+                                  "interchange", "fetch", "jobs", "format",
+                                  "frontier", "per-point"};
     check(std::find_if(std::begin(known), std::end(known),
                        [&](const char* k) { return name == k; }) != std::end(known),
           cat("unknown flag: --", name));
@@ -199,6 +205,8 @@ int cmd_run(const Flags& flags, std::ostream& out) {
   check(!flags.has("budgets"), "run takes --budget, not --budgets");
   check(!flags.has("jobs"), "run evaluates one point set; --jobs applies to sweep/pareto");
   check(!flags.has("interchange"), "--interchange applies to sweep/pareto");
+  check(!flags.has("frontier") && !flags.has("per-point"),
+        "--frontier/--per-point apply to sweep/pareto");
   std::vector<SpaceKernel> selected = resolve_kernels(flags.get("kernel", ""));
   check(selected.size() == 1, "run takes exactly one kernel");
   const std::vector<Algorithm> algorithms = resolve_algorithms(flags.get("algos", "paper"));
@@ -244,6 +252,9 @@ int cmd_sweep(const Flags& flags, std::ostream& out, bool reduce_to_pareto) {
 
   ExploreOptions options;
   options.jobs = flags.has("jobs") ? parse_int(flags.get("jobs", "1"), "--jobs") : 1;
+  check(!(flags.has("frontier") && flags.has("per-point")),
+        "--frontier and --per-point are mutually exclusive");
+  options.frontier = !flags.has("per-point");
   const Format format = parse_format(flags.get("format", "text"));
 
   const ExploreResult result = explore(std::move(axes), options);

@@ -1,12 +1,29 @@
 #include "dse/explore.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
+#include <mutex>
 
+#include "core/frontier.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 
 namespace srra::dse {
+
+namespace {
+
+// Lazily built allocation frontiers of one variant, one per algorithm —
+// shared by every shard and fetch mode of the variant, built at most once
+// under std::call_once (the result is a deterministic function of the
+// model, so reports cannot depend on which lane built it).
+struct VariantFrontiers {
+  std::int64_t max_budget = -1;  ///< largest feasible budget of the variant
+  std::array<std::once_flag, kAlgorithmCount> once;
+  std::array<std::unique_ptr<AllocationFrontier>, kAlgorithmCount> frontiers;
+};
+
+}  // namespace
 
 ExploreResult explore(EnumeratedSpace space, const ExploreOptions& options) {
   ExploreResult result;
@@ -23,6 +40,17 @@ ExploreResult explore(EnumeratedSpace space, const ExploreOptions& options) {
   models.reserve(space.variants.size());
   for (const Variant& variant : space.variants) {
     models.push_back(std::make_unique<RefModel>(variant.kernel.clone()));
+  }
+
+  // The whole budget axis of one (variant, algorithm) collapses into one
+  // frontier evaluation; per-budget allocations are slices of it. Budgets
+  // below the variant's feasibility point keep the per-point path so their
+  // diagnostics stay identical.
+  std::vector<VariantFrontiers> frontiers(space.variants.size());
+  for (const SpacePoint& point : space.points) {
+    VariantFrontiers& vf = frontiers[static_cast<std::size_t>(point.variant)];
+    const int group_count = models[static_cast<std::size_t>(point.variant)]->group_count();
+    if (point.budget >= group_count) vf.max_budget = std::max(vf.max_budget, point.budget);
   }
 
   // Work units are contiguous shards of one variant's point list. One
@@ -52,6 +80,7 @@ ExploreResult explore(EnumeratedSpace space, const ExploreOptions& options) {
   pool.parallel_for(static_cast<std::int64_t>(units.size()), [&](std::int64_t u) {
     const Unit& unit = units[static_cast<std::size_t>(u)];
     const RefModel& model = *models[static_cast<std::size_t>(unit.variant)];
+    VariantFrontiers& vf = frontiers[static_cast<std::size_t>(unit.variant)];
     const std::vector<int>& indices = groups[static_cast<std::size_t>(unit.variant)];
     for (std::size_t i = unit.begin; i < unit.end; ++i) {
       const SpacePoint& point = space.points[static_cast<std::size_t>(indices[i])];
@@ -60,7 +89,20 @@ ExploreResult explore(EnumeratedSpace space, const ExploreOptions& options) {
       pipeline.budget = point.budget;
       pipeline.cycles.concurrent_operand_fetch = point.concurrent_fetch;
       try {
-        out.design = run_pipeline(model, point.algorithm, pipeline);
+        const auto a = static_cast<std::size_t>(point.algorithm);
+        if (options.frontier && point.budget >= model.group_count()) {
+          std::call_once(vf.once[a], [&] {
+            vf.frontiers[a] = std::make_unique<AllocationFrontier>(
+                allocate_frontier(point.algorithm, model, vf.max_budget));
+          });
+          // (call_once rethrows build failures with the flag unset, so a
+          // set pointer is guaranteed here; the feasibility guard above
+          // makes such failures impossible in the first place.)
+          out.design = evaluate_design(model, point.algorithm,
+                                       vf.frontiers[a]->at(point.budget), pipeline);
+        } else {
+          out.design = run_pipeline(model, point.algorithm, pipeline);
+        }
         out.feasible = true;
       } catch (const Error& e) {
         out.error = e.what();

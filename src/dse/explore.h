@@ -26,6 +26,12 @@ namespace srra::dse {
 struct ExploreOptions {
   /// Evaluation lanes (1 = sequential; <= 0 = hardware concurrency).
   int jobs = 1;
+  /// Collapse each (variant, algorithm) budget axis into one
+  /// AllocationFrontier evaluation shared across fetch modes and budgets
+  /// (core/frontier.h), with per-budget allocations sliced out of it. When
+  /// false every point runs its own allocator call — the per-point oracle
+  /// the frontier path is byte-identical to (tested in test_frontier.cc).
+  bool frontier = true;
   /// Base pipeline configuration; `budget` and
   /// `cycles.concurrent_operand_fetch` are overridden per point.
   PipelineOptions pipeline;

@@ -151,7 +151,7 @@ class CycleWalker {
     }
     flat_ = flatten(groups_);
     profile_.ram_access.assign(static_cast<std::size_t>(dfg_.node_count()), false);
-    sink_ = [this](const AccessEvent& e) { on_event(e); };
+    sink_ = EventSink(on_event_fn_);
     report_.iterations = kernel_.iteration_count();
   }
 
@@ -212,19 +212,34 @@ class CycleWalker {
     std::int64_t read_cycles = 0;
     if (options_.concurrent_operand_fetch) {
       // Group by consuming op; within a group, fetches from distinct RAM
-      // blocks overlap, same-block fetches serialize.
-      std::map<int, std::map<int, std::int64_t>> per_op_array_counts;
+      // blocks overlap, same-block fetches serialize. The handful of reads
+      // per iteration is sorted into (op, array) runs in a reused scratch
+      // vector — this used to build two levels of std::map per iteration
+      // of the nest.
       std::int64_t solo = 0;
+      op_reads_.clear();
       for (const PendingRead& r : reads_) {
         if (r.consumer < 0) {
           ++solo;
         } else {
-          ++per_op_array_counts[r.consumer][r.array];
+          op_reads_.emplace_back(r.consumer, r.array);
         }
       }
-      for (const auto& [op, array_counts] : per_op_array_counts) {
+      std::sort(op_reads_.begin(), op_reads_.end());
+      std::size_t i = 0;
+      while (i < op_reads_.size()) {
+        const int op = op_reads_[i].first;
         std::int64_t worst = 0;
-        for (const auto& [array, count] : array_counts) worst = std::max(worst, count);
+        while (i < op_reads_.size() && op_reads_[i].first == op) {
+          const int array = op_reads_[i].second;
+          std::int64_t count = 0;
+          while (i < op_reads_.size() && op_reads_[i].first == op &&
+                 op_reads_[i].second == array) {
+            ++count;
+            ++i;
+          }
+          worst = std::max(worst, count);
+        }
         read_cycles += worst * lat.mem_read;
       }
       read_cycles += solo * lat.mem_read;
@@ -263,6 +278,13 @@ class CycleWalker {
     int array = -1;
   };
 
+  // Named callable the non-owning sink_ references (never moved: the
+  // walker is constructed in place and lives for the whole walk).
+  struct OnEventFn {
+    CycleWalker* walker;
+    void operator()(const AccessEvent& e) const { walker->on_event(e); }
+  };
+
   const Kernel& kernel_;
   const std::vector<RefGroup>& groups_;
   const CycleOptions& options_;
@@ -271,10 +293,12 @@ class CycleWalker {
   std::vector<int> array_of_group_;
   std::vector<WindowTracker> trackers_;
   std::vector<FlatOccurrence> flat_;
+  OnEventFn on_event_fn_{this};
   EventSink sink_;
 
   // Per-iteration scratch.
   std::vector<PendingRead> reads_;
+  std::vector<std::pair<int, int>> op_reads_;  // (consumer op, array) runs
   std::int64_t writes_ = 0;
   std::int64_t flushes_ = 0;
   IterationProfile profile_;
@@ -295,12 +319,111 @@ CycleReport walk_full(CycleWalker& walker, const Kernel& kernel) {
   return walker.report();
 }
 
-// Collapsed walk (DESIGN.md §8): one instance of the loops below the
-// outermost carrying level, with steady-state detection along that carrying
-// loop, scaled by the instance count. Exact for the same reason the access
-// counters collapse: element indices are affine, so instances are
-// translations of each other and the trackers' combined state signature
-// certifies carry-level periodicity.
+// Collapsed walk (DESIGN.md §8): steady-state detection applied at *every*
+// loop level at and below the outermost carrying one, with the loops above
+// it scaled as identical instances. Exact for the same reason the access
+// counters collapse: element indices are affine, so advancing any single
+// loop by one step shifts every group's elements by a constant — once the
+// trackers' combined normalized state repeats across two successive values
+// of a loop (its first and last values walked concretely for the peeled
+// fill/flush accounting), the remaining middle values replay the same
+// charges translated. Collapsing recursively level by level makes the walk
+// cost a product of per-level repeat-detection lengths (typically 3-4)
+// instead of the full sub-space below the carrying level.
+class CollapsedWalk {
+ public:
+  CollapsedWalk(CycleWalker& walker, const RefModel& model, int top_level)
+      : walker_(walker), kernel_(model.kernel()), top_level_(top_level) {
+    const std::size_t groups = model.groups().size();
+    deltas_.resize(static_cast<std::size_t>(kernel_.depth()));
+    collapsible_.assign(static_cast<std::size_t>(kernel_.depth()), true);
+    for (int l = top_level_; l < kernel_.depth(); ++l) {
+      deltas_[static_cast<std::size_t>(l)].resize(groups);
+      for (std::size_t g = 0; g < groups; ++g) {
+        deltas_[static_cast<std::size_t>(l)][g] =
+            element_shift_per_step(kernel_, model.groups()[g], l);
+        // A group mid-carry at this level (its carrying loop is outer) pins
+        // a fixed first-touch window: its state can only repeat under
+        // translation when the level does not move its elements at all.
+        // One moving mid-carry group makes detection at this level
+        // impossible, so don't pay for signatures there.
+        const RefStrategy& s = walker.trackers()[g].strategy();
+        if (s.holds() && s.carry_level < l &&
+            deltas_[static_cast<std::size_t>(l)][g] != 0) {
+          collapsible_[static_cast<std::size_t>(l)] = false;
+        }
+      }
+    }
+    iter_ = first_iteration(kernel_);
+  }
+
+  void run() { walk_level(top_level_); }
+
+ private:
+  void walk_level(int level) {
+    if (level == kernel_.depth()) {
+      walker_.run_iteration(iter_);
+      return;
+    }
+    const Loop& loop = kernel_.loop(level);
+    const std::int64_t trip = loop.trip_count();
+    if (trip <= 3 || !collapsible_[static_cast<std::size_t>(level)]) {
+      // Nothing to gain: either detection could at best elide zero middle
+      // values, or a moving mid-carry window makes a repeat impossible —
+      // the signature bookkeeping would be pure overhead.
+      for (std::int64_t k = 0; k < trip; ++k) {
+        iter_[static_cast<std::size_t>(level)] = loop.value_at(k);
+        walk_level(level + 1);
+      }
+      return;
+    }
+    CycleReport& report = walker_.report();
+    const std::vector<std::int64_t>& deltas = deltas_[static_cast<std::size_t>(level)];
+    // This level's per-value charges, stashed by the walk for the
+    // fast-forward (locals, so every recursion depth has its own).
+    std::int64_t mem_k = 0;
+    std::int64_t exec_k = 0;
+    std::int64_t ram_k = 0;
+    collapse_carry_loop(
+        trip,
+        [&](std::int64_t k) {
+          iter_[static_cast<std::size_t>(level)] = loop.value_at(k);
+          const std::int64_t mem0 = report.mem_cycles;
+          const std::int64_t exec0 = report.exec_cycles;
+          const std::int64_t ram0 = report.ram_accesses;
+          walk_level(level + 1);
+          mem_k = report.mem_cycles - mem0;
+          exec_k = report.exec_cycles - exec0;
+          ram_k = report.ram_accesses - ram0;
+        },
+        [&](std::int64_t k) {
+          // Joint strict state signature of every tracker, normalized by
+          // this level's per-step element shifts (walker.h): equality
+          // certifies that the remaining middle values replay translated.
+          std::vector<std::int64_t> state;
+          for (std::size_t g = 0; g < walker_.trackers().size(); ++g) {
+            walker_.trackers()[g].append_state_signature(k * deltas[g], state);
+          }
+          return state;
+        },
+        [&](std::int64_t, std::int64_t repeats) {
+          report.mem_cycles += mem_k * repeats;
+          report.exec_cycles += exec_k * repeats;
+          report.ram_accesses += ram_k * repeats;
+          for (std::size_t g = 0; g < walker_.trackers().size(); ++g) {
+            walker_.trackers()[g].translate_held(repeats * deltas[g]);
+          }
+        });
+  }
+
+  CycleWalker& walker_;
+  const Kernel& kernel_;
+  int top_level_;
+  std::vector<std::vector<std::int64_t>> deltas_;  ///< per level: per-group shift
+  std::vector<bool> collapsible_;  ///< per level: repeat detection can fire
+  std::vector<std::int64_t> iter_;
+};
+
 CycleReport walk_collapsed(CycleWalker& walker, const RefModel& model,
                            const std::vector<RefStrategy>& strategies) {
   const Kernel& kernel = model.kernel();
@@ -308,10 +431,10 @@ CycleReport walk_collapsed(CycleWalker& walker, const RefModel& model,
     if (kernel.loop(l).trip_count() <= 0) return walk_full(walker, kernel);
   }
 
-  // The collapse level: every group's stream repeats identically across
-  // instances of the loops above its own carrying level, hence across
-  // instances of the loops above the outermost one. Groups that hold
-  // nothing repeat every iteration and do not constrain the level.
+  // The instance-scaling level: every group's stream repeats identically
+  // across instances of the loops above its own carrying level, hence
+  // across instances of the loops above the outermost one. Groups that
+  // hold nothing repeat every iteration and do not constrain the level.
   int level = kernel.depth();
   for (const RefStrategy& s : strategies) {
     if (s.holds()) level = std::min(level, s.carry_level);
@@ -320,61 +443,14 @@ CycleReport walk_collapsed(CycleWalker& walker, const RefModel& model,
   for (int l = 0; l < level; ++l) instances *= kernel.loop(l).trip_count();
 
   CycleReport& report = walker.report();
-  std::vector<std::int64_t> iter = first_iteration(kernel);
 
   if (level == kernel.depth()) {
     // No cross-iteration state anywhere: one iteration stands for all.
+    std::vector<std::int64_t> iter = first_iteration(kernel);
     walker.run_iteration(iter);
-    report.mem_cycles *= instances;
-    report.exec_cycles *= instances;
-    report.ram_accesses *= instances;
-    walker.finish();
-    return report;
+  } else {
+    CollapsedWalk(walker, model, level).run();
   }
-
-  const Loop& carry = kernel.loop(level);
-  const std::int64_t trip = carry.trip_count();
-  std::vector<std::int64_t> deltas(strategies.size(), 0);
-  for (std::size_t g = 0; g < strategies.size(); ++g) {
-    deltas[g] = element_shift_per_step(kernel, model.groups()[g], level);
-  }
-
-  // Per-carry-iteration charges, stashed by the walk for the fast-forward.
-  std::int64_t mem_k = 0;
-  std::int64_t exec_k = 0;
-  std::int64_t ram_k = 0;
-  collapse_carry_loop(
-      trip,
-      [&](std::int64_t k) {
-        iter[static_cast<std::size_t>(level)] = carry.value_at(k);
-        for (int l = level + 1; l < kernel.depth(); ++l) {
-          iter[static_cast<std::size_t>(l)] = kernel.loop(l).lower;
-        }
-        const std::int64_t mem0 = report.mem_cycles;
-        const std::int64_t exec0 = report.exec_cycles;
-        const std::int64_t ram0 = report.ram_accesses;
-        do {
-          walker.run_iteration(iter);
-        } while (next_inner_iteration(kernel, level, iter));
-        mem_k = report.mem_cycles - mem0;
-        exec_k = report.exec_cycles - exec0;
-        ram_k = report.ram_accesses - ram0;
-      },
-      [&](std::int64_t k) {
-        std::vector<std::vector<WindowTracker::HeldElement>> state(strategies.size());
-        for (std::size_t g = 0; g < strategies.size(); ++g) {
-          state[g] = walker.trackers()[g].held_snapshot(k * deltas[g]);
-        }
-        return state;
-      },
-      [&](std::int64_t, std::int64_t repeats) {
-        report.mem_cycles += mem_k * repeats;
-        report.exec_cycles += exec_k * repeats;
-        report.ram_accesses += ram_k * repeats;
-        for (std::size_t g = 0; g < strategies.size(); ++g) {
-          walker.trackers()[g].translate_held(repeats * deltas[g]);
-        }
-      });
   walker.finish();
 
   report.mem_cycles *= instances;
@@ -412,11 +488,10 @@ CycleReport estimate_cycles(const RefModel& model, const Allocation& allocation,
         "allocation size mismatch");
 
   // The report is a function of the chosen strategies, not the raw register
-  // counts: saturated budgets collapse onto one memo entry.
-  std::vector<RefStrategy> strategies(static_cast<std::size_t>(model.group_count()));
-  for (int g = 0; g < model.group_count(); ++g) {
-    strategies[static_cast<std::size_t>(g)] = model.strategy(g, allocation.regs[g]);
-  }
+  // counts: saturated budgets collapse onto one memo entry. The batched
+  // lookup takes the model's cache lock once for the whole vector (or none
+  // at all when a published access curve covers the allocation).
+  const std::vector<RefStrategy> strategies = model.strategies(allocation.regs);
 
   const bool collapse = !options.full_iteration_walk;
   std::vector<std::int64_t> key;

@@ -60,12 +60,17 @@ class Machine {
   }
 
  private:
-  EventSink flush_sink() {
-    return [this](const AccessEvent& e) {
+  // Named callable the non-owning EventSink references (the machine owns
+  // it, so the sink stays valid for every tracker call).
+  struct FlushFn {
+    Machine* machine;
+    void operator()(const AccessEvent& e) const {
       if (e.kind != AccessKind::kFlush) return;
-      handle_flush(e);
-    };
-  }
+      machine->handle_flush(e);
+    }
+  };
+
+  EventSink flush_sink() { return EventSink(flush_fn_); }
 
   void handle_flush(const AccessEvent& e) {
     GroupState& s = states_[static_cast<std::size_t>(e.group)];
@@ -169,6 +174,7 @@ class Machine {
   std::vector<ScalarType> types_;
   std::vector<int> arrays_;
   std::vector<int> order_group_;
+  FlushFn flush_fn_{this};
   MachineReport report_;
 };
 
