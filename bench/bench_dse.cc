@@ -25,7 +25,7 @@ int main() {
                      Algorithm::kCpaRa,       Algorithm::kKnapsack, Algorithm::kOptimalDp};
   axes.budgets = {8, 16, 32, 64, 128};
   axes.fetch_modes = {true, false};
-  axes.interchange = true;
+  axes.transforms.interchange = true;
 
   dse::ExploreOptions options;
   options.jobs = 0;  // all cores

@@ -6,7 +6,7 @@
 #include "analysis/model.h"
 #include "analysis/periodic.h"
 #include "core/cpa_ra.h"
-#include "core/greedy.h"
+#include "core/frontier.h"
 #include "core/knapsack.h"
 #include "core/optimal.h"
 #include "dfg/cuts.h"

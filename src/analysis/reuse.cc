@@ -39,13 +39,18 @@ AffineExpr linearize_access(const Kernel& kernel, const ArrayAccess& access) {
 namespace {
 
 // Builds the access matrix: one row per array dimension, one column per loop
-// level; entry = subscript coefficient.
+// level; entry = subscript coefficient scaled by the loop step, so that
+// distance vectors (measured in iteration steps, the unit `feasible`
+// compares against trip counts) map to subscript deltas. The scaling only
+// matters for non-unit steps — the tile loops ir/transform.h introduces;
+// on unit-step nests it is the plain coefficient matrix.
 IntMatrix access_matrix(const Kernel& kernel, const ArrayAccess& access) {
   const int rank = static_cast<int>(access.subscripts.size());
   IntMatrix m(rank, kernel.depth());
   for (int r = 0; r < rank; ++r) {
     for (int l = 0; l < kernel.depth(); ++l) {
-      m.at(r, l) = access.subscripts[static_cast<std::size_t>(r)].coeff(l);
+      m.at(r, l) =
+          access.subscripts[static_cast<std::size_t>(r)].coeff(l) * kernel.loop(l).step;
     }
   }
   return m;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/greedy.h"
 #include "support/error.h"
 #include "support/str.h"
 

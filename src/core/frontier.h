@@ -20,8 +20,22 @@
 //
 // Every slice is byte-identical to running the per-budget allocator
 // directly (cross-checked, including on fuzzed kernels, in
-// tests/test_frontier.cc); the per-budget entry points in greedy.h,
+// tests/test_frontier.cc); the per-budget entry points below and in
 // knapsack.h and optimal.h are thin slices of these builders.
+//
+// The two greedy allocators of the paper's Figure 3 live here as well:
+//
+// FR-RA (Full Reuse Register Allocation): one feasibility register per
+// reference, then walk the references in descending benefit/cost order and
+// give each its full requirement beta_full if it still fits — a reference
+// ends at either beta_full or 1.
+//
+// PR-RA (Partial Reuse Register Allocation): FR-RA, then pour the leftover
+// registers into the next profitable references in the same order (partial
+// reuse), capping each at beta_full.
+//
+// Both are single-budget replays of the benefit-sorted plan their
+// all-budget frontier builders share.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +47,12 @@
 #include "core/registry.h"
 
 namespace srra {
+
+/// Full Reuse Register Allocation (paper Figure 3, variant 1).
+Allocation allocate_fr(const RefModel& model, std::int64_t budget);
+
+/// Partial Reuse Register Allocation (paper Figure 3, variant 2).
+Allocation allocate_pr(const RefModel& model, std::int64_t budget);
 
 /// The per-budget results of one allocator over every feasible budget in
 /// [group_count, max_budget], stored as deduplicated breakpoint allocations

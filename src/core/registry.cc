@@ -1,7 +1,7 @@
 #include "core/registry.h"
 
 #include "core/cpa_ra.h"
-#include "core/greedy.h"
+#include "core/frontier.h"
 #include "core/knapsack.h"
 #include "core/optimal.h"
 #include "support/error.h"

@@ -25,6 +25,14 @@ DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
                          options);
 }
 
+Kernel transform_for_pipeline(const Kernel& kernel,
+                              srra::span<const LoopTransform> transforms) {
+  check(is_safe(kernel, transforms),
+        cat("transform sequence '", to_string(transforms), "' is illegal for kernel ",
+            kernel.name()));
+  return apply(kernel, transforms);
+}
+
 std::vector<DesignPoint> run_paper_variants(const RefModel& model,
                                             const PipelineOptions& options) {
   std::vector<DesignPoint> points;

@@ -8,6 +8,7 @@
 
 #include "core/registry.h"
 #include "hw/estimate.h"
+#include "ir/transform.h"
 #include "sched/cycle_model.h"
 
 namespace srra {
@@ -37,6 +38,14 @@ struct DesignPoint {
 /// Runs the full pipeline for one algorithm.
 DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
                          const PipelineOptions& options = {});
+
+/// Applies a loop-transform sequence (ir/transform.h) to `kernel` after
+/// checking its legality, returning the rewritten nest that feeds
+/// RefModel/run_pipeline like any source kernel — the driver-level entry
+/// behind the CLI's --transforms flag. Throws srra::Error naming the
+/// offending sequence when it is illegal or malformed for the kernel.
+Kernel transform_for_pipeline(const Kernel& kernel,
+                              srra::span<const LoopTransform> transforms);
 
 /// The tail of run_pipeline for an already-computed allocation: validate,
 /// cycle model, hardware estimate. Frontier-based sweeps (run_budget_sweep,

@@ -34,6 +34,14 @@ const char kUsage[] =
     "  --budgets=SPEC   budget axis for sweep/pareto: N | a,b,c | lo:hi[:step]\n"
     "                   (default 8:128; lo:hi doubles from lo)\n"
     "  --interchange    also enumerate legal loop-interchange orders\n"
+    "  --tiles=LIST     also enumerate loop tiling: every legal Tile(level,\n"
+    "                   size) per variant, sizes from LIST (e.g. 4,8)\n"
+    "  --unroll=LIST    also enumerate unroll-and-jam: every legal\n"
+    "                   UnrollJam(level, factor), factors from LIST\n"
+    "  --transforms=SEQ explicit transform sequences in canonical encoding,\n"
+    "                   e.g. 'i(1,0,2);t(2,8)' (see DESIGN.md §10); sweep and\n"
+    "                   pareto accept several sequences joined with '+',\n"
+    "                   run applies exactly one to its kernel\n"
     "  --fetch=MODE     concurrent operand fetch: on (default) | off | both\n"
     "  --jobs=N         evaluation threads (default 1; 0 = all cores)\n"
     "  --format=FMT     text (default) | csv | json\n"
@@ -63,7 +71,8 @@ Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
     const std::string name = arg.substr(2, eq == std::string::npos ? eq : eq - 2);
     const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
     static const char* known[] = {"kernel", "algos",  "budget",   "budgets",
-                                  "interchange", "fetch", "jobs", "format",
+                                  "interchange", "tiles", "unroll", "transforms",
+                                  "fetch", "jobs", "format",
                                   "frontier", "per-point"};
     check(std::find_if(std::begin(known), std::end(known),
                        [&](const char* k) { return name == k; }) != std::end(known),
@@ -104,7 +113,8 @@ SpaceKernel load_kernel_file(const std::string& path) {
 
 // Resolves one --kernel token: built-in name, set name, or DSL file path.
 void resolve_kernel(const std::string& token, std::vector<SpaceKernel>& out) {
-  const std::string key = canon(token);
+  std::string key = canon(token);
+  if (key == "mmt") key = "mat";  // matrix-matrix multiply, both spellings
   if (key == "paper") {
     for (kernels::NamedKernel& nk : kernels::table1_kernels()) {
       out.push_back({nk.name, std::move(nk.kernel)});
@@ -153,6 +163,19 @@ std::vector<Algorithm> resolve_algorithms(const std::string& list) {
   }
   check(!algorithms.empty(), "no algorithms selected");
   return algorithms;
+}
+
+// Parses a --transforms value: canonical transform sequences joined with
+// '+' (';' already separates the transforms *inside* one sequence).
+std::vector<std::vector<LoopTransform>> resolve_transform_sequences(
+    const std::string& value) {
+  std::vector<std::vector<LoopTransform>> sequences;
+  for (const std::string& token : split(value, '+')) {
+    std::vector<LoopTransform> sequence = parse_transforms(token);
+    check(!sequence.empty(), cat("empty transform sequence in '", value, "'"));
+    sequences.push_back(std::move(sequence));
+  }
+  return sequences;
 }
 
 std::vector<bool> resolve_fetch(const std::string& mode) {
@@ -205,10 +228,22 @@ int cmd_run(const Flags& flags, std::ostream& out) {
   check(!flags.has("budgets"), "run takes --budget, not --budgets");
   check(!flags.has("jobs"), "run evaluates one point set; --jobs applies to sweep/pareto");
   check(!flags.has("interchange"), "--interchange applies to sweep/pareto");
+  check(!flags.has("tiles") && !flags.has("unroll"),
+        "--tiles/--unroll enumerate axes and apply to sweep/pareto; "
+        "run takes an explicit --transforms sequence");
   check(!flags.has("frontier") && !flags.has("per-point"),
         "--frontier/--per-point apply to sweep/pareto");
   std::vector<SpaceKernel> selected = resolve_kernels(flags.get("kernel", ""));
   check(selected.size() == 1, "run takes exactly one kernel");
+  if (flags.has("transforms")) {
+    std::vector<std::vector<LoopTransform>> sequences =
+        resolve_transform_sequences(flags.get("transforms", ""));
+    check(sequences.size() == 1, "run applies exactly one transform sequence");
+    selected.front().kernel = transform_for_pipeline(
+        selected.front().kernel,
+        srra::span<const LoopTransform>(sequences.front().data(),
+                                        sequences.front().size()));
+  }
   const std::vector<Algorithm> algorithms = resolve_algorithms(flags.get("algos", "paper"));
   const std::vector<bool> fetch = resolve_fetch(flags.get("fetch", "on"));
   check(fetch.size() == 1, "run takes --fetch=on or --fetch=off");
@@ -248,7 +283,18 @@ int cmd_sweep(const Flags& flags, std::ostream& out, bool reduce_to_pareto) {
   axes.algorithms = resolve_algorithms(flags.get("algos", "paper"));
   axes.budgets = parse_budget_spec(flags.get("budgets", "8:128"));
   axes.fetch_modes = resolve_fetch(flags.get("fetch", "on"));
-  axes.interchange = flags.has("interchange");
+  axes.transforms.interchange = flags.has("interchange");
+  if (flags.has("tiles")) {
+    axes.transforms.tile_sizes = parse_size_list(flags.get("tiles", ""), "--tiles");
+  }
+  if (flags.has("unroll")) {
+    axes.transforms.unroll_factors =
+        parse_size_list(flags.get("unroll", ""), "--unroll");
+  }
+  if (flags.has("transforms")) {
+    axes.transforms.sequences =
+        resolve_transform_sequences(flags.get("transforms", ""));
+  }
 
   ExploreOptions options;
   options.jobs = flags.has("jobs") ? parse_int(flags.get("jobs", "1"), "--jobs") : 1;

@@ -1,8 +1,8 @@
 // Design-space evaluation (DESIGN.md §7). Every SpacePoint runs through
 // the full driver pipeline; points of one variant share a single RefModel,
 // so the analysis stage (grouping, reuse, access-count cache) is computed
-// once per (kernel, loop order) and amortized over every fetch mode,
-// algorithm and budget.
+// once per (kernel, transform sequence) and amortized over every fetch
+// mode, algorithm and budget.
 //
 // Parallelism runs on a fixed ThreadPool over contiguous shards of each
 // variant's point list (variants are split further when there are more

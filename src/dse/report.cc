@@ -26,7 +26,7 @@ void json_point(JsonWriter& json, const ExploreResult& result, const SpacePoint&
   const Variant& variant = result.variant_of(point);
   json.begin_object();
   json.field("kernel", variant.kernel_name);
-  json.field("order", variant.order);
+  json.field("order", variant.label());
   json.field("fetch", fetch_name(point.concurrent_fetch));
   json.field("algorithm", algorithm_name(point.algorithm));
   json.field("budget", point.budget);
@@ -55,7 +55,7 @@ std::vector<std::string> csv_point(const ExploreResult& result, const SpacePoint
   const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
   const Variant& variant = result.variant_of(point);
   std::vector<std::string> row{variant.kernel_name,
-                               variant.order,
+                               variant.label(),
                                fetch_name(point.concurrent_fetch),
                                algorithm_name(point.algorithm),
                                std::to_string(point.budget),
@@ -88,7 +88,7 @@ void frontier_rows(Table& table, const ExploreResult& result, const Frontier& fr
                    regs_cycles ? with_commas(d.cycles.exec_cycles)
                                : to_fixed(d.time_us(), 1),
                    algorithm_name(point.algorithm), std::to_string(point.budget),
-                   variant.order, fetch_name(point.concurrent_fetch)});
+                   variant.label(), fetch_name(point.concurrent_fetch)});
   }
 }
 
@@ -139,14 +139,14 @@ void write_points_report(std::ostream& os, const ExploreResult& result, Format f
         if (last_variant >= 0 && point.variant != last_variant) table.add_separator();
         last_variant = point.variant;
         if (!r.feasible) {
-          table.add_row({variant.kernel_name, variant.order,
+          table.add_row({variant.kernel_name, variant.label(),
                          fetch_name(point.concurrent_fetch),
                          algorithm_name(point.algorithm), std::to_string(point.budget),
                          "-", "-", "-", "-", "-", "-", "-", "-", "-", "infeasible"});
           continue;
         }
         const DesignPoint& d = r.design;
-        table.add_row({variant.kernel_name, variant.order,
+        table.add_row({variant.kernel_name, variant.label(),
                        fetch_name(point.concurrent_fetch),
                        algorithm_name(point.algorithm), std::to_string(point.budget),
                        std::to_string(d.allocation.total()), d.allocation.distribution(),
@@ -212,7 +212,7 @@ void write_pareto_report(std::ostream& os, const ExploreResult& result, Format f
         const DesignPoint& d = result.results[static_cast<std::size_t>(index)].design;
         const Variant& variant = result.variant_of(point);
         table.add_row({variant.kernel_name, std::to_string(point.budget),
-                       algorithm_name(point.algorithm), variant.order,
+                       algorithm_name(point.algorithm), variant.label(),
                        fetch_name(point.concurrent_fetch),
                        std::to_string(d.allocation.total()),
                        with_commas(d.cycles.exec_cycles), to_fixed(d.time_us(), 1)});
@@ -228,7 +228,7 @@ void write_pareto_report(std::ostream& os, const ExploreResult& result, Format f
         const SpacePoint& point = result.space.points[static_cast<std::size_t>(index)];
         const DesignPoint& d = result.results[static_cast<std::size_t>(index)].design;
         const Variant& variant = result.variant_of(point);
-        csv.row({section, variant.kernel_name, variant.order,
+        csv.row({section, variant.kernel_name, variant.label(),
                  fetch_name(point.concurrent_fetch), algorithm_name(point.algorithm),
                  std::to_string(point.budget), std::to_string(d.allocation.total()),
                  std::to_string(d.cycles.mem_cycles),

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_set>
 
-#include "ir/transform.h"
 #include "support/error.h"
 #include "support/str.h"
 
@@ -11,28 +11,8 @@ namespace srra::dse {
 
 namespace {
 
-// Returns `base` with its loops rearranged so that new level l holds the
-// original level perm[l], composed from pairwise interchanges.
-Kernel apply_order(const Kernel& base, const std::vector<int>& perm) {
-  Kernel kernel = base.clone();
-  std::vector<int> current(perm.size());
-  std::iota(current.begin(), current.end(), 0);  // current[l] = original level at l
-  for (int pos = 0; pos < static_cast<int>(perm.size()); ++pos) {
-    if (current[pos] == perm[pos]) continue;
-    const auto it = std::find(current.begin() + pos, current.end(), perm[pos]);
-    const int src = static_cast<int>(it - current.begin());
-    kernel = interchange_loops(kernel, pos, src);
-    std::swap(current[pos], current[src]);
-  }
-  return kernel;
-}
-
-std::string order_label(const Kernel& base, const std::vector<int>& perm) {
-  const std::vector<std::string> names = base.loop_names();
-  std::vector<std::string> parts;
-  parts.reserve(perm.size());
-  for (const int level : perm) parts.push_back(names[static_cast<std::size_t>(level)]);
-  return cat("(", join(parts, ","), ")");
+std::string order_label(const Kernel& kernel) {
+  return cat("(", join(kernel.loop_names(), ","), ")");
 }
 
 // Budgets above this are nonsense for any device the hw model knows; the
@@ -51,6 +31,113 @@ std::int64_t parse_positive(std::string_view token, const std::string& spec) {
   return value;
 }
 
+// Enumerates the transform axis of one kernel (see TransformSpec): the
+// source variant, the explicit sequences, then the generated cross product
+// permutations x tiles x unroll factors, deduplicated by structural hash
+// and capped. Deterministic: purely a function of the kernel and the spec.
+class VariantEnumerator {
+ public:
+  VariantEnumerator(EnumeratedSpace& space, const TransformSpec& spec,
+                    const std::string& kernel_name, const Kernel& base)
+      : space_(space), spec_(spec), kernel_name_(kernel_name), base_(base) {}
+
+  void run() {
+    add(base_.clone(), {});  // the source variant always enumerates first
+    // Explicit sequences: one pass per sequence both validates every prefix
+    // and builds the transformed kernel. The legality check runs for every
+    // sequence even once the variant cap is reached — the API contract
+    // promises a throw for an illegal sequence, never a silent skip.
+    for (const std::vector<LoopTransform>& sequence : spec_.sequences) {
+      Kernel current = base_.clone();
+      for (const LoopTransform& t : sequence) {
+        check(is_safe(current, t),
+              cat("transform sequence '",
+                  to_string(srra::span<const LoopTransform>(sequence.data(),
+                                                            sequence.size())),
+                  "' is illegal for kernel ", kernel_name_));
+        current = apply_transform(current, t);
+      }
+      if (!full()) add(std::move(current), sequence);
+    }
+
+    const int depth = base_.depth();
+    const bool permute = spec_.interchange && depth > 1 &&
+                         depth <= spec_.max_interchange_depth && reorder_is_safe(base_);
+    std::vector<int> perm(static_cast<std::size_t>(depth));
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      const bool identity = std::is_sorted(perm.begin(), perm.end());
+      if (identity) {
+        expand(base_, {}, /*add_bare=*/false);  // the source variant exists
+      } else {
+        const std::vector<LoopTransform> prefix{LoopTransform::interchange(perm)};
+        expand(apply_transform(base_, prefix.front()), prefix, /*add_bare=*/true);
+      }
+      if (full()) return;
+    } while (permute && std::next_permutation(perm.begin(), perm.end()));
+  }
+
+ private:
+  // One permuted nest: the bare kernel (when requested), its unroll-and-jam
+  // options, then every legal Tile{level, size} with that tile's unroll
+  // options layered on top.
+  void expand(const Kernel& kernel, const std::vector<LoopTransform>& prefix,
+              bool add_bare) {
+    if (add_bare) add(kernel.clone(), prefix);
+    add_unrolls(kernel, prefix);
+    for (int level = 0; level < kernel.depth() && !full(); ++level) {
+      const std::int64_t trip = kernel.loop(level).trip_count();
+      for (const std::int64_t size : spec_.tile_sizes) {
+        if (full()) return;
+        if (size < 2 || size >= trip || trip % size != 0) continue;
+        std::vector<LoopTransform> sequence = prefix;
+        sequence.push_back(LoopTransform::tile(level, size));
+        const Kernel tiled = apply_transform(kernel, sequence.back());
+        add(tiled.clone(), sequence);
+        add_unrolls(tiled, sequence);
+      }
+    }
+  }
+
+  // Every legal UnrollJam{level, factor} on top of `kernel`.
+  void add_unrolls(const Kernel& kernel, const std::vector<LoopTransform>& prefix) {
+    for (int level = 0; level < kernel.depth() && !full(); ++level) {
+      for (const std::int64_t factor : spec_.unroll_factors) {
+        if (full()) return;
+        const LoopTransform t = LoopTransform::unroll_jam(level, factor);
+        if (!is_safe(kernel, t)) continue;
+        std::vector<LoopTransform> sequence = prefix;
+        sequence.push_back(t);
+        add(apply_transform(kernel, t), sequence);
+      }
+    }
+  }
+
+  bool full() const { return added_ >= spec_.max_variants_per_kernel; }
+
+  void add(Kernel kernel, std::vector<LoopTransform> transforms) {
+    if (full()) return;
+    if (!seen_.insert(structural_hash(kernel)).second) return;
+    Variant variant;
+    variant.index = static_cast<int>(space_.variants.size());
+    variant.kernel_name = kernel_name_;
+    variant.order = order_label(kernel);
+    variant.encoding = to_string(
+        srra::span<const LoopTransform>(transforms.data(), transforms.size()));
+    variant.transforms = std::move(transforms);
+    variant.kernel = std::move(kernel);
+    space_.variants.push_back(std::move(variant));
+    ++added_;
+  }
+
+  EnumeratedSpace& space_;
+  const TransformSpec& spec_;
+  const std::string& kernel_name_;
+  const Kernel& base_;
+  std::unordered_set<std::uint64_t> seen_;
+  int added_ = 0;
+};
+
 }  // namespace
 
 std::vector<std::vector<int>> EnumeratedSpace::points_by_variant() const {
@@ -66,24 +153,12 @@ EnumeratedSpace enumerate_space(AxisSpec axes) {
   check(!axes.algorithms.empty(), "enumerate_space: no algorithms");
   check(!axes.budgets.empty(), "enumerate_space: no budgets");
   check(!axes.fetch_modes.empty(), "enumerate_space: no fetch modes");
+  check(axes.transforms.max_variants_per_kernel >= 1,
+        "enumerate_space: max_variants_per_kernel must be at least 1");
 
   EnumeratedSpace space;
-  for (SpaceKernel& sk : axes.kernels) {
-    const int depth = sk.kernel.depth();
-    std::vector<int> perm(static_cast<std::size_t>(depth));
-    std::iota(perm.begin(), perm.end(), 0);
-    const bool permute = axes.interchange && depth > 1 &&
-                         depth <= axes.max_interchange_depth &&
-                         interchange_is_safe(sk.kernel);
-    do {
-      Variant variant;
-      variant.index = static_cast<int>(space.variants.size());
-      variant.kernel_name = sk.name;
-      variant.order = order_label(sk.kernel, perm);
-      const bool identity = std::is_sorted(perm.begin(), perm.end());
-      variant.kernel = identity ? sk.kernel.clone() : apply_order(sk.kernel, perm);
-      space.variants.push_back(std::move(variant));
-    } while (permute && std::next_permutation(perm.begin(), perm.end()));
+  for (const SpaceKernel& sk : axes.kernels) {
+    VariantEnumerator(space, axes.transforms, sk.name, sk.kernel).run();
   }
 
   for (const Variant& variant : space.variants) {
@@ -128,6 +203,23 @@ std::vector<std::int64_t> parse_budget_spec(const std::string& spec) {
   std::sort(budgets.begin(), budgets.end());
   budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
   return budgets;
+}
+
+std::vector<std::int64_t> parse_size_list(const std::string& spec, const char* what) {
+  std::vector<std::int64_t> sizes;
+  for (const std::string& token : split(spec, ',')) {
+    const std::string text(trim(token));
+    check(!text.empty() && text.size() <= 7 &&
+              text.find_first_not_of("0123456789") == std::string::npos,
+          cat("bad ", what, " spec '", spec, "': '", text, "' is not an integer"));
+    const std::int64_t value = std::stoll(text);
+    check(value >= 2, cat("bad ", what, " spec '", spec, "': values must be >= 2"));
+    sizes.push_back(value);
+  }
+  check(!sizes.empty(), cat("bad ", what, " spec '", spec, "': empty"));
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return sizes;
 }
 
 }  // namespace srra::dse

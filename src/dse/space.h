@@ -1,15 +1,16 @@
-// Design-space definition and enumeration (DESIGN.md §7). A space is the
-// cross product of five axes:
+// Design-space definition and enumeration (DESIGN.md §7, §10). A space is
+// the cross product of five axes:
 //
-//   kernels x loop orders x fetch modes x algorithms x register budgets
+//   kernels x loop transforms x fetch modes x algorithms x register budgets
 //
-// Kernel x loop-order combinations are materialized as *variants* (each
-// owns one transformed Kernel); the remaining axes are expanded into flat
-// SpacePoints that reference their variant by index. Enumeration order is
-// deterministic — variants in kernel/order declaration order, points in
-// (variant, fetch, algorithm, budget) lexicographic order — and every
-// point carries its dense index, which is what makes parallel evaluation
-// reproducible (explore.h).
+// Kernel x transform-sequence combinations are materialized as *variants*
+// (each owns one transformed Kernel plus the LoopTransform sequence that
+// produced it); the remaining axes are expanded into flat SpacePoints that
+// reference their variant by index. Enumeration order is deterministic —
+// variants in kernel/sequence declaration order, points in (variant, fetch,
+// algorithm, budget) lexicographic order — and every point carries its
+// dense index, which is what makes parallel evaluation reproducible
+// (explore.h).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +19,7 @@
 
 #include "core/registry.h"
 #include "ir/kernel.h"
+#include "ir/transform.h"
 
 namespace srra::dse {
 
@@ -25,6 +27,71 @@ namespace srra::dse {
 struct SpaceKernel {
   std::string name;
   Kernel kernel;
+};
+
+/// The loop-transformation axis (ir/transform.h): which rewrites of each
+/// kernel enter the space. Enumeration is the cross product
+///
+///   (source order + legal interchange permutations)
+///     x (untiled + one Tile{level, size} per level and size)
+///     x (unjammed + one UnrollJam{level, factor} per level and factor)
+///
+/// in that nesting order, each sequence applied left to right, with levels
+/// of later transforms referring to the nest the earlier ones produced.
+/// Illegal combinations (non-dividing sizes/factors, unsafe reorders) are
+/// skipped; structurally identical results — e.g. permutations that are
+/// no-ops on 1D or symmetric nests — are deduplicated via structural_hash;
+/// and each kernel contributes at most max_variants_per_kernel variants.
+struct TransformSpec {
+  /// Enumerate every legal loop-interchange permutation per kernel.
+  bool interchange = false;
+  /// Nests deeper than this keep source order even with interchange on
+  /// (depth d contributes d! orders; 3 ⇒ at most 6 orders per kernel).
+  int max_interchange_depth = 3;
+  /// Tile sizes to try at every level of the (possibly permuted) nest;
+  /// sizes that do not divide a level's trip count (or equal it) are
+  /// skipped for that level.
+  std::vector<std::int64_t> tile_sizes;
+  /// Unroll-and-jam factors to try at every level of the (possibly
+  /// permuted, possibly tiled) nest; illegal factors are skipped.
+  std::vector<std::int64_t> unroll_factors;
+  /// Explicit transform sequences, enumerated right after the source
+  /// variant and before the generated cross product. Each must be legal
+  /// (ir/transform.h is_safe) for every kernel of the space; an illegal or
+  /// malformed sequence throws srra::Error.
+  std::vector<std::vector<LoopTransform>> sequences;
+  /// Hard cap on the variants one kernel contributes (enumeration stops
+  /// quietly once reached; the source variant always survives).
+  int max_variants_per_kernel = 64;
+
+  /// True when any axis beyond the source order is requested.
+  bool any() const {
+    return interchange || !tile_sizes.empty() || !unroll_factors.empty() ||
+           !sequences.empty();
+  }
+};
+
+/// One (kernel, transform sequence) combination; owns the transformed
+/// kernel. `order` is the legacy loop-order label (e.g. "(i,j,k)"), kept
+/// byte-identical to the pre-transform-IR reports for interchange-only
+/// spaces; `encoding` is the canonical transform encoding (e.g.
+/// "i(1,0,2);t(2,8)", "" for the source variant). label() picks the report
+/// spelling: `order` for the source order and pure interchanges, `encoding`
+/// as soon as a tile or unroll-and-jam is involved.
+struct Variant {
+  int index = 0;
+  std::string kernel_name;
+  std::string order;                      ///< loop-order label, e.g. "(i,j,k)"
+  std::string encoding;                   ///< canonical transform encoding
+  std::vector<LoopTransform> transforms;  ///< applied sequence (empty = source)
+  Kernel kernel;
+
+  const std::string& label() const {
+    const bool pure_interchange =
+        transforms.empty() ||
+        (transforms.size() == 1 && transforms.front().kind == TransformKind::kInterchange);
+    return pure_interchange ? order : encoding;
+  }
 };
 
 /// The axes of a design space. Defaults reproduce the paper's setup: the
@@ -36,19 +103,8 @@ struct AxisSpec {
   std::vector<std::int64_t> budgets = {64};
   /// Values taken by CycleOptions::concurrent_operand_fetch.
   std::vector<bool> fetch_modes = {true};
-  /// Enumerate every legal loop-interchange permutation per kernel.
-  bool interchange = false;
-  /// Nests deeper than this keep source order even with interchange on
-  /// (depth d contributes d! orders; 3 ⇒ at most 6 variants per kernel).
-  int max_interchange_depth = 3;
-};
-
-/// One (kernel, loop order) combination; owns the transformed kernel.
-struct Variant {
-  int index = 0;
-  std::string kernel_name;
-  std::string order;  ///< loop-order label, e.g. "(i,j,k)"
-  Kernel kernel;
+  /// Loop-transformation axis (source order only by default).
+  TransformSpec transforms;
 };
 
 /// One evaluation point: a variant plus values for the scalar axes.
@@ -69,10 +125,9 @@ struct EnumeratedSpace {
   std::vector<std::vector<int>> points_by_variant() const;
 };
 
-/// Expands `axes` into variants and points. With `interchange` set, every
-/// permutation of the loop nest that `interchange_is_safe` admits is
-/// enumerated (source order first); otherwise only the source order.
-/// Throws srra::Error if any axis is empty.
+/// Expands `axes` into variants and points (see TransformSpec for the
+/// transform-axis enumeration). Throws srra::Error if any axis is empty or
+/// an explicit transform sequence is illegal for one of the kernels.
 EnumeratedSpace enumerate_space(AxisSpec axes);
 
 /// Parses a budget-axis spec: "64" (single), "8,16,64" (list),
@@ -80,5 +135,10 @@ EnumeratedSpace enumerate_space(AxisSpec axes);
 /// "lo:hi:step" (arithmetic). Result is sorted ascending, deduplicated.
 /// Throws srra::Error on malformed specs or non-positive budgets.
 std::vector<std::int64_t> parse_budget_spec(const std::string& spec);
+
+/// Parses a tile-size / unroll-factor axis spec: a comma list of integers
+/// >= 2 ("4,8"), sorted ascending and deduplicated. Throws srra::Error on
+/// malformed specs.
+std::vector<std::int64_t> parse_size_list(const std::string& spec, const char* what);
 
 }  // namespace srra::dse

@@ -110,6 +110,74 @@ void validate_expr(const Kernel& kernel, const Expr& expr) {
 
 }  // namespace
 
+namespace {
+
+// FNV-1a-style mixing; the odd multiplier plus xor-shift keeps short integer
+// sequences from colliding on their sums.
+void hash_mix(std::uint64_t& h, std::uint64_t value) {
+  h ^= value + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0x100000001B3ull;
+}
+
+void hash_affine(std::uint64_t& h, const AffineExpr& e) {
+  hash_mix(h, 0xA11);
+  for (int l = 0; l < e.depth(); ++l) hash_mix(h, static_cast<std::uint64_t>(e.coeff(l)));
+  hash_mix(h, static_cast<std::uint64_t>(e.constant_term()));
+}
+
+void hash_access(std::uint64_t& h, const ArrayAccess& access) {
+  hash_mix(h, 0xACC);
+  hash_mix(h, static_cast<std::uint64_t>(access.array_id));
+  for (const AffineExpr& sub : access.subscripts) hash_affine(h, sub);
+}
+
+void hash_expr(std::uint64_t& h, const Expr& e) {
+  hash_mix(h, static_cast<std::uint64_t>(e.kind()));
+  switch (e.kind()) {
+    case ExprKind::kConst:
+      hash_mix(h, static_cast<std::uint64_t>(e.const_value()));
+      return;
+    case ExprKind::kLoopVar:
+      hash_mix(h, static_cast<std::uint64_t>(e.loop_level()));
+      return;
+    case ExprKind::kRef:
+      hash_access(h, e.access());
+      return;
+    case ExprKind::kBinOp:
+      hash_mix(h, static_cast<std::uint64_t>(e.bin_op()));
+      hash_expr(h, e.lhs());
+      hash_expr(h, e.rhs());
+      return;
+    case ExprKind::kUnOp:
+      hash_mix(h, static_cast<std::uint64_t>(e.un_op()));
+      hash_expr(h, e.operand());
+      return;
+  }
+}
+
+}  // namespace
+
+std::uint64_t structural_hash(const Kernel& kernel) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  hash_mix(h, static_cast<std::uint64_t>(kernel.depth()));
+  for (const Loop& loop : kernel.loops()) {
+    hash_mix(h, static_cast<std::uint64_t>(loop.lower));
+    hash_mix(h, static_cast<std::uint64_t>(loop.upper));
+    hash_mix(h, static_cast<std::uint64_t>(loop.step));
+  }
+  hash_mix(h, static_cast<std::uint64_t>(kernel.arrays().size()));
+  for (const ArrayDecl& array : kernel.arrays()) {
+    hash_mix(h, static_cast<std::uint64_t>(array.type));
+    for (const std::int64_t dim : array.dims) hash_mix(h, static_cast<std::uint64_t>(dim));
+  }
+  hash_mix(h, static_cast<std::uint64_t>(kernel.body().size()));
+  for (const Stmt& stmt : kernel.body()) {
+    hash_access(h, stmt.lhs);
+    hash_expr(h, *stmt.rhs);
+  }
+  return h;
+}
+
 void Kernel::validate() const {
   check(!loops_.empty(), "kernel needs at least one loop");
   check(!body_.empty(), "kernel needs at least one statement");

@@ -70,4 +70,13 @@ class Kernel {
   std::vector<Stmt> body_;
 };
 
+/// Name-insensitive structural fingerprint of a kernel: loop bounds/steps in
+/// nest order, array shapes/types in declaration order, and the full body
+/// (statement structure, operators, affine coefficients). Kernel, array and
+/// loop-variable *names* do not participate, so two kernels that differ only
+/// in spelling — e.g. a loop permutation that is a no-op on a symmetric nest
+/// — hash (and compare) equal. Used by the DSE transform axis to deduplicate
+/// variants (dse/space.cc).
+std::uint64_t structural_hash(const Kernel& kernel);
+
 }  // namespace srra

@@ -1,23 +1,112 @@
-// Loop-nest transformations. Interchange permutes the loops of a perfect
-// nest (remapping every affine subscript and loop-variable expression);
-// reuse-carrying levels move with it, which changes every allocator's
-// behaviour — exercised by bench_interchange.
+// Composable loop-nest transformations. A LoopTransform is a value
+// describing one rewrite of a perfect nest; sequences of them compose with
+// apply() and are what the DSE engine enumerates as its transform axis
+// (dse/space.h). Three kinds are supported:
 //
-// Interchange is only semantics-preserving when the loop-carried
-// dependences allow it; `interchange_is_safe` implements a conservative
-// sufficient condition (all writes either have no cross-iteration reuse, or
-// are pure accumulator updates of the form `x = x + ...` whose arithmetic
-// commutes under the wrap-around semantics of the datapath).
+//  * Interchange{perm} — permutes the loops (new level l holds source level
+//    perm[l]), remapping every affine subscript and loop-variable
+//    expression. Reuse-carrying levels move with it, which changes every
+//    allocator's behaviour — exercised by bench_transforms.
+//  * Tile{level, size} — strip-mines loop `level` into a tile loop `vt`
+//    (same bounds, step scaled by `size`) and a point loop `vi`
+//    (0..step*size by step) inserted directly below, with v = vt + vi.
+//    Subscripts stay affine (the coefficient of v appears at both new
+//    levels). The full-tile precondition (`size` divides the trip count)
+//    keeps the nest perfect — no remainder peeling — and makes pure
+//    strip-mining an exact reordering of nothing: the iteration sequence is
+//    unchanged, only the *level structure* the register-window policy sees.
+//    That is the Domagała-style lever: a window that fits nowhere in the
+//    source nest fits at the point loop of a small tile.
+//  * UnrollJam{level, factor} — advances loop `level` by `factor` steps at
+//    a time and jams the unrolled bodies: the statement list is replicated
+//    `factor` times with constant-offset subscripts (v -> v + u*step), so
+//    cross-iteration reuse at `level` becomes same-iteration forward wiring
+//    visible to the walker.
+//
+// Legality (is_safe): tiling is always semantics-preserving under the
+// full-tile precondition; interchange and unroll-and-jam reorder cross-
+// iteration execution and additionally require the conservative dependence
+// condition of reorder_is_safe — every statement either writes an element
+// never re-read across iterations, or is a commutative accumulator update
+// `x = x + e` (whose arithmetic commutes under the wrap-around semantics of
+// the datapath). Unroll-and-jam of the *innermost* loop only concatenates
+// adjacent iterations in source order, so it is exempt.
+//
+// Canonical text encoding, parsed and printed for reports and the CLI:
+//   i(2,0,1);t(1,8);uj(0,2)
+// applies the interchange first, then the tile, then the unroll-and-jam;
+// levels always refer to the nest produced by the previous transform.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "ir/kernel.h"
+#include "support/span.h"
 
 namespace srra {
 
-/// Returns the kernel with loops `level_a` and `level_b` swapped.
+/// Transform kinds, in canonical-encoding tag order.
+enum class TransformKind { kInterchange, kTile, kUnrollJam };
+
+/// One loop-nest rewrite (see header comment for semantics and legality).
+struct LoopTransform {
+  TransformKind kind = TransformKind::kInterchange;
+  std::vector<int> perm;      ///< kInterchange: perm[new level] = source level
+  int level = 0;              ///< kTile / kUnrollJam: target loop level
+  std::int64_t amount = 0;    ///< kTile: tile size; kUnrollJam: unroll factor
+
+  static LoopTransform interchange(std::vector<int> perm);
+  static LoopTransform tile(int level, std::int64_t size);
+  static LoopTransform unroll_jam(int level, std::int64_t factor);
+
+  bool operator==(const LoopTransform& other) const {
+    return kind == other.kind && perm == other.perm && level == other.level &&
+           amount == other.amount;
+  }
+  bool operator!=(const LoopTransform& other) const { return !(*this == other); }
+};
+
+/// Applies one transform; throws srra::Error when it is malformed for the
+/// kernel (bad level/permutation, non-dividing tile size or unroll factor).
+/// Semantic legality is is_safe's job — apply() performs the rewrite even
+/// when the dependence condition does not hold (the fuzz suites rely on
+/// that to cross-check the analyzers on reordered kernels).
+Kernel apply_transform(const Kernel& kernel, const LoopTransform& t);
+
+/// Applies a sequence left to right.
+Kernel apply(const Kernel& kernel, srra::span<const LoopTransform> transforms);
+
+/// Per-transform legality: well-formed for this kernel AND semantics-
+/// preserving (see header comment).
+bool is_safe(const Kernel& kernel, const LoopTransform& t);
+
+/// Sequence legality: every prefix transform is safe on the kernel produced
+/// by the transforms before it.
+bool is_safe(const Kernel& kernel, srra::span<const LoopTransform> transforms);
+
+/// Canonical encoding of one transform, e.g. "i(2,0,1)", "t(1,8)", "uj(0,2)".
+std::string to_string(const LoopTransform& t);
+
+/// Canonical encoding of a sequence, ";"-joined; "" for the empty sequence.
+std::string to_string(srra::span<const LoopTransform> transforms);
+
+/// Parses the canonical encoding ("" -> empty sequence). Whitespace around
+/// tokens is ignored. Throws srra::Error on malformed input.
+std::vector<LoopTransform> parse_transforms(const std::string& text);
+
+/// The conservative dependence condition shared by interchange and
+/// unroll-and-jam (see header comment): true when reordering the kernel's
+/// cross-iteration execution cannot change its results.
+bool reorder_is_safe(const Kernel& kernel);
+
+/// Returns the kernel with loops `level_a` and `level_b` swapped — the
+/// pairwise special case of Interchange{perm}, kept for callers that think
+/// in swaps (tests, examples).
 Kernel interchange_loops(const Kernel& kernel, int level_a, int level_b);
 
-/// Conservative legality check for interchange_loops (see header comment).
+/// Legality of interchange_loops: alias of reorder_is_safe.
 bool interchange_is_safe(const Kernel& kernel);
 
 }  // namespace srra

@@ -2,13 +2,18 @@
 // (test_fuzz, test_periodic): a random valid kernel with 2-3 perfectly
 // nested loops with small bounds, 2-4 arrays with affine subscripts built
 // from the enclosing loop variables, and 1-2 statements with random
-// operator trees.
+// operator trees. random_transforms() grows random *legal* loop-transform
+// sequences (ir/transform.h) on top of such kernels for the transformed-
+// kernel equivalence properties.
 #pragma once
 
+#include <algorithm>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "ir/builder.h"
+#include "ir/transform.h"
 #include "support/rng.h"
 
 namespace srra {
@@ -105,6 +110,51 @@ inline Kernel random_kernel(Rng& rng) {
     b.assign(spec.name, make_subs(spec), random_expr());
   }
   return b.build();
+}
+
+/// A random sequence of 1-3 loop transforms, each legal (is_safe) on the
+/// kernel the preceding ones produce — so applying the result to `base`
+/// always preserves semantics. Interchange and unroll-and-jam only appear
+/// when the dependence condition admits them; tiling whenever some level
+/// has a dividing size. Body growth from unroll-and-jam is capped so the
+/// full-walk oracles the callers cross-check against stay fast.
+inline std::vector<LoopTransform> random_transforms(Rng& rng, const Kernel& base) {
+  std::vector<LoopTransform> out;
+  Kernel current = base.clone();
+  const int count = static_cast<int>(rng.uniform(1, 3));
+  for (int round = 0; round < count; ++round) {
+    std::vector<LoopTransform> candidates;
+    const int depth = current.depth();
+    if (depth > 1 && depth <= 4 && reorder_is_safe(current)) {
+      std::vector<int> perm(static_cast<std::size_t>(depth));
+      std::iota(perm.begin(), perm.end(), 0);
+      for (int l = depth - 1; l > 0; --l) {  // Fisher-Yates on the Rng
+        std::swap(perm[static_cast<std::size_t>(l)],
+                  perm[static_cast<std::size_t>(rng.uniform(0, l))]);
+      }
+      if (!std::is_sorted(perm.begin(), perm.end())) {
+        candidates.push_back(LoopTransform::interchange(std::move(perm)));
+      }
+    }
+    for (int level = 0; level < depth; ++level) {
+      const std::int64_t trip = current.loop(level).trip_count();
+      for (const std::int64_t amount : {std::int64_t{2}, std::int64_t{3}}) {
+        const LoopTransform tile = LoopTransform::tile(level, amount);
+        if (is_safe(current, tile)) candidates.push_back(tile);
+        const LoopTransform uj = LoopTransform::unroll_jam(level, amount);
+        if (static_cast<std::int64_t>(current.body().size()) * amount <= 16 &&
+            amount < trip && is_safe(current, uj)) {
+          candidates.push_back(uj);
+        }
+      }
+    }
+    if (candidates.empty()) break;
+    LoopTransform pick =
+        candidates[static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    current = apply_transform(current, pick);
+    out.push_back(std::move(pick));
+  }
+  return out;
 }
 
 }  // namespace testing

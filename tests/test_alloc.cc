@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cpa_ra.h"
-#include "core/greedy.h"
+#include "core/frontier.h"
 #include "core/knapsack.h"
 #include "core/registry.h"
 #include "kernels/kernels.h"

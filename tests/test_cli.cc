@@ -139,6 +139,73 @@ TEST(Cli, InterchangeAndFetchAxes) {
   EXPECT_NE(cli.out.find("serial"), std::string::npos);
 }
 
+// Reads one committed golden report (tests/golden/).
+std::string golden(const std::string& name) {
+  const std::string path = std::string(SRRA_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// The legacy-parity acceptance criterion: --interchange sweeps must stay
+// byte-identical to the reports the pre-transform-IR engine produced
+// (captured before the refactor), with interchange expressed as a
+// LoopTransform underneath.
+TEST(Cli, InterchangeSweepMatchesPreRefactorGolden) {
+  const CliResult sweep = run({"sweep", "--kernel=example,mat", "--budgets=16,64",
+                               "--interchange", "--format=csv"});
+  ASSERT_EQ(sweep.code, 0) << sweep.err;
+  EXPECT_EQ(sweep.out, golden("srra_sweep_interchange_legacy.csv"));
+
+  const CliResult pareto =
+      run({"pareto", "--kernel=mat", "--budgets=8:64", "--interchange"});
+  ASSERT_EQ(pareto.code, 0) << pareto.err;
+  EXPECT_EQ(pareto.out, golden("srra_pareto_mat_interchange_legacy.txt"));
+}
+
+TEST(Cli, TilesSweepMatchesGoldenForAnyJobs) {
+  const std::string expected = golden("srra_sweep_mmt_tiles.csv");
+  for (const char* jobs : {"--jobs=1", "--jobs=4"}) {
+    const CliResult cli =
+        run({"sweep", "--kernel=mmt", "--tiles=4,8", "--format=csv", jobs});
+    ASSERT_EQ(cli.code, 0) << cli.err;
+    EXPECT_EQ(cli.out, expected) << jobs;
+  }
+}
+
+TEST(Cli, TransformFlags) {
+  // run applies one explicit sequence; the transformed nest is evaluated.
+  const CliResult tiled = run({"run", "--kernel=mat", "--transforms=t(2,4);uj(2,2)"});
+  ASSERT_EQ(tiled.code, 0) << tiled.err;
+  EXPECT_NE(tiled.out.find("MAT at budget 64"), std::string::npos);
+
+  // sweep enumerates explicit sequences ('+'-joined) after the source.
+  const CliResult sweep = run({"sweep", "--kernel=mat", "--budgets=64",
+                               "--transforms=t(2,4)+i(1,0,2);t(2,8)"});
+  ASSERT_EQ(sweep.code, 0) << sweep.err;
+  EXPECT_NE(sweep.out.find("3 variant(s)"), std::string::npos) << sweep.out;
+  EXPECT_NE(sweep.out.find("i(1,0,2);t(2,8)"), std::string::npos) << sweep.out;
+
+  // The unroll axis skips aliasing levels: MAT admits only uj on k.
+  const CliResult unroll =
+      run({"sweep", "--kernel=mat", "--budgets=64", "--unroll=2"});
+  ASSERT_EQ(unroll.code, 0) << unroll.err;
+  EXPECT_NE(unroll.out.find("2 variant(s)"), std::string::npos) << unroll.out;
+  EXPECT_NE(unroll.out.find("uj(2,2)"), std::string::npos) << unroll.out;
+
+  // Usage errors.
+  EXPECT_NE(run({"run", "--kernel=mat", "--tiles=4"}).code, 0);
+  EXPECT_NE(run({"run", "--kernel=mat", "--unroll=2"}).code, 0);
+  EXPECT_NE(run({"run", "--kernel=mat", "--transforms=t(2,4)+t(2,8)"}).code, 0);
+  EXPECT_NE(run({"run", "--kernel=mat", "--transforms=frob"}).code, 0);
+  EXPECT_NE(run({"run", "--kernel=mat", "--transforms=t(0,3)"}).code, 0);  // 3 !| 16
+  EXPECT_NE(run({"sweep", "--kernel=mat", "--tiles=0"}).code, 0);
+  EXPECT_NE(run({"sweep", "--kernel=mat", "--tiles=4x"}).code, 0);
+  EXPECT_NE(run({"sweep", "--kernel=mat", "--unroll="}).code, 0);
+}
+
 TEST(Cli, ListShowsKernelsAndAlgorithms) {
   const CliResult cli = run({"list"});
   ASSERT_EQ(cli.code, 0);

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cpa_ra.h"
-#include "core/greedy.h"
+#include "core/frontier.h"
 #include "core/registry.h"
 #include "ir/parser.h"
 #include "kernels/kernels.h"

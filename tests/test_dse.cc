@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dse/report.h"
+#include "ir/parser.h"
 #include "kernels/kernels.h"
 #include "support/error.h"
 #include "support/json.h"
@@ -80,7 +81,7 @@ TEST(Space, CrossProductCounts) {
 
 TEST(Space, InterchangeEnumeratesSourceOrderFirst) {
   AxisSpec axes = example_axes();
-  axes.interchange = true;
+  axes.transforms.interchange = true;
   const EnumeratedSpace space = enumerate_space(std::move(axes));
   ASSERT_EQ(space.variants.size(), 6u);  // 3! orders of the safe example nest
   EXPECT_EQ(space.variants.front().order, "(i,j,k)");
@@ -93,7 +94,7 @@ TEST(Space, InterchangeEnumeratesSourceOrderFirst) {
 TEST(Space, DeepNestsKeepSourceOrder) {
   AxisSpec axes;
   axes.kernels.push_back({"BIC", kernels::bic()});  // depth 4 > cap
-  axes.interchange = true;
+  axes.transforms.interchange = true;
   const EnumeratedSpace space = enumerate_space(std::move(axes));
   EXPECT_EQ(space.variants.size(), 1u);
 }
@@ -103,6 +104,94 @@ TEST(Space, EmptyAxisThrows) {
   AxisSpec axes = example_axes();
   axes.budgets.clear();
   EXPECT_THROW(enumerate_space(std::move(axes)), Error);
+}
+
+TEST(Space, TileAxisEnumeratesLegalSitesOnly) {
+  AxisSpec axes;
+  axes.kernels.push_back({"MAT", kernels::mat()});  // 16x16x16
+  axes.transforms.tile_sizes = {4, 5};              // 5 divides nothing
+  const EnumeratedSpace space = enumerate_space(std::move(axes));
+  // Source + one Tile(level, 4) per level.
+  ASSERT_EQ(space.variants.size(), 4u);
+  EXPECT_EQ(space.variants[0].label(), "(i,j,k)");
+  EXPECT_EQ(space.variants[1].label(), "t(0,4)");
+  EXPECT_EQ(space.variants[2].label(), "t(1,4)");
+  EXPECT_EQ(space.variants[3].label(), "t(2,4)");
+  EXPECT_EQ(space.variants[3].kernel.depth(), 4);
+  // The legacy order label still describes the transformed nest.
+  EXPECT_EQ(space.variants[3].order, "(i,j,kt,ki)");
+}
+
+TEST(Space, UnrollAxisSkipsAliasingLevels) {
+  AxisSpec axes;
+  axes.kernels.push_back({"MAT", kernels::mat()});
+  axes.transforms.unroll_factors = {2};
+  const EnumeratedSpace space = enumerate_space(std::move(axes));
+  // c[i][j] varies in i and j, so only the k loop may be unroll-jammed.
+  ASSERT_EQ(space.variants.size(), 2u);
+  EXPECT_EQ(space.variants[1].label(), "uj(2,2)");
+  EXPECT_EQ(space.variants[1].kernel.body().size(), 2u);
+}
+
+TEST(Space, StructuralHashDeduplicatesNoOpOrders) {
+  // i and j have identical bounds and never appear in a subscript, so the
+  // 6 permutations yield only 3 structurally distinct nests (the position
+  // of k decides); the hash dedup must collapse the rest.
+  AxisSpec axes;
+  axes.kernels.push_back(
+      {"acc", parse_kernel(R"(
+        kernel acc {
+          array y[9];
+          for i in 0..4 { for j in 0..4 { for k in 0..8 {
+            y[k] = y[k] + 1;
+          } } }
+        }
+      )")});
+  axes.transforms.interchange = true;
+  const EnumeratedSpace space = enumerate_space(std::move(axes));
+  EXPECT_EQ(space.variants.size(), 3u);
+}
+
+TEST(Space, ExplicitSequencesEnumerateAfterSource) {
+  AxisSpec axes;
+  axes.kernels.push_back({"MAT", kernels::mat()});
+  axes.transforms.sequences = {parse_transforms("t(2,4);uj(2,2)"),
+                               parse_transforms("i(1,0,2)")};
+  const EnumeratedSpace space = enumerate_space(std::move(axes));
+  ASSERT_EQ(space.variants.size(), 3u);
+  EXPECT_EQ(space.variants[0].label(), "(i,j,k)");
+  EXPECT_EQ(space.variants[1].label(), "t(2,4);uj(2,2)");
+  EXPECT_EQ(space.variants[2].label(), "(j,i,k)");  // pure interchange keeps
+                                                    // the legacy order label
+  EXPECT_EQ(space.variants[2].encoding, "i(1,0,2)");
+}
+
+TEST(Space, IllegalExplicitSequenceThrows) {
+  AxisSpec axes;
+  axes.kernels.push_back({"MAT", kernels::mat()});
+  axes.transforms.sequences = {parse_transforms("t(0,3)")};  // 3 !| 16
+  EXPECT_THROW(enumerate_space(std::move(axes)), Error);
+
+  // The legality contract holds even when the variant cap has already been
+  // reached: an illegal sequence throws instead of being silently skipped.
+  AxisSpec capped;
+  capped.kernels.push_back({"MAT", kernels::mat()});
+  capped.transforms.max_variants_per_kernel = 1;
+  capped.transforms.sequences = {parse_transforms("t(0,4)"),
+                                 parse_transforms("t(0,3)")};
+  EXPECT_THROW(enumerate_space(std::move(capped)), Error);
+}
+
+TEST(Space, VariantCapBoundsEnumeration) {
+  AxisSpec axes;
+  axes.kernels.push_back({"MAT", kernels::mat()});
+  axes.transforms.interchange = true;
+  axes.transforms.tile_sizes = {2, 4, 8};
+  axes.transforms.unroll_factors = {2, 4};
+  axes.transforms.max_variants_per_kernel = 10;
+  const EnumeratedSpace space = enumerate_space(std::move(axes));
+  EXPECT_EQ(space.variants.size(), 10u);
+  EXPECT_EQ(space.variants[0].label(), "(i,j,k)");  // source always survives
 }
 
 // ---- Pareto frontier on hand-built point sets ----
@@ -213,6 +302,93 @@ TEST(Explore, ReportsAreByteIdenticalAcrossJobs) {
   const std::string eight = all_reports(explore(paper_axes(), threaded));
 
   EXPECT_EQ(one, eight);
+}
+
+// ---- The headline transform result (pinned; demonstrated in
+// bench_transforms) ----
+
+TEST(Explore, TiledMatVariantDominatesEveryUntiledPoint) {
+  // MAT, the sweep bench_transforms reports: budgets {8,16,32,64}, every
+  // legal interchange order, tile sizes {4,8}, unroll factor 2, the paper's
+  // three allocators. Some tiled/unroll-jammed variant's (registers, Texec)
+  // point must strictly dominate the best untiled point — and dominate the
+  // best point of *every* untiled loop order — or the transform axis has
+  // regressed.
+  AxisSpec axes;
+  axes.kernels.push_back({"MAT", kernels::mat()});
+  axes.budgets = {8, 16, 32, 64};
+  axes.transforms.interchange = true;
+  axes.transforms.tile_sizes = {4, 8};
+  axes.transforms.unroll_factors = {2};
+  const ExploreResult result = explore(std::move(axes));
+
+  struct P {
+    std::string label;
+    std::int64_t regs;
+    std::int64_t cycles;
+    bool transformed;
+  };
+  std::vector<P> points;
+  for (const SpacePoint& point : result.space.points) {
+    const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+    if (!r.feasible) continue;
+    const Variant& variant = result.variant_of(point);
+    bool transformed = false;
+    for (const LoopTransform& t : variant.transforms) {
+      if (t.kind != TransformKind::kInterchange) transformed = true;
+    }
+    points.push_back({variant.label(), r.design.allocation.total(),
+                      r.design.cycles.exec_cycles, transformed});
+  }
+
+  // Best (min cycles, then min registers) untiled point, overall and per
+  // loop order.
+  const auto better = [](const P& a, const P& b) {
+    return a.cycles != b.cycles ? a.cycles < b.cycles : a.regs < b.regs;
+  };
+  const P* best_untiled = nullptr;
+  std::vector<const P*> per_order;
+  for (const P& p : points) {
+    if (p.transformed) continue;
+    if (best_untiled == nullptr || better(p, *best_untiled)) best_untiled = &p;
+    auto it = std::find_if(per_order.begin(), per_order.end(),
+                           [&](const P* q) { return q->label == p.label; });
+    if (it == per_order.end()) {
+      per_order.push_back(&p);
+    } else if (better(p, **it)) {
+      *it = &p;
+    }
+  }
+  ASSERT_NE(best_untiled, nullptr);
+  EXPECT_GE(per_order.size(), 4u);  // several interchange orders enumerated
+
+  const P* strict_dominator = nullptr;
+  const P* order_dominator = nullptr;
+  for (const P& p : points) {
+    if (!p.transformed) continue;
+    if (p.regs < best_untiled->regs && p.cycles < best_untiled->cycles &&
+        strict_dominator == nullptr) {
+      strict_dominator = &p;
+    }
+    bool all = true;
+    for (const P* q : per_order) {
+      const bool dominates = p.regs <= q->regs && p.cycles <= q->cycles &&
+                             (p.regs < q->regs || p.cycles < q->cycles);
+      if (!dominates) {
+        all = false;
+        break;
+      }
+    }
+    if (all && order_dominator == nullptr) order_dominator = &p;
+  }
+  ASSERT_NE(strict_dominator, nullptr)
+      << "no transformed point strictly dominates the best untiled point ("
+      << best_untiled->regs << " regs, " << best_untiled->cycles << " cycles)";
+  ASSERT_NE(order_dominator, nullptr);
+  // The margin itself: strictly fewer registers AND at least 25% fewer
+  // cycles than anything achievable without tiling/unroll-and-jam.
+  EXPECT_LT(strict_dominator->regs, best_untiled->regs);
+  EXPECT_LE(strict_dominator->cycles * 4, best_untiled->cycles * 3);
 }
 
 // ---- Driver sweep helper ----

@@ -19,9 +19,13 @@
 #include "core/registry.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "ir/transform.h"
 #include "random_kernel.h"
+#include "sched/cycle_model.h"
+#include "sim/interp.h"
 #include "sim/machine.h"
 #include "support/rng.h"
+#include "support/str.h"
 
 namespace srra {
 namespace {
@@ -92,6 +96,111 @@ TEST_P(Fuzz, AccessCountsMonotoneInRegisters) {
       prev = cur;
     }
   }
+}
+
+// Random legal transform sequences (ir/transform.h) preserve semantics, and
+// the machine simulator still matches the golden interpreter bit-for-bit on
+// the rewritten nests under every allocator.
+TEST_P(Fuzz, TransformedKernelMachineMatchesInterpreter) {
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 319993 + 11);
+  const Kernel base = random_kernel(rng);
+  const std::vector<LoopTransform> sequence = testing::random_transforms(rng, base);
+  const Kernel transformed =
+      apply(base, srra::span<const LoopTransform>(sequence.data(), sequence.size()));
+
+  // Semantics: the rewritten nest computes bit-identical array contents.
+  ArrayStore reference(base);
+  reference.randomize(seed());
+  interpret(base, reference);
+  ArrayStore rewritten(transformed);
+  rewritten.randomize(seed());
+  interpret(transformed, rewritten);
+  EXPECT_TRUE(rewritten.equals(reference))
+      << "sequence " << to_string(srra::span<const LoopTransform>(sequence.data(),
+                                                                  sequence.size()))
+      << "\n" << kernel_to_string(transformed);
+
+  // Machine-vs-interpreter bit equality under every allocator.
+  const RefModel model(transformed.clone());
+  const std::int64_t budget = model.group_count() + rng.uniform(0, 40);
+  for (Algorithm alg : {Algorithm::kFeasibility, Algorithm::kFrRa, Algorithm::kPrRa,
+                        Algorithm::kCpaRa, Algorithm::kKnapsack}) {
+    const Allocation a = allocate(alg, model, budget);
+    a.validate(model);
+    const VerifyResult r = verify_allocation(model, a, rng.next());
+    EXPECT_TRUE(r.ok) << "seed " << seed() << " algorithm " << algorithm_name(alg)
+                      << " sequence "
+                      << to_string(srra::span<const LoopTransform>(sequence.data(),
+                                                                   sequence.size()))
+                      << "\n" << kernel_to_string(model.kernel());
+  }
+}
+
+// The periodic collapse (analysis/periodic.h) stays exact on the deeper
+// nests tiling creates and on unroll-jammed bodies: collapsed counts equal
+// the full-walk oracle for every group and register count.
+TEST_P(Fuzz, TransformedKernelCollapsedCountsMatchOracle) {
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 57637 + 13);
+  const Kernel base = random_kernel(rng);
+  const std::vector<LoopTransform> sequence = testing::random_transforms(rng, base);
+  const Kernel kernel =
+      apply(base, srra::span<const LoopTransform>(sequence.data(), sequence.size()));
+
+  const std::vector<RefGroup> groups = collect_ref_groups(kernel);
+  const std::vector<ReuseInfo> reuse = analyze_all_reuse(kernel, groups);
+  ModelOptions oracle;
+  oracle.full_walk_oracle = true;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const std::int64_t regs : {1, 2, 3, 5, 9, 17}) {
+      const GroupCounts fast = count_group_accesses(kernel, groups[g], reuse[g], regs);
+      const GroupCounts full =
+          count_group_accesses(kernel, groups[g], reuse[g], regs, oracle);
+      const auto context = [&] {
+        return cat("group ", g, " regs ", regs, " sequence ",
+                   to_string(srra::span<const LoopTransform>(sequence.data(),
+                                                             sequence.size())),
+                   "\n", kernel_to_string(kernel));
+      };
+      EXPECT_EQ(fast.miss_reads, full.miss_reads) << context();
+      EXPECT_EQ(fast.miss_writes, full.miss_writes) << context();
+      EXPECT_EQ(fast.fills, full.fills) << context();
+      EXPECT_EQ(fast.steady_fills, full.steady_fills) << context();
+      EXPECT_EQ(fast.flushes, full.flushes) << context();
+      EXPECT_EQ(fast.steady_flushes, full.steady_flushes) << context();
+      EXPECT_EQ(fast.reg_hits, full.reg_hits) << context();
+      EXPECT_EQ(fast.reg_writes, full.reg_writes) << context();
+      EXPECT_EQ(fast.forwards, full.forwards) << context();
+    }
+  }
+}
+
+// The collapsed cycle model (DESIGN.md §8) stays bit-identical to its
+// full-iteration-walk oracle on transformed kernels too.
+TEST_P(Fuzz, TransformedKernelCycleReportMatchesFullWalk) {
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 92821 + 17);
+  const Kernel base = random_kernel(rng);
+  const std::vector<LoopTransform> sequence = testing::random_transforms(rng, base);
+  const RefModel model(
+      apply(base, srra::span<const LoopTransform>(sequence.data(), sequence.size())));
+  const Allocation a =
+      allocate(Algorithm::kPrRa, model, model.group_count() + rng.uniform(0, 20));
+  CycleOptions collapsed;
+  CycleOptions oracle;
+  oracle.full_iteration_walk = true;
+  const CycleReport fast = estimate_cycles(model, a, collapsed);
+  const CycleReport full = estimate_cycles(model, a, oracle);
+  const auto context = [&] {
+    return cat("sequence ",
+               to_string(srra::span<const LoopTransform>(sequence.data(), sequence.size())),
+               "\n", kernel_to_string(model.kernel()));
+  };
+  EXPECT_EQ(fast.mem_cycles, full.mem_cycles) << context();
+  EXPECT_EQ(fast.ram_accesses, full.ram_accesses) << context();
+  EXPECT_EQ(fast.exec_cycles, full.exec_cycles) << context();
+  EXPECT_EQ(fast.iterations, full.iterations) << context();
 }
 
 TEST_P(Fuzz, PrintParseRoundTrip) {

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "core/greedy.h"
+#include "core/frontier.h"
 #include "core/registry.h"
 #include "hw/estimate.h"
 #include "kernels/kernels.h"

@@ -1,33 +1,56 @@
 #!/usr/bin/env sh
 # CI perf guard: fails when a bench's measured wall time regresses more than
 # FACTOR x over the committed baseline JSON. Both files use the run_all.sh
-# BENCH JSON schema (a top-level "wall_seconds" number); the baseline lives
-# in tests/golden/ and is refreshed deliberately when a PR changes the
+# BENCH JSON schema (a top-level "wall_seconds" number); baselines live in
+# tests/golden/ and are refreshed deliberately when a PR changes the
 # performance envelope on purpose.
 #
-# Usage: tools/perf_guard.sh <measured.json> <baseline.json> [factor]
+# Usage: tools/perf_guard.sh <measured.json> <baseline.json> [more pairs...] [factor]
+#
+# Arguments are (measured, baseline) pairs; an optional trailing odd
+# argument is the factor applied to every pair (default 2). The guard
+# checks all pairs and fails if any one regresses, so one CI step can watch
+# bench_register_sweep and bench_dse together.
 set -u
 
-measured=${1:?usage: perf_guard.sh <measured.json> <baseline.json> [factor]}
-baseline=${2:?usage: perf_guard.sh <measured.json> <baseline.json> [factor]}
-factor=${3:-2}
+[ "$#" -ge 2 ] || {
+  echo "usage: perf_guard.sh <measured.json> <baseline.json> [more pairs...] [factor]" >&2
+  exit 2
+}
+
+factor=2
+if [ $(( $# % 2 )) -eq 1 ]; then
+  # Trailing factor: POSIX-portable "last argument".
+  for factor do :; done
+fi
 
 get_wall() {
   sed -n 's/.*"wall_seconds": *\([0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
 }
 
-m=$(get_wall "$measured")
-b=$(get_wall "$baseline")
-[ -n "$m" ] || { echo "error: no wall_seconds in $measured" >&2; exit 2; }
-[ -n "$b" ] || { echo "error: no wall_seconds in $baseline" >&2; exit 2; }
+status=0
+while [ "$#" -ge 2 ]; do
+  measured=$1
+  baseline=$2
+  shift 2
 
-if awk -v m="$m" -v b="$b" -v f="$factor" 'BEGIN {
-  limit = b * f
-  printf "perf-guard: measured %.3fs, baseline %.3fs, limit %.3fs (%sx)\n", m, b, limit, f
-  exit (m <= limit) ? 0 : 1
-}'; then
-  echo "perf-guard: OK"
-else
-  echo "perf-guard FAIL: $measured regressed more than ${factor}x over $baseline" >&2
-  exit 1
-fi
+  m=$(get_wall "$measured")
+  b=$(get_wall "$baseline")
+  [ -n "$m" ] || { echo "error: no wall_seconds in $measured" >&2; exit 2; }
+  [ -n "$b" ] || { echo "error: no wall_seconds in $baseline" >&2; exit 2; }
+
+  if awk -v m="$m" -v b="$b" -v f="$factor" -v name="$measured" 'BEGIN {
+    limit = b * f
+    printf "perf-guard: %s measured %.3fs, baseline %.3fs, limit %.3fs (%sx)\n", \
+        name, m, b, limit, f
+    exit (m <= limit) ? 0 : 1
+  }'; then
+    :
+  else
+    echo "perf-guard FAIL: $measured regressed more than ${factor}x over $baseline" >&2
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "perf-guard: OK"
+exit "$status"
