@@ -1,0 +1,136 @@
+// Allocator-family bench (DESIGN.md §11): wall-clock cost of one
+// allocation per algorithm family, on a fresh RefModel every repetition so
+// each allocator pays for exactly the analysis it demands — LS-RA's claim
+// is that a purely structural scan (occurrence ranks + beta_full, no
+// access counting) lands within 2% of the certified optimum at a fraction
+// of the greedy and DP cost. The BB-RA columns record the certification
+// story: nodes expanded and whether the branch-and-bound proof completed
+// within its default budgets on every built-in kernel.
+//
+// Exit code is 1 when a *deterministic* claim breaks (LS-RA's access
+// count above 2% over the best greedy allocator's, or a kernel BB-RA
+// fails to certify); timings are reported and tracked by the CI perf
+// guard, not asserted here, so shared-runner noise cannot flake the
+// bench. The tighter ≤2%-of-certified-optimum property holds on every
+// *built-in* kernel and is pinned in tests/test_allocators.cc; the worked
+// example is the known exception, where the whole greedy family (PR-RA
+// included) sits ~30% off the serial optimum by design — that gap is the
+// paper's CPA-RA motivation, not an LS-RA regression.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "core/bnb_optimal.h"
+#include "core/linear_scan.h"
+#include "core/registry.h"
+#include "kernels/kernels.h"
+#include "support/str.h"
+#include "support/table.h"
+
+int main() {
+  using namespace srra;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr std::int64_t kBudget = 64;
+  constexpr int kReps = 20;
+
+  std::vector<kernels::NamedKernel> all;
+  all.push_back({"example", "Figure 1 worked example", kernels::paper_example()});
+  for (kernels::NamedKernel& nk : kernels::all_kernels()) all.push_back(std::move(nk));
+
+  // One allocation on a fresh model, allocator-only time in microseconds.
+  const auto time_us = [&](const Kernel& kernel, Algorithm algorithm) {
+    double total = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const RefModel model(kernel.clone());  // untimed: shared analysis
+      const auto t0 = Clock::now();
+      const Allocation a = allocate(algorithm, model, kBudget);
+      const auto t1 = Clock::now();
+      total += std::chrono::duration<double, std::micro>(t1 - t0).count();
+      if (a.total() > kBudget) return -1.0;  // defensive; validate() is tested
+    }
+    return total / kReps;
+  };
+
+  std::cout << "Allocator families at budget " << kBudget << ": one allocation on a "
+            << "fresh model,\nallocator-only time, best structural scan vs greedy "
+            << "ratios vs budget DP\n(" << kReps << " reps each; BB-RA certifies the "
+            << "optimum the gaps are measured against)\n\n";
+
+  Table table({"Kernel", "LS us", "FR us", "PR us", "DP us", "LS/PR speedup",
+               "LS gap", "BnB nodes", "Certified"});
+  double total_ls = 0, total_fr = 0, total_pr = 0, total_dp = 0;
+  std::int64_t certified_count = 0;
+  double max_gap_pct = 0;
+  bool claims_hold = true;
+
+  for (const kernels::NamedKernel& nk : all) {
+    const double ls_us = time_us(nk.kernel, Algorithm::kLinearScan);
+    const double fr_us = time_us(nk.kernel, Algorithm::kFrRa);
+    const double pr_us = time_us(nk.kernel, Algorithm::kPrRa);
+    const double dp_us = time_us(nk.kernel, Algorithm::kOptimalDp);
+    total_ls += ls_us;
+    total_fr += fr_us;
+    total_pr += pr_us;
+    total_dp += dp_us;
+
+    const RefModel model(nk.kernel.clone());
+    const BnbResult optimum = allocate_bnb_certified(model, kBudget);
+    certified_count += optimum.certified ? 1 : 0;
+    const auto steady = [&](Algorithm algorithm) {
+      const Allocation a = allocate(algorithm, model, kBudget);
+      std::int64_t total = 0;
+      for (int g = 0; g < model.group_count(); ++g) {
+        total += model.accesses(g, a.at(g), CountMode::kSteady);
+      }
+      return total;
+    };
+    const std::int64_t ls_accesses = steady(Algorithm::kLinearScan);
+    const std::int64_t greedy_accesses =
+        std::min(steady(Algorithm::kFrRa), steady(Algorithm::kPrRa));
+    const double gap_pct =
+        optimum.accesses > 0
+            ? 100.0 * static_cast<double>(ls_accesses - optimum.accesses) /
+                  static_cast<double>(optimum.accesses)
+            : 0.0;
+    if (gap_pct > max_gap_pct) max_gap_pct = gap_pct;
+    // The deterministic claims: LS-RA within 2% of the greedy family's
+    // access count on every kernel, and every kernel certified.
+    if (static_cast<double>(ls_accesses - greedy_accesses) >
+            0.02 * static_cast<double>(greedy_accesses) ||
+        !optimum.certified) {
+      claims_hold = false;
+    }
+
+    table.add_row({nk.name, to_fixed(ls_us, 1), to_fixed(fr_us, 1), to_fixed(pr_us, 1),
+                   to_fixed(dp_us, 1),
+                   ls_us > 0 ? cat(to_fixed(pr_us / ls_us, 1), "x") : "-",
+                   cat(to_fixed(gap_pct, 2), "%"), std::to_string(optimum.nodes),
+                   optimum.certified ? "yes" : "NO"});
+  }
+
+  table.add_row({"total", to_fixed(total_ls, 1), to_fixed(total_fr, 1),
+                 to_fixed(total_pr, 1), to_fixed(total_dp, 1),
+                 total_ls > 0 ? cat(to_fixed(total_pr / total_ls, 1), "x") : "-",
+                 cat("max ", to_fixed(max_gap_pct, 2), "%"), "",
+                 cat(certified_count, "/", all.size())});
+  table.render(std::cout);
+  std::cout << "\n";
+
+  // Machine-readable record (run_all.sh stores this report next to its own
+  // wall-clock JSON; the perf guard watches the binary's wall time).
+  std::cout << "BENCH JSON: {\"bench\": \"bench_allocators\", \"budget\": " << kBudget
+            << ", \"ls_us\": " << to_fixed(total_ls, 1)
+            << ", \"fr_us\": " << to_fixed(total_fr, 1)
+            << ", \"pr_us\": " << to_fixed(total_pr, 1)
+            << ", \"dp_us\": " << to_fixed(total_dp, 1)
+            << ", \"ls_speedup_vs_greedy\": "
+            << to_fixed(total_ls > 0 ? total_pr / total_ls : 0.0, 2)
+            << ", \"ls_speedup_vs_dp\": "
+            << to_fixed(total_ls > 0 ? total_dp / total_ls : 0.0, 2)
+            << ", \"max_ls_gap_pct\": " << to_fixed(max_gap_pct, 3)
+            << ", \"bnb_certified\": " << certified_count
+            << ", \"bnb_kernels\": " << all.size()
+            << ", \"claims_hold\": " << (claims_hold ? "true" : "false") << "}\n";
+  return claims_hold ? 0 : 1;
+}

@@ -2,16 +2,13 @@
 
 #include <algorithm>
 
+#include "core/bnb_optimal.h"
+#include "core/linear_scan.h"
 #include "support/error.h"
 #include "support/str.h"
 
 namespace srra {
 
-namespace {
-
-// Shared frontier scaffold: validates the budget range (with the same error
-// feasibility_allocation raises, so infeasible sweeps report identically on
-// both evaluation paths) and stamps the header fields.
 AllocationFrontier make_frontier(const RefModel& model, std::int64_t max_budget,
                                  const char* algorithm) {
   (void)feasibility_allocation(model, max_budget);  // budget >= group_count
@@ -23,9 +20,8 @@ AllocationFrontier make_frontier(const RefModel& model, std::int64_t max_budget,
   return frontier;
 }
 
-// Appends the next budget's assignment, deduplicating equal neighbours into
-// one breakpoint step.
-void push_budget(AllocationFrontier& frontier, const std::vector<std::int64_t>& regs) {
+void push_frontier_budget(AllocationFrontier& frontier,
+                          const std::vector<std::int64_t>& regs) {
   if (frontier.steps.empty() || frontier.steps.back().regs != regs) {
     Allocation step;
     step.algorithm = frontier.algorithm;
@@ -35,8 +31,6 @@ void push_budget(AllocationFrontier& frontier, const std::vector<std::int64_t>& 
   }
   frontier.index.push_back(static_cast<std::int32_t>(frontier.steps.size()) - 1);
 }
-
-}  // namespace
 
 Allocation AllocationFrontier::at(std::int64_t budget) const {
   check(covers(budget), cat(algorithm, " frontier covers budgets [", min_budget, ", ",
@@ -52,7 +46,7 @@ AllocationFrontier allocate_feasibility_frontier(const RefModel& model,
   AllocationFrontier frontier = make_frontier(model, max_budget, "feasibility");
   const std::vector<std::int64_t> ones(static_cast<std::size_t>(model.group_count()), 1);
   for (std::int64_t b = frontier.min_budget; b <= max_budget; ++b) {
-    push_budget(frontier, ones);
+    push_frontier_budget(frontier, ones);
   }
   return frontier;
 }
@@ -136,7 +130,7 @@ AllocationFrontier greedy_frontier(const RefModel& model, std::int64_t max_budge
   std::vector<std::int64_t> regs(static_cast<std::size_t>(model.group_count()));
   for (std::int64_t b = frontier.min_budget; b <= max_budget; ++b) {
     replay(plan, b, regs);
-    push_budget(frontier, regs);
+    push_frontier_budget(frontier, regs);
   }
   return frontier;
 }
@@ -211,7 +205,7 @@ AllocationFrontier allocate_knapsack_frontier(const RefModel& model,
       regs[static_cast<std::size_t>(items[i].group)] += items[i].weight;
       c -= static_cast<std::size_t>(items[i].weight);
     }
-    push_budget(frontier, regs);
+    push_frontier_budget(frontier, regs);
   }
   return frontier;
 }
@@ -288,7 +282,7 @@ AllocationFrontier allocate_optimal_dp_frontier(const RefModel& model,
     std::int64_t used = 0;
     for (const std::int64_t r : regs) used += r;
     check(used <= budget, "DP reconstruction exceeded the budget");
-    push_budget(frontier, regs);
+    push_frontier_budget(frontier, regs);
   }
   return frontier;
 }
@@ -348,7 +342,7 @@ AllocationFrontier allocate_cpa_frontier(const RefModel& model, std::int64_t max
       }
       break;
     }
-    push_budget(frontier, regs);
+    push_frontier_budget(frontier, regs);
   }
   return frontier;
 }
@@ -362,6 +356,8 @@ AllocationFrontier allocate_frontier(Algorithm algorithm, const RefModel& model,
     case Algorithm::kCpaRa: return allocate_cpa_frontier(model, max_budget);
     case Algorithm::kKnapsack: return allocate_knapsack_frontier(model, max_budget);
     case Algorithm::kOptimalDp: return allocate_optimal_dp_frontier(model, max_budget);
+    case Algorithm::kLinearScan: return allocate_linear_scan_frontier(model, max_budget);
+    case Algorithm::kBnbOptimal: return allocate_bnb_frontier(model, max_budget);
   }
   fail("unknown Algorithm");
 }

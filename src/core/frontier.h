@@ -104,4 +104,18 @@ AllocationFrontier allocate_cpa_frontier(const RefModel& model, std::int64_t max
 AllocationFrontier allocate_frontier(Algorithm algorithm, const RefModel& model,
                                      std::int64_t max_budget);
 
+/// Builder scaffold shared with the out-of-file frontier builders
+/// (core/linear_scan.cc, core/bnb_optimal.cc): validates the budget range
+/// (with the same error feasibility_allocation raises, so infeasible sweeps
+/// report identically on both evaluation paths) and stamps the header
+/// fields.
+AllocationFrontier make_frontier(const RefModel& model, std::int64_t max_budget,
+                                 const char* algorithm);
+
+/// Appends the next budget's assignment to `frontier`, deduplicating equal
+/// neighbours into one breakpoint step. Budgets must be pushed in ascending
+/// order starting at frontier.min_budget.
+void push_frontier_budget(AllocationFrontier& frontier,
+                          const std::vector<std::int64_t>& regs);
+
 }  // namespace srra

@@ -1,0 +1,129 @@
+#include "core/linear_scan.h"
+
+#include <algorithm>
+
+#include "support/span.h"
+
+namespace srra {
+
+std::vector<LiveInterval> scalar_live_intervals(const RefModel& model) {
+  std::vector<LiveInterval> intervals;
+  for (int g = 0; g < model.group_count(); ++g) {
+    const std::int64_t need = model.beta_full(g) - 1;
+    if (need <= 0) continue;  // no reuse window beyond the operand latch
+    const RefGroup& group = model.groups()[static_cast<std::size_t>(g)];
+    intervals.push_back(LiveInterval{g, group.occurrences.front().order,
+                                     group.occurrences.back().order, need});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const LiveInterval& a, const LiveInterval& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              return a.group < b.group;
+            });
+  return intervals;
+}
+
+namespace {
+
+// One O(G log G) scan replay for one budget; `regs` is overwritten with the
+// full assignment. Shared verbatim by the single-budget entry point and the
+// frontier builder, so slices match standalone runs by construction.
+void scan_replay(srra::span<const LiveInterval> intervals, std::int64_t budget,
+                 std::vector<std::int64_t>& regs) {
+  std::fill(regs.begin(), regs.end(), std::int64_t{1});
+  std::int64_t pool = budget - static_cast<std::int64_t>(regs.size());
+
+  // Indices into `intervals`: the active set is kept sorted so the holder
+  // with the furthest next use is at the back; `spilled` remembers losers in
+  // spill order for the final partial pour.
+  std::vector<std::size_t> active;
+  std::vector<std::size_t> spilled;
+  const auto ends_before = [&](std::size_t a, std::size_t b) {
+    if (intervals[a].end != intervals[b].end) return intervals[a].end < intervals[b].end;
+    if (intervals[a].start != intervals[b].start) {
+      return intervals[a].start < intervals[b].start;
+    }
+    return intervals[a].group < intervals[b].group;
+  };
+
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const LiveInterval& iv = intervals[i];
+    // Expire lifetimes that ended before this start: their registers stay
+    // committed, they just stop being eviction candidates.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](std::size_t a) { return intervals[a].end < iv.start; }),
+                 active.end());
+
+    if (iv.need > pool) {
+      // Spill-furthest-next-use: walk the active set from the furthest end
+      // down, counting holders whose next use lies beyond iv's end, and
+      // evict that suffix only if the freed registers make iv fit.
+      std::int64_t freed = 0;
+      std::size_t evict = active.size();
+      while (evict > 0 && intervals[active[evict - 1]].end > iv.end &&
+             pool + freed < iv.need) {
+        freed += intervals[active[evict - 1]].need;
+        --evict;
+      }
+      if (pool + freed >= iv.need) {
+        for (std::size_t k = evict; k < active.size(); ++k) {
+          regs[static_cast<std::size_t>(intervals[active[k]].group)] = 1;
+          spilled.push_back(active[k]);
+        }
+        active.resize(evict);
+        pool += freed;
+      }
+    }
+
+    if (iv.need <= pool) {
+      regs[static_cast<std::size_t>(iv.group)] += iv.need;
+      pool -= iv.need;
+      active.insert(std::upper_bound(active.begin(), active.end(), i, ends_before), i);
+    } else {
+      spilled.push_back(i);
+    }
+  }
+
+  // Partial pour: leftover registers go to the spilled intervals smallest
+  // need first (a shorter window is closest to completion, and reuse
+  // windows pay off near completion), capped at beta_full. Stable order
+  // keeps ties deterministic in spill order.
+  std::stable_sort(spilled.begin(), spilled.end(), [&](std::size_t a, std::size_t b) {
+    return intervals[a].need < intervals[b].need;
+  });
+  for (const std::size_t s : spilled) {
+    if (pool <= 0) break;
+    const LiveInterval& iv = intervals[s];
+    auto& r = regs[static_cast<std::size_t>(iv.group)];
+    const std::int64_t give = std::min(iv.need + 1 - r, pool);
+    r += give;
+    pool -= give;
+  }
+}
+
+}  // namespace
+
+Allocation allocate_linear_scan(const RefModel& model, std::int64_t budget) {
+  Allocation a = feasibility_allocation(model, budget);
+  a.algorithm = "LS-RA";
+  const std::vector<LiveInterval> intervals = scalar_live_intervals(model);
+  scan_replay(srra::span<const LiveInterval>(intervals.data(), intervals.size()), budget,
+              a.regs);
+  return a;
+}
+
+AllocationFrontier allocate_linear_scan_frontier(const RefModel& model,
+                                                 std::int64_t max_budget) {
+  AllocationFrontier frontier = make_frontier(model, max_budget, "LS-RA");
+  const std::vector<LiveInterval> intervals = scalar_live_intervals(model);
+  const srra::span<const LiveInterval> plan(intervals.data(), intervals.size());
+  std::vector<std::int64_t> regs(static_cast<std::size_t>(model.group_count()));
+  for (std::int64_t b = frontier.min_budget; b <= max_budget; ++b) {
+    scan_replay(plan, b, regs);
+    push_frontier_budget(frontier, regs);
+  }
+  return frontier;
+}
+
+}  // namespace srra

@@ -1,8 +1,10 @@
 #include "core/registry.h"
 
+#include "core/bnb_optimal.h"
 #include "core/cpa_ra.h"
 #include "core/frontier.h"
 #include "core/knapsack.h"
+#include "core/linear_scan.h"
 #include "core/optimal.h"
 #include "support/error.h"
 #include "support/str.h"
@@ -17,6 +19,8 @@ std::string algorithm_name(Algorithm algorithm) {
     case Algorithm::kCpaRa: return "CPA-RA";
     case Algorithm::kKnapsack: return "KS-RA";
     case Algorithm::kOptimalDp: return "DP-RA";
+    case Algorithm::kLinearScan: return "LS-RA";
+    case Algorithm::kBnbOptimal: return "BB-RA";
   }
   fail("unknown Algorithm");
 }
@@ -30,6 +34,12 @@ Algorithm parse_algorithm(const std::string& name) {
   if (name == "dp" || name == "optimal" || name == "optimal-dp" || name == "DP-RA") {
     return Algorithm::kOptimalDp;
   }
+  if (name == "ls" || name == "linear-scan" || name == "LS-RA") {
+    return Algorithm::kLinearScan;
+  }
+  if (name == "bnb" || name == "bb" || name == "optimal-bnb" || name == "BB-RA") {
+    return Algorithm::kBnbOptimal;
+  }
   fail(cat("unknown algorithm name: ", name));
 }
 
@@ -41,6 +51,8 @@ Allocation allocate(Algorithm algorithm, const RefModel& model, std::int64_t bud
     case Algorithm::kCpaRa: return allocate_cpa(model, budget);
     case Algorithm::kKnapsack: return allocate_knapsack(model, budget);
     case Algorithm::kOptimalDp: return allocate_optimal_dp(model, budget);
+    case Algorithm::kLinearScan: return allocate_linear_scan(model, budget);
+    case Algorithm::kBnbOptimal: return allocate_bnb(model, budget);
   }
   fail("unknown Algorithm");
 }
@@ -50,8 +62,9 @@ std::vector<Algorithm> paper_variants() {
 }
 
 std::vector<Algorithm> all_algorithms() {
-  return {Algorithm::kFeasibility, Algorithm::kFrRa,     Algorithm::kPrRa,
-          Algorithm::kCpaRa,       Algorithm::kKnapsack, Algorithm::kOptimalDp};
+  return {Algorithm::kFeasibility, Algorithm::kFrRa,       Algorithm::kPrRa,
+          Algorithm::kCpaRa,       Algorithm::kKnapsack,   Algorithm::kOptimalDp,
+          Algorithm::kLinearScan,  Algorithm::kBnbOptimal};
 }
 
 }  // namespace srra

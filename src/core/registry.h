@@ -17,21 +17,23 @@ enum class Algorithm {
   kCpaRa,        ///< Critical-Path-Aware RA (paper Fig. 4, v3)
   kKnapsack,     ///< exact 0/1 knapsack (ablation)
   kOptimalDp,    ///< DP-optimal partial allocation for the serial access metric
+  kLinearScan,   ///< linear scan over scalar live intervals (core/linear_scan.h)
+  kBnbOptimal,   ///< branch-and-bound certified optimum (core/bnb_optimal.h)
 };
 
 /// Number of Algorithm enum values (dense, starting at 0) — sized arrays
 /// indexed by static_cast<std::size_t>(algorithm) use this.
-constexpr int kAlgorithmCount = 6;
-static_assert(static_cast<int>(Algorithm::kOptimalDp) + 1 == kAlgorithmCount,
+constexpr int kAlgorithmCount = 8;
+static_assert(static_cast<int>(Algorithm::kBnbOptimal) + 1 == kAlgorithmCount,
               "kAlgorithmCount must track the last Algorithm enumerator");
 
 /// Short display name, e.g. "CPA-RA".
 std::string algorithm_name(Algorithm algorithm);
 
 /// Parses "feasibility" / "fr" / "pr" / "cpa" / "knapsack" / "ks" / "dp" /
-/// "optimal" / "optimal-dp" (and the display names, so
-/// parse_algorithm(algorithm_name(a)) round-trips for every enum value);
-/// throws on unknown input.
+/// "optimal" / "optimal-dp" / "ls" / "linear-scan" / "bnb" / "optimal-bnb"
+/// (and the display names, so parse_algorithm(algorithm_name(a)) round-trips
+/// for every enum value); throws on unknown input.
 Algorithm parse_algorithm(const std::string& name);
 
 /// Runs the chosen algorithm.

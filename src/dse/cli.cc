@@ -153,10 +153,7 @@ std::vector<SpaceKernel> resolve_kernels(const std::string& list) {
 std::vector<Algorithm> resolve_algorithms(const std::string& list) {
   const std::string key = canon(list);
   if (key == "paper") return paper_variants();
-  if (key == "all") {
-    return {Algorithm::kFeasibility, Algorithm::kFrRa,     Algorithm::kPrRa,
-            Algorithm::kCpaRa,       Algorithm::kKnapsack, Algorithm::kOptimalDp};
-  }
+  if (key == "all") return all_algorithms();
   std::vector<Algorithm> algorithms;
   for (const std::string& token : split(list, ',')) {
     algorithms.push_back(parse_algorithm(std::string(trim(token))));
@@ -185,13 +182,16 @@ std::vector<bool> resolve_fetch(const std::string& mode) {
   fail(cat("bad --fetch value: ", mode, " (want on|off|both)"));
 }
 
-int parse_int(const std::string& text, const char* what) {
+int parse_int(const std::string& text, const char* what, int min_value) {
   // The length bound keeps std::stoi from throwing std::out_of_range,
   // which would escape run_cli's srra::Error handler and abort.
   check(!text.empty() && text.size() <= 7 &&
             text.find_first_not_of("0123456789") == std::string::npos,
         cat("bad ", what, " value: ", text));
-  return std::stoi(text);
+  const int value = std::stoi(text);
+  check(value >= min_value,
+        cat("bad ", what, " value: ", text, " (must be >= ", min_value, ")"));
+  return value;
 }
 
 int cmd_list(std::ostream& out) {
@@ -204,9 +204,13 @@ int cmd_list(std::ostream& out) {
   }
   descriptions["example"] = "Figure 1 worked example";
   for (const SpaceKernel& sk : builtins) {
+    // find(), not operator[]: a kernel without a description entry should
+    // say so, not silently grow the map with an empty string.
+    const auto description = descriptions.find(sk.name);
     kernels_table.add_row({sk.name, std::to_string(sk.kernel.depth()),
                            cat("(", join(sk.kernel.loop_names(), ","), ")"),
-                           descriptions[sk.name]});
+                           description != descriptions.end() ? description->second
+                                                             : "(no description)"});
   }
   kernels_table.set_align(1, Align::kRight);
   kernels_table.render(out);
@@ -219,6 +223,8 @@ int cmd_list(std::ostream& out) {
   algorithms_table.add_row({"CPA-RA", "cpa, CPA-RA"});
   algorithms_table.add_row({"KS-RA", "knapsack, KS-RA"});
   algorithms_table.add_row({"DP-RA", "dp, optimal, optimal-dp, DP-RA"});
+  algorithms_table.add_row({"LS-RA", "ls, linear-scan, LS-RA"});
+  algorithms_table.add_row({"BB-RA", "bnb, bb, optimal-bnb, BB-RA"});
   algorithms_table.render(out);
   return 0;
 }
@@ -249,7 +255,7 @@ int cmd_run(const Flags& flags, std::ostream& out) {
   check(fetch.size() == 1, "run takes --fetch=on or --fetch=off");
 
   PipelineOptions options;
-  options.budget = parse_int(flags.get("budget", "64"), "--budget");
+  options.budget = parse_int(flags.get("budget", "64"), "--budget", 1);
   options.cycles.concurrent_operand_fetch = fetch.front();
   const Format format = parse_format(flags.get("format", "text"));
 
@@ -297,7 +303,7 @@ int cmd_sweep(const Flags& flags, std::ostream& out, bool reduce_to_pareto) {
   }
 
   ExploreOptions options;
-  options.jobs = flags.has("jobs") ? parse_int(flags.get("jobs", "1"), "--jobs") : 1;
+  options.jobs = flags.has("jobs") ? parse_int(flags.get("jobs", "1"), "--jobs", 0) : 1;
   check(!(flags.has("frontier") && flags.has("per-point")),
         "--frontier and --per-point are mutually exclusive");
   options.frontier = !flags.has("per-point");

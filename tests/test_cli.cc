@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/registry.h"
 #include "driver/pipeline.h"
 #include "dse/cli.h"
 #include "dse/report.h"
@@ -175,6 +176,18 @@ TEST(Cli, TilesSweepMatchesGoldenForAnyJobs) {
   }
 }
 
+// The eight-algorithm sweep (including the LS-RA and BB-RA columns) stays
+// byte-identical to the committed golden for any lane count.
+TEST(Cli, AllAlgosSweepMatchesGoldenForAnyJobs) {
+  const std::string expected = golden("srra_sweep_allocators.csv");
+  for (const char* jobs : {"--jobs=1", "--jobs=4"}) {
+    const CliResult cli = run({"sweep", "--kernel=example", "--budgets=16:64",
+                               "--algos=all", "--format=csv", jobs});
+    ASSERT_EQ(cli.code, 0) << cli.err;
+    EXPECT_EQ(cli.out, expected) << jobs;
+  }
+}
+
 TEST(Cli, TransformFlags) {
   // run applies one explicit sequence; the transformed nest is evaluated.
   const CliResult tiled = run({"run", "--kernel=mat", "--transforms=t(2,4);uj(2,2)"});
@@ -212,6 +225,68 @@ TEST(Cli, ListShowsKernelsAndAlgorithms) {
   EXPECT_NE(cli.out.find("Dec-FIR"), std::string::npos);
   EXPECT_NE(cli.out.find("CPA-RA"), std::string::npos);
   EXPECT_NE(cli.out.find("optimal-dp"), std::string::npos);
+  EXPECT_NE(cli.out.find("linear-scan"), std::string::npos);
+  EXPECT_NE(cli.out.find("optimal-bnb"), std::string::npos);
+  // Kernels without a description entry say so instead of rendering an
+  // empty cell (and the lookup must not grow the description map).
+  EXPECT_EQ(cli.out.find("(no description)"), std::string::npos);  // all have one
+}
+
+TEST(Cli, NewAllocatorsRoundTripThroughRegistry) {
+  for (const Algorithm alg : {Algorithm::kLinearScan, Algorithm::kBnbOptimal}) {
+    EXPECT_EQ(parse_algorithm(algorithm_name(alg)), alg);
+  }
+  EXPECT_EQ(parse_algorithm("ls"), Algorithm::kLinearScan);
+  EXPECT_EQ(parse_algorithm("linear-scan"), Algorithm::kLinearScan);
+  EXPECT_EQ(parse_algorithm("bnb"), Algorithm::kBnbOptimal);
+  EXPECT_EQ(parse_algorithm("bb"), Algorithm::kBnbOptimal);
+  EXPECT_EQ(parse_algorithm("optimal-bnb"), Algorithm::kBnbOptimal);
+
+  // --algos spellings reach the sweep engine, and 'all' includes both.
+  const CliResult named = run({"sweep", "--kernel=example", "--budgets=64",
+                               "--algos=ls,bnb", "--format=csv"});
+  ASSERT_EQ(named.code, 0) << named.err;
+  EXPECT_NE(named.out.find("LS-RA"), std::string::npos);
+  EXPECT_NE(named.out.find("BB-RA"), std::string::npos);
+  const CliResult all = run({"sweep", "--kernel=example", "--budgets=64",
+                             "--algos=all", "--format=csv"});
+  ASSERT_EQ(all.code, 0) << all.err;
+  for (const Algorithm alg : all_algorithms()) {
+    EXPECT_NE(all.out.find(algorithm_name(alg)), std::string::npos)
+        << algorithm_name(alg);
+  }
+}
+
+TEST(Cli, NumericFlagMinimaAreEnforced) {
+  // Zero/garbage budgets are usage errors naming the flag, not silent
+  // degenerate sweeps (parse_int previously accepted 0).
+  const CliResult zero_budget = run({"run", "--kernel=example", "--budget=0"});
+  EXPECT_EQ(zero_budget.code, 2);
+  EXPECT_NE(zero_budget.err.find("--budget"), std::string::npos) << zero_budget.err;
+  EXPECT_NE(run({"run", "--kernel=example", "--budget=x"}).code, 0);
+
+  EXPECT_EQ(run({"sweep", "--kernel=example", "--budgets=0:64"}).code, 2);
+  EXPECT_EQ(run({"sweep", "--kernel=example", "--budgets=0"}).code, 2);
+
+  const CliResult bad_jobs = run({"sweep", "--kernel=example", "--jobs=abc"});
+  EXPECT_EQ(bad_jobs.code, 2);
+  EXPECT_NE(bad_jobs.err.find("--jobs"), std::string::npos) << bad_jobs.err;
+  // --jobs=0 stays legal: it means "all cores".
+  EXPECT_EQ(run({"sweep", "--kernel=example", "--budgets=16", "--jobs=0"}).code, 0);
+
+  // Degenerate transform factors are rejected with the offending flag named.
+  const CliResult zero_tiles = run({"sweep", "--kernel=mat", "--tiles=0"});
+  EXPECT_EQ(zero_tiles.code, 2);
+  EXPECT_NE(zero_tiles.err.find("--tiles"), std::string::npos) << zero_tiles.err;
+  const CliResult one_unroll = run({"sweep", "--kernel=mat", "--unroll=1"});
+  EXPECT_EQ(one_unroll.code, 2);
+  EXPECT_NE(one_unroll.err.find("--unroll"), std::string::npos) << one_unroll.err;
+
+  // Malformed --transforms and unknown algorithms are usage errors too.
+  EXPECT_EQ(run({"sweep", "--kernel=mat", "--budgets=64", "--transforms=+"}).code, 2);
+  const CliResult bad_algo = run({"sweep", "--kernel=example", "--algos=frob"});
+  EXPECT_EQ(bad_algo.code, 2);
+  EXPECT_NE(bad_algo.err.find("unknown algorithm"), std::string::npos) << bad_algo.err;
 }
 
 TEST(Cli, HelpAndUsageErrors) {

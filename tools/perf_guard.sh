@@ -22,6 +22,17 @@ factor=2
 if [ $(( $# % 2 )) -eq 1 ]; then
   # Trailing factor: POSIX-portable "last argument".
   for factor do :; done
+  # A malformed factor must not sail through awk, which coerces garbage to 0
+  # and turns the guard into a pass-everything (limit 0 fails all) or
+  # fail-everything no-op. Require a positive decimal number.
+  case $factor in
+    *[!0-9.]* | '' | . | *.*.*) factor= ;;
+  esac
+  [ -n "$factor" ] && awk -v f="$factor" 'BEGIN { exit (f > 0) ? 0 : 1 }' || {
+    echo "error: factor must be a positive number" >&2
+    echo "usage: perf_guard.sh <measured.json> <baseline.json> [more pairs...] [factor]" >&2
+    exit 2
+  }
 fi
 
 get_wall() {
