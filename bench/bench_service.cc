@@ -1,0 +1,204 @@
+// srrad service throughput bench (DESIGN.md §12): an in-process daemon on a
+// Unix socket in a temp directory, hammered by concurrent client threads
+// with a mixed query set. Pass 1 runs cold (every unique query computed
+// once, duplicates coalesced), pass 2 replays the full set from every
+// thread and must be served almost entirely from cache — the determinism
+// contract says a warm store answers without recomputing, so the bench
+// exits 1 when the second-pass hit rate drops below 90%.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "support/json.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PassResult {
+  std::vector<double> latencies_us;  // one per request, all threads
+  double wall_seconds = 0.0;
+  std::size_t hits = 0;
+  std::size_t requests = 0;
+};
+
+std::string make_query(const std::string& kernel, const std::string& algorithm,
+                       std::int64_t budget) {
+  srra::JsonValue req = srra::JsonValue::make_object();
+  req.set("kernel", srra::JsonValue::make_string(kernel));
+  req.set("algorithm", srra::JsonValue::make_string(algorithm));
+  req.set("budget", srra::JsonValue::make_int(budget));
+  return req.to_string();
+}
+
+std::string make_frontier(const std::string& kernel, const std::string& algorithm,
+                          const std::string& budgets) {
+  srra::JsonValue req = srra::JsonValue::make_object();
+  req.set("kernel", srra::JsonValue::make_string(kernel));
+  req.set("algorithm", srra::JsonValue::make_string(algorithm));
+  req.set("mode", srra::JsonValue::make_string("frontier"));
+  req.set("budgets", srra::JsonValue::make_string(budgets));
+  return req.to_string();
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+// Runs one pass: each thread connects, fires its share of `queries` one
+// roundtrip at a time (per-request latency is the client-observed kind),
+// and counts cache hits out of the response envelopes.
+PassResult run_pass(const std::string& socket_path,
+                    const std::vector<std::vector<std::string>>& shares) {
+  PassResult pass;
+  std::mutex mu;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(shares.size());
+  for (const std::vector<std::string>& share : shares) {
+    threads.emplace_back([&pass, &mu, &socket_path, &share] {
+      srra::service::Client client =
+          srra::service::Client::connect_unix(socket_path);
+      std::vector<double> latencies;
+      latencies.reserve(share.size());
+      std::size_t hits = 0;
+      for (const std::string& query : share) {
+        const auto t0 = Clock::now();
+        const std::string response = client.roundtrip(query);
+        latencies.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+        const srra::JsonValue doc = srra::parse_json(response);
+        const srra::JsonValue* cache = doc.find("cache");
+        if (cache != nullptr &&
+            cache->find("status")->as_string() == "hit") {
+          ++hits;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      pass.latencies_us.insert(pass.latencies_us.end(), latencies.begin(),
+                               latencies.end());
+      pass.hits += hits;
+      pass.requests += share.size();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  pass.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return pass;
+}
+
+}  // namespace
+
+int main() {
+  using namespace srra;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      cat("srrad_bench_", static_cast<long>(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string socket_path = (dir / "srrad.sock").string();
+
+  service::ServerOptions options;
+  options.jobs = 0;  // all cores
+  options.store_dir = (dir / "store").string();
+  service::Server server(options);
+  std::thread daemon([&] { server.serve_unix(socket_path); });
+  // Wait for the listening socket to appear.
+  while (!std::filesystem::exists(socket_path)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Mixed query set: every builtin kernel x three allocators x two budgets,
+  // plus a frontier sweep per kernel. ~no two queries share a cache key.
+  std::vector<std::string> queries;
+  std::vector<std::string> names{"example"};
+  for (const kernels::NamedKernel& nk : kernels::all_kernels()) {
+    names.push_back(nk.name);
+  }
+  for (const std::string& name : names) {
+    for (const char* algo : {"cpa", "fr", "ls"}) {
+      for (std::int64_t budget : {32, 64}) {
+        queries.push_back(make_query(name, algo, budget));
+      }
+    }
+    queries.push_back(make_frontier(name, "cpa", "16:64"));
+  }
+
+  constexpr std::size_t kThreads = 4;
+
+  // Pass 1 (cold): the unique set, sliced across threads round-robin.
+  std::vector<std::vector<std::string>> cold_shares(kThreads);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    cold_shares[i % kThreads].push_back(queries[i]);
+  }
+  const PassResult cold = run_pass(socket_path, cold_shares);
+
+  // Pass 2 (warm): every thread replays the full set; the store has
+  // everything, so this measures pure cache-path latency.
+  const std::vector<std::vector<std::string>> warm_shares(kThreads, queries);
+  const PassResult warm = run_pass(socket_path, warm_shares);
+
+  const double warm_hit_rate =
+      warm.requests > 0
+          ? static_cast<double>(warm.hits) / static_cast<double>(warm.requests)
+          : 0.0;
+
+  {
+    service::Client client = service::Client::connect_unix(socket_path);
+    client.roundtrip(R"({"op": "shutdown"})");
+  }
+  daemon.join();
+  std::filesystem::remove_all(dir);
+
+  const auto row = [](const char* label, const PassResult& p) {
+    return std::vector<std::string>{
+        label,
+        std::to_string(p.requests),
+        to_fixed(p.wall_seconds * 1e3, 1),
+        to_fixed(static_cast<double>(p.requests) / p.wall_seconds, 0),
+        to_fixed(percentile(p.latencies_us, 0.50), 1),
+        to_fixed(percentile(p.latencies_us, 0.99), 1),
+        cat(p.hits, "/", p.requests)};
+  };
+  Table table({"pass", "requests", "wall ms", "req/s", "p50 us", "p99 us", "hits"});
+  table.add_row(row("cold", cold));
+  table.add_row(row("warm", warm));
+
+  std::cout << "srrad service bench: " << queries.size() << " unique queries, "
+            << kThreads << " client threads, Unix socket\n\n";
+  table.render(std::cout);
+  std::cout << "\nwarm hit rate: " << to_fixed(warm_hit_rate * 100.0, 1) << "%\n";
+
+  std::cout << "BENCH JSON: {\"bench\": \"bench_service\", \"unique_queries\": "
+            << queries.size() << ", \"threads\": " << kThreads
+            << ", \"cold_req_per_s\": "
+            << to_fixed(static_cast<double>(cold.requests) / cold.wall_seconds, 0)
+            << ", \"warm_req_per_s\": "
+            << to_fixed(static_cast<double>(warm.requests) / warm.wall_seconds, 0)
+            << ", \"warm_p50_us\": " << to_fixed(percentile(warm.latencies_us, 0.50), 1)
+            << ", \"warm_p99_us\": " << to_fixed(percentile(warm.latencies_us, 0.99), 1)
+            << ", \"warm_hit_rate\": " << to_fixed(warm_hit_rate, 3) << "}\n";
+
+  if (warm_hit_rate < 0.9) {
+    std::cerr << "FAIL: warm-pass hit rate " << to_fixed(warm_hit_rate, 3)
+              << " below 0.9 — warm store recomputed work\n";
+    return 1;
+  }
+  return 0;
+}

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 
 #include "dse/report.h"
+#include "ir/kernel.h"
 #include "ir/parser.h"
 #include "kernels/kernels.h"
+#include "service/client.h"
+#include "service/proto.h"
 #include "support/error.h"
 #include "support/str.h"
 #include "support/table.h"
@@ -22,9 +26,12 @@ const char kUsage[] =
     "\n"
     "commands:\n"
     "  list     built-in kernels and algorithms\n"
-    "  run      evaluate one kernel at one budget (Table-1-style report)\n"
+    "  run      evaluate one kernel at one budget (Table-1-style report;\n"
+    "           --format=json emits the service's srra-query/v1 object,\n"
+    "           an array of them when several algorithms are selected)\n"
     "  sweep    evaluate the full design space, one record per point\n"
     "  pareto   sweep, reduced to Pareto frontiers + best-per-budget\n"
+    "  client   query a running srrad daemon, or emit/decode raw frames\n"
     "\n"
     "flags:\n"
     "  --kernel=LIST    built-in names, 'paper', 'all', or a kernel-DSL file\n"
@@ -49,7 +56,24 @@ const char kUsage[] =
     "                   (variant, algorithm), sliced per budget (default)\n"
     "  --per-point      sweep/pareto: run every (algorithm, budget) point\n"
     "                   through its own allocator call (the frontier's\n"
-    "                   oracle; output is byte-identical to --frontier)\n";
+    "                   oracle; output is byte-identical to --frontier)\n"
+    "\n"
+    "client flags (see README \"Running the service\"):\n"
+    "  --socket=PATH    connect to a srrad Unix socket\n"
+    "  --tcp=HOST:PORT  connect to a srrad TCP endpoint (PORT alone means\n"
+    "                   127.0.0.1)\n"
+    "  --emit           write request frames to stdout instead of\n"
+    "                   connecting (pipe into `srrad --stdio`)\n"
+    "  --decode[=MODE]  read response frames from stdin, print payloads;\n"
+    "                   MODE=query prints just each cached query object\n"
+    "  --script=FILE    one request per line as key=value tokens, e.g.\n"
+    "                   'kernel=fir algo=cpa budget=64', 'kernel=mat\n"
+    "                   budgets=8:64', 'probe key=HEX16', 'stats'\n"
+    "  --repeat=N       send the request list N times over\n"
+    "  one-shot query:  --kernel=NAME|FILE [--transforms=SEQ] [--algo=NAME]\n"
+    "                   [--budget=N | --budgets=SPEC] [--fetch=on|off]\n"
+    "                   [--probe] [--key=HEX16] [--timing] [--id=TAG],\n"
+    "                   or --stats / --shutdown\n";
 
 struct Flags {
   std::map<std::string, std::string> values;
@@ -62,7 +86,18 @@ struct Flags {
   }
 };
 
-Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
+// Per-command flag vocabularies (unknown flags error instead of being
+// silently ignored).
+const std::vector<const char*> kExploreFlags = {
+    "kernel", "algos", "budget", "budgets", "interchange", "tiles", "unroll",
+    "transforms", "fetch", "jobs", "format", "frontier", "per-point"};
+const std::vector<const char*> kClientFlags = {
+    "socket", "tcp", "emit", "decode", "script", "repeat", "kernel",
+    "transforms", "algo", "budget", "budgets", "fetch", "probe", "key",
+    "timing", "id", "stats", "shutdown"};
+
+Flags parse_flags(const std::vector<std::string>& args, std::size_t first,
+                  const std::vector<const char*>& known) {
   Flags flags;
   for (std::size_t i = first; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -70,12 +105,8 @@ Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
     const std::size_t eq = arg.find('=');
     const std::string name = arg.substr(2, eq == std::string::npos ? eq : eq - 2);
     const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
-    static const char* known[] = {"kernel", "algos",  "budget",   "budgets",
-                                  "interchange", "tiles", "unroll", "transforms",
-                                  "fetch", "jobs", "format",
-                                  "frontier", "per-point"};
-    check(std::find_if(std::begin(known), std::end(known),
-                       [&](const char* k) { return name == k; }) != std::end(known),
+    check(std::find_if(known.begin(), known.end(),
+                       [&](const char* k) { return name == k; }) != known.end(),
           cat("unknown flag: --", name));
     check(flags.values.emplace(name, value).second, cat("duplicate flag: --", name));
     flags.order.push_back(name);
@@ -241,14 +272,15 @@ int cmd_run(const Flags& flags, std::ostream& out) {
         "--frontier/--per-point apply to sweep/pareto");
   std::vector<SpaceKernel> selected = resolve_kernels(flags.get("kernel", ""));
   check(selected.size() == 1, "run takes exactly one kernel");
+  std::string transforms_encoding;  // canonical, for the JSON report header
   if (flags.has("transforms")) {
     std::vector<std::vector<LoopTransform>> sequences =
         resolve_transform_sequences(flags.get("transforms", ""));
     check(sequences.size() == 1, "run applies exactly one transform sequence");
-    selected.front().kernel = transform_for_pipeline(
-        selected.front().kernel,
-        srra::span<const LoopTransform>(sequences.front().data(),
-                                        sequences.front().size()));
+    const srra::span<const LoopTransform> sequence(sequences.front().data(),
+                                                   sequences.front().size());
+    transforms_encoding = to_string(sequence);
+    selected.front().kernel = transform_for_pipeline(selected.front().kernel, sequence);
   }
   const std::vector<Algorithm> algorithms = resolve_algorithms(flags.get("algos", "paper"));
   const std::vector<bool> fetch = resolve_fetch(flags.get("fetch", "on"));
@@ -268,6 +300,30 @@ int cmd_run(const Flags& flags, std::ostream& out) {
     out << selected.front().name << " at budget " << options.budget
         << " (Virtex XCV1000 model; see DESIGN.md §4-6)\n\n";
     write_design_table(out, selected.front().name, model, points);
+    return 0;
+  }
+
+  if (format == Format::kJson) {
+    // The service's srra-query/v1 report, through the service's own
+    // evaluate/serialize code — `srra run --format=json` and a srrad
+    // response's "query" member are byte-identical by construction
+    // (test_service.cc pins this).
+    const SpaceKernel& sk = selected.front();
+    const std::uint64_t hash = structural_hash(sk.kernel);
+    const RefModel model(sk.kernel.clone());
+    JsonWriter json(out);
+    if (algorithms.size() > 1) json.begin_array();
+    for (const Algorithm algorithm : algorithms) {
+      service::QueryInput input;
+      input.kernel_name = sk.name;
+      input.transforms = transforms_encoding;
+      input.kernel_hash = hash;
+      input.algorithm = algorithm;
+      input.fetch = fetch.front();
+      input.budget = options.budget;
+      service::write_query_report(json, service::evaluate_query(model, input));
+    }
+    if (algorithms.size() > 1) json.end_array();
     return 0;
   }
 
@@ -318,6 +374,164 @@ int cmd_sweep(const Flags& flags, std::ostream& out, bool reduce_to_pareto) {
   return 0;
 }
 
+// ------------------------------------------------------------------- client
+
+// Resolves a client --kernel/kernel= value: a readable file becomes its DSL
+// text (the daemon never reads client-side paths), anything else passes
+// through as a builtin name or inline DSL.
+std::string resolve_kernel_text(const std::string& token) {
+  std::ifstream in(token);
+  if (!in.good()) return token;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// Builds one request payload from key=value tokens (the client flags and
+// --script lines share this vocabulary: kernel, transforms, algo, budget,
+// budgets, fetch, probe, key, timing, id, stats, shutdown).
+std::string client_request(const std::map<std::string, std::string>& tokens) {
+  for (const auto& [name, value] : tokens) {
+    static const char* known[] = {"kernel", "transforms", "algo",   "budget",
+                                  "budgets", "fetch",     "probe",  "key",
+                                  "timing",  "id",        "stats",  "shutdown"};
+    check(std::find_if(std::begin(known), std::end(known),
+                       [&, n = name](const char* k) { return n == k; }) != std::end(known),
+          cat("unknown request token: ", name, (value.empty() ? "" : "="), value));
+  }
+  const auto has = [&](const char* k) { return tokens.count(k) != 0; };
+  const auto get = [&](const char* k) { return tokens.at(k); };
+
+  JsonValue request = JsonValue::make_object();
+  check(!(has("stats") && has("shutdown")), "stats and shutdown are separate requests");
+  if (has("stats") || has("shutdown")) {
+    check(!has("kernel") && !has("key"),
+          "stats/shutdown requests take no query tokens");
+    request.set("op", JsonValue::make_string(has("stats") ? "stats" : "shutdown"));
+    if (has("id")) request.set("id", JsonValue::make_string(get("id")));
+    return request.to_string();
+  }
+
+  if (has("id")) request.set("id", JsonValue::make_string(get("id")));
+  if (has("key")) {
+    check(!has("kernel"), "kernel and key are mutually exclusive");
+    request.set("key", JsonValue::make_string(get("key")));
+    request.set("probe", JsonValue::make_bool(true));
+  } else {
+    check(has("kernel"), "a query needs kernel=NAME|FILE (or key=HEX16)");
+    request.set("kernel", JsonValue::make_string(resolve_kernel_text(get("kernel"))));
+    if (has("transforms") && !get("transforms").empty()) {
+      request.set("transforms", JsonValue::make_string(get("transforms")));
+    }
+    if (has("algo")) request.set("algorithm", JsonValue::make_string(get("algo")));
+    check(!(has("budget") && has("budgets")), "budget and budgets are mutually exclusive");
+    if (has("budgets")) {
+      request.set("mode", JsonValue::make_string("frontier"));
+      request.set("budgets", JsonValue::make_string(get("budgets")));
+    } else if (has("budget")) {
+      request.set("budget",
+                  JsonValue::make_int(parse_int(get("budget"), "budget", 1)));
+    }
+    if (has("fetch")) {
+      const std::string mode = get("fetch");
+      check(mode == "on" || mode == "off", cat("bad fetch value: ", mode, " (want on|off)"));
+      if (mode == "off") request.set("fetch", JsonValue::make_bool(false));
+    }
+    if (has("probe")) request.set("probe", JsonValue::make_bool(true));
+  }
+  if (has("timing")) request.set("timing", JsonValue::make_bool(true));
+  return request.to_string();
+}
+
+// Decode mode: response frames in on stdin, payloads out. MODE=query
+// prints just each cached query object — the envelope (cache status,
+// timing) stripped away, so two service passes over the same queries
+// compare byte-identical (the CI smoke test diffs exactly this).
+int client_decode(const std::string& mode, std::ostream& out) {
+  check(mode.empty() || mode == "full" || mode == "query",
+        cat("bad --decode value: ", mode, " (want full|query)"));
+  for (;;) {
+    const std::optional<std::string> frame = service::read_frame(std::cin);
+    if (!frame.has_value()) return 0;
+    if (mode == "query") {
+      const JsonValue envelope = parse_json(*frame);
+      if (const JsonValue* query = envelope.find("query")) {
+        out << query->to_string() << "\n";
+        continue;
+      }
+    }
+    out << *frame;  // payloads are newline-terminated documents already
+  }
+}
+
+int cmd_client(const Flags& flags, std::ostream& out) {
+  const int modes = static_cast<int>(flags.has("socket")) + static_cast<int>(flags.has("tcp")) +
+                    static_cast<int>(flags.has("emit")) + static_cast<int>(flags.has("decode"));
+  check(modes == 1, "client needs exactly one of --socket, --tcp, --emit, --decode");
+  if (flags.has("decode")) return client_decode(flags.get("decode", ""), out);
+
+  // Assemble the request list: --script lines, or one request from flags.
+  std::vector<std::string> requests;
+  if (flags.has("script")) {
+    const std::string path = flags.get("script", "");
+    std::ifstream in(path);
+    check(in.good(), cat("cannot open script file: ", path));
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string_view body = trim(line);
+      if (body.empty() || body.front() == '#') continue;
+      std::map<std::string, std::string> tokens;
+      std::istringstream fields{std::string(body)};
+      std::string token;
+      while (fields >> token) {
+        const std::size_t eq = token.find('=');
+        const std::string name = token.substr(0, eq);
+        const std::string value = eq == std::string::npos ? "" : token.substr(eq + 1);
+        check(tokens.emplace(name, value).second,
+              cat("duplicate request token '", name, "' in: ", std::string(body)));
+      }
+      requests.push_back(client_request(tokens));
+    }
+  } else {
+    std::map<std::string, std::string> tokens;
+    for (const char* name : {"kernel", "transforms", "budget", "budgets", "fetch",
+                             "probe", "key", "timing", "id", "stats", "shutdown"}) {
+      if (flags.has(name)) tokens.emplace(name, flags.get(name, ""));
+    }
+    if (flags.has("algo")) tokens.emplace("algo", flags.get("algo", ""));
+    requests.push_back(client_request(tokens));
+  }
+  const int repeat =
+      flags.has("repeat") ? parse_int(flags.get("repeat", "1"), "--repeat", 1) : 1;
+  const std::size_t unique = requests.size();
+  for (int r = 1; r < repeat; ++r) {
+    for (std::size_t i = 0; i < unique; ++i) requests.push_back(requests[i]);
+  }
+
+  if (flags.has("emit")) {
+    for (const std::string& request : requests) service::write_frame(out, request);
+    return 0;
+  }
+
+  service::Client client = [&] {
+    if (flags.has("socket")) return service::Client::connect_unix(flags.get("socket", ""));
+    const std::string endpoint = flags.get("tcp", "");
+    const std::size_t colon = endpoint.rfind(':');
+    const std::string host = colon == std::string::npos ? "127.0.0.1" : endpoint.substr(0, colon);
+    const std::string port = colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+    return service::Client::connect_tcp(host, parse_int(port, "--tcp port", 1));
+  }();
+
+  bool all_ok = true;
+  for (const std::string& response : client.roundtrip_batch(requests)) {
+    out << response;
+    const JsonValue envelope = parse_json(response);
+    const JsonValue* ok = envelope.find("ok");
+    if (ok == nullptr || !ok->as_bool()) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -331,7 +545,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     return 0;
   }
   try {
-    const Flags flags = parse_flags(args, 1);
+    const Flags flags =
+        parse_flags(args, 1, command == "client" ? kClientFlags : kExploreFlags);
     if (command == "list") {
       check(flags.values.empty(), "list takes no flags");
       return cmd_list(out);
@@ -339,6 +554,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (command == "run") return cmd_run(flags, out);
     if (command == "sweep") return cmd_sweep(flags, out, /*reduce_to_pareto=*/false);
     if (command == "pareto") return cmd_sweep(flags, out, /*reduce_to_pareto=*/true);
+    if (command == "client") return cmd_client(flags, out);
     err << "error: unknown command '" << command << "'\n\n" << kUsage;
     return 2;
   } catch (const Error& e) {

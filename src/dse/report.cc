@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "service/proto.h"
 #include "support/csv.h"
 #include "support/error.h"
 #include "support/json.h"
@@ -36,18 +37,10 @@ void json_point(JsonWriter& json, const ExploreResult& result, const SpacePoint&
     json.end_object();
     return;
   }
-  const DesignPoint& d = r.design;
-  json.field("registers", d.allocation.total());
-  json.field("distribution", d.allocation.distribution());
-  json.field("mem_cycles", d.cycles.mem_cycles);
-  json.field("mem_cycles_per_outer", tmem_per_outer(variant, d));
-  json.field("ram_accesses", d.cycles.ram_accesses);
-  json.field("exec_cycles", d.cycles.exec_cycles);
-  json.field("clock_ns", d.hw.clock_ns);
-  json.field("time_us", d.time_us());
-  json.field("slices", d.hw.slices);
-  json.field("occupancy", d.hw.occupancy);
-  json.field("block_rams", d.hw.block_rams);
+  // Same field set and formatting as the service's srra-query/v1 points —
+  // one writer, so the two JSON schemas cannot drift.
+  service::write_design_point_fields(json, r.design,
+                                     variant.kernel.loop(0).trip_count());
   json.end_object();
 }
 

@@ -1,0 +1,127 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "service/proto.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra::service {
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  check(path.size() < sizeof addr.sun_path,
+        cat("socket path too long (max ", sizeof addr.sun_path - 1, "): ", path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  check(fd >= 0, cat("socket(): ", std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    fail(cat("cannot connect to srrad at '", path, "': ", why));
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  check(port > 0 && port < 65536, cat("bad TCP port: ", port));
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &found);
+  check(rc == 0 && found != nullptr,
+        cat("cannot resolve '", host, "': ", ::gai_strerror(rc)));
+
+  const int fd = ::socket(found->ai_family, found->ai_socktype, found->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(found);
+    fail(cat("socket(): ", std::strerror(errno)));
+  }
+  if (::connect(fd, found->ai_addr, found->ai_addrlen) != 0) {
+    const std::string why = std::strerror(errno);
+    ::freeaddrinfo(found);
+    ::close(fd);
+    fail(cat("cannot connect to srrad at ", host, ":", port, ": ", why));
+  }
+  ::freeaddrinfo(found);
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::send(const std::string& payload) {
+  std::ostringstream frame;
+  write_frame(frame, payload);
+  const std::string bytes = frame.str();
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    fail(cat("srrad connection lost while sending: ", std::strerror(errno)));
+  }
+}
+
+std::string Client::receive() {
+  for (;;) {
+    std::string payload;
+    const int got = extract_frame(buffer_, payload);
+    check(got >= 0, "malformed frame from srrad");
+    if (got == 1) return payload;
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    check(n != 0, "srrad closed the connection mid-response");
+    fail(cat("srrad connection lost while receiving: ", std::strerror(errno)));
+  }
+}
+
+std::string Client::roundtrip(const std::string& payload) {
+  send(payload);
+  return receive();
+}
+
+std::vector<std::string> Client::roundtrip_batch(const std::vector<std::string>& payloads) {
+  for (const std::string& payload : payloads) send(payload);
+  std::vector<std::string> responses;
+  responses.reserve(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) responses.push_back(receive());
+  return responses;
+}
+
+}  // namespace srra::service

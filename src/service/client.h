@@ -1,0 +1,48 @@
+// Blocking srrad client connection: one socket, frames out, frames in.
+// Used by the `srra client` subcommand, bench_service's load threads and
+// test_service.cc. For pipe mode there is no connection object — clients
+// write request frames to srrad's stdin and read response frames from its
+// stdout (`srra client --emit` / `--decode` produce and consume exactly
+// those byte streams).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace srra::service {
+
+class Client {
+ public:
+  /// Connect to a daemon on a Unix socket / loopback TCP port. Throws
+  /// srra::Error when the connection fails.
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes one request frame. Throws on a broken connection.
+  void send(const std::string& payload);
+
+  /// Reads one response frame, blocking. Throws on EOF or torn framing.
+  std::string receive();
+
+  /// send + receive.
+  std::string roundtrip(const std::string& payload);
+
+  /// Sends every request back-to-back, then collects the responses — the
+  /// whole burst tends to land in one server batch, which is how a client
+  /// opts into coalescing.
+  std::vector<std::string> roundtrip_batch(const std::vector<std::string>& payloads);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last complete frame
+};
+
+}  // namespace srra::service

@@ -1,0 +1,560 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "dse/space.h"
+#include "ir/parser.h"
+#include "ir/transform.h"
+#include "kernels/kernels.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra::service {
+
+namespace {
+
+// Canonical kernel-name key, matching the CLI's spelling rules: lower-case,
+// '-' folded to '_', "mmt" aliased to "mat".
+std::string canon_name(std::string_view name) {
+  std::string key;
+  for (const char c : name) {
+    key += c == '-' ? '_' : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (key == "mmt") key = "mat";
+  return key;
+}
+
+std::string join_int64(const std::vector<std::int64_t>& values) {
+  std::string out;
+  for (const std::int64_t v : values) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+// (kernel text, transform encoding) resolved once and memoized across
+// batches: display name, canonical transforms, the transformed kernel and
+// its structural hash — everything the cache key and a compute job need.
+struct Server::ResolvedVariant {
+  std::string display_name;
+  std::string transforms;  ///< canonical encoding ("" = none)
+  std::uint64_t hash = 0;
+  Kernel kernel;  ///< transformed
+};
+
+// Per-request batch state.
+struct Server::Slot {
+  Request request;
+  bool ok = false;     ///< parsed and (for queries) resolved
+  std::string error;   ///< parse/resolve diagnostic when !ok
+  const ResolvedVariant* variant = nullptr;  ///< null for key-only probes
+  Algorithm algorithm = Algorithm::kCpaRa;
+  std::string algorithm_display;
+  std::vector<std::int64_t> budgets;  ///< frontier-mode canonical axis
+  std::string key;
+  bool hit = false;
+  std::string payload;  ///< served payload (cached)
+  int job = -1;         ///< compute-job index, -1 = none
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      store_(options_.store_dir, options_.store_max_entries),
+      pool_(options_.jobs) {}
+
+Server::~Server() = default;
+
+const Server::ResolvedVariant& Server::resolve_variant(const std::string& kernel_field,
+                                                       const std::string& transforms) {
+  const std::string memo_key = cat(kernel_field, '\x1f', transforms);
+  const auto it = variants_.find(memo_key);
+  if (it != variants_.end()) return *it->second;
+
+  auto variant = std::make_unique<ResolvedVariant>();
+
+  // Inline DSL text (it contains '{'; builtin names never do) or a builtin
+  // name. File paths are deliberately not accepted — clients resolve files
+  // to DSL text before sending, the daemon never reads client paths.
+  Kernel base;
+  if (kernel_field.find('{') != std::string::npos) {
+    base = parse_kernel(kernel_field);
+    variant->display_name = base.name();
+  } else {
+    const std::string key = canon_name(kernel_field);
+    bool found = false;
+    if (key == "example") {
+      base = kernels::paper_example();
+      variant->display_name = "example";
+      found = true;
+    } else {
+      for (kernels::NamedKernel& nk : kernels::all_kernels()) {
+        if (canon_name(nk.name) == key) {
+          base = std::move(nk.kernel);
+          variant->display_name = nk.name;
+          found = true;
+          break;
+        }
+      }
+    }
+    check(found, cat("unknown kernel '", kernel_field,
+                     "' (want a builtin name or inline kernel-DSL text)"));
+  }
+
+  std::vector<LoopTransform> sequence;
+  if (!trim(transforms).empty()) sequence = parse_transforms(transforms);
+  if (!sequence.empty()) {
+    variant->kernel = transform_for_pipeline(
+        base, srra::span<const LoopTransform>(sequence.data(), sequence.size()));
+    variant->transforms =
+        to_string(srra::span<const LoopTransform>(sequence.data(), sequence.size()));
+  } else {
+    variant->kernel = std::move(base);
+  }
+  variant->hash = structural_hash(variant->kernel);
+
+  const ResolvedVariant& ref = *variant;
+  variants_.emplace(memo_key, std::move(variant));
+  return ref;
+}
+
+void Server::cache_insert(const std::string& key, const std::string& payload) {
+  if (memory_cache_.count(key) != 0) return;
+  while (static_cast<std::int64_t>(memory_cache_.size()) >= options_.memory_max_entries &&
+         !memory_order_.empty()) {
+    memory_cache_.erase(memory_order_.front());
+    memory_order_.erase(memory_order_.begin());
+  }
+  memory_cache_.emplace(key, payload);
+  memory_order_.push_back(key);
+}
+
+std::vector<std::string> Server::handle_batch(const std::vector<std::string>& requests) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // The variant memo hands out stable pointers for the duration of one
+  // batch; trim it only between batches.
+  if (variants_.size() > 512) variants_.clear();
+
+  // Phase 1 — parse, resolve and key every request (serial; kernel
+  // resolution is memoized, so repeated texts cost one lookup).
+  std::vector<Slot> slots(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Slot& slot = slots[i];
+    try {
+      slot.request = parse_request(requests[i]);
+      if (slot.request.op != RequestOp::kQuery) {
+        slot.ok = true;
+        continue;
+      }
+      if (!slot.request.key.empty()) {
+        slot.key = slot.request.key;  // probe an exact key, nothing to resolve
+        slot.ok = true;
+        continue;
+      }
+      const ResolvedVariant& variant =
+          resolve_variant(slot.request.kernel, slot.request.transforms);
+      slot.variant = &variant;
+      slot.algorithm = parse_algorithm(slot.request.algorithm);
+      slot.algorithm_display = algorithm_name(slot.algorithm);
+
+      // The key is computed over *canonical* spellings, so "cpa" and
+      // "CPA-RA", or "8:32" and "8,16,32", share one cache entry.
+      Request canonical = slot.request;
+      canonical.transforms = variant.transforms;
+      canonical.algorithm = slot.algorithm_display;
+      if (slot.request.frontier) {
+        slot.budgets = dse::parse_budget_spec(slot.request.budgets);
+        canonical.budgets = join_int64(slot.budgets);
+      }
+      slot.key = cache_key(variant.hash, variant.display_name, canonical);
+      slot.ok = true;
+    } catch (const Error& e) {
+      slot.error = e.what();
+      // Salvage the id for the error response when the document itself was
+      // well-formed JSON (validation failures usually are).
+      try {
+        const JsonValue doc = parse_json(requests[i]);
+        if (const JsonValue* id = doc.find("id"); id && id->is_string()) {
+          slot.request.id = id->as_string();
+        }
+      } catch (const Error&) {
+      }
+    }
+  }
+
+  // Phase 2 — look every query up against the cache state at batch start;
+  // unique missing keys become compute jobs, duplicates coalesce.
+  std::vector<int> job_slots;  // slot index that first demanded each job
+  std::unordered_map<std::string, int> job_by_key;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    if (!slot.ok || slot.request.op != RequestOp::kQuery) continue;
+    const auto mem = memory_cache_.find(slot.key);
+    if (mem != memory_cache_.end()) {
+      slot.hit = true;
+      slot.payload = mem->second;
+      continue;
+    }
+    if (std::optional<std::string> stored = store_.get(slot.key)) {
+      slot.hit = true;
+      slot.payload = *stored;
+      cache_insert(slot.key, slot.payload);  // promote; already persistent
+      continue;
+    }
+    if (slot.request.probe) continue;  // cache-only: report the miss
+    const auto [it, inserted] =
+        job_by_key.emplace(slot.key, static_cast<int>(job_slots.size()));
+    if (inserted) {
+      job_slots.push_back(static_cast<int>(i));
+    } else {
+      ++stats_.coalesced;
+    }
+    slot.job = it->second;
+  }
+
+  // Phase 3 — compute unique jobs on the pool, grouped by kernel variant:
+  // jobs of one variant share one RefModel (and therefore one analysis
+  // pass), exactly like dse/explore's per-variant sharding. Each job
+  // writes only its own slot, so results are identical for any lane count.
+  std::vector<std::vector<int>> groups;
+  {
+    std::unordered_map<const ResolvedVariant*, std::size_t> group_of;
+    for (std::size_t j = 0; j < job_slots.size(); ++j) {
+      const ResolvedVariant* variant = slots[static_cast<std::size_t>(job_slots[j])].variant;
+      const auto [it, inserted] = group_of.emplace(variant, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(static_cast<int>(j));
+    }
+  }
+  std::vector<std::string> computed(job_slots.size());
+  std::vector<std::string> compute_errors(job_slots.size());
+  pool_.parallel_for(static_cast<std::int64_t>(groups.size()), [&](std::int64_t g) {
+    const std::vector<int>& jobs = groups[static_cast<std::size_t>(g)];
+    const ResolvedVariant& variant =
+        *slots[static_cast<std::size_t>(job_slots[static_cast<std::size_t>(jobs.front())])]
+             .variant;
+    const RefModel model(variant.kernel.clone());
+    for (const int j : jobs) {
+      const Slot& slot = slots[static_cast<std::size_t>(job_slots[static_cast<std::size_t>(j)])];
+      try {
+        QueryInput input;
+        input.kernel_name = variant.display_name;
+        input.transforms = variant.transforms;
+        input.kernel_hash = variant.hash;
+        input.algorithm = slot.algorithm;
+        input.fetch = slot.request.fetch;
+        input.frontier = slot.request.frontier;
+        input.budget = slot.request.budget;
+        input.budgets = slot.budgets;
+        computed[static_cast<std::size_t>(j)] = query_payload(evaluate_query(model, input));
+      } catch (const Error& e) {
+        compute_errors[static_cast<std::size_t>(j)] = e.what();
+      }
+    }
+  });
+
+  // Phase 4 — publish computed payloads (serial, first-occurrence order,
+  // so the store's eviction order is arrival-deterministic too).
+  for (std::size_t j = 0; j < job_slots.size(); ++j) {
+    if (!compute_errors[j].empty()) continue;
+    cache_insert(slots[static_cast<std::size_t>(job_slots[j])].key, computed[j]);
+    store_.put(slots[static_cast<std::size_t>(job_slots[j])].key, computed[j]);
+    ++stats_.computed;
+  }
+
+  // Phase 5 — assemble responses in request order.
+  const std::int64_t elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                      std::chrono::steady_clock::now() - t0)
+                                      .count();
+  std::vector<std::string> responses(requests.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    ++stats_.requests;
+    if (!slot.ok) {
+      ++stats_.errors;
+      responses[i] = make_error_response(slot.request.id, slot.error);
+      continue;
+    }
+    if (slot.request.op == RequestOp::kStats) {
+      JsonValue stats = JsonValue::make_object();
+      stats.set("jobs", JsonValue::make_int(pool_.jobs()));
+      stats.set("requests", JsonValue::make_int(stats_.requests));
+      stats.set("queries", JsonValue::make_int(stats_.queries));
+      stats.set("hits", JsonValue::make_int(stats_.hits));
+      stats.set("misses", JsonValue::make_int(stats_.misses));
+      stats.set("computed", JsonValue::make_int(stats_.computed));
+      stats.set("coalesced", JsonValue::make_int(stats_.coalesced));
+      stats.set("errors", JsonValue::make_int(stats_.errors));
+      stats.set("store_enabled", JsonValue::make_bool(store_.enabled()));
+      stats.set("store_entries", JsonValue::make_int(store_.entries()));
+      stats.set("store_evictions", JsonValue::make_int(store_.evictions()));
+      stats.set("store_corrupt_dropped", JsonValue::make_int(store_.corrupt_dropped()));
+      responses[i] = make_value_response(slot.request.id, "stats", stats);
+      continue;
+    }
+    if (slot.request.op == RequestOp::kShutdown) {
+      shutdown_ = true;
+      responses[i] =
+          make_value_response(slot.request.id, "shutdown", JsonValue::make_bool(true));
+      continue;
+    }
+    ++stats_.queries;
+    if (slot.job >= 0 && !compute_errors[static_cast<std::size_t>(slot.job)].empty()) {
+      ++stats_.errors;
+      responses[i] = make_error_response(
+          slot.request.id, compute_errors[static_cast<std::size_t>(slot.job)]);
+      continue;
+    }
+    ResponseMeta meta;
+    meta.id = slot.request.id;
+    meta.key = slot.key;
+    meta.elapsed_us = slot.request.timing ? elapsed_us : -1;
+    if (slot.hit) {
+      ++stats_.hits;
+      meta.cache_status = "hit";
+      responses[i] = make_query_response(meta, slot.payload);
+    } else if (slot.job >= 0) {
+      ++stats_.misses;
+      meta.cache_status = "miss";
+      responses[i] = make_query_response(meta, computed[static_cast<std::size_t>(slot.job)]);
+    } else {
+      ++stats_.misses;  // cache-only probe that found nothing
+      meta.cache_status = "miss";
+      responses[i] = make_query_response(meta, "");
+    }
+  }
+  return responses;
+}
+
+std::string Server::handle(const std::string& request) {
+  return handle_batch({request}).front();
+}
+
+int Server::serve_stream(std::istream& in, std::ostream& out) {
+  for (;;) {
+    std::vector<std::string> batch;
+    try {
+      std::optional<std::string> first = read_frame(in);
+      if (!first.has_value()) return 0;  // clean EOF
+      batch.push_back(std::move(*first));
+      // Greedily drain already-buffered frames into the same batch, so a
+      // pipelining client gets request batching (and coalescing) for free.
+      while (in.rdbuf() != nullptr && in.rdbuf()->in_avail() > 0) {
+        std::optional<std::string> more = read_frame(in);
+        if (!more.has_value()) break;
+        batch.push_back(std::move(*more));
+      }
+    } catch (const Error& e) {
+      // Framing is broken — there is no way to resync a length-prefixed
+      // stream. Report and exit.
+      write_frame(out, make_error_response("", e.what()));
+      out.flush();
+      return 2;
+    }
+    for (const std::string& response : handle_batch(batch)) {
+      write_frame(out, response);
+    }
+    out.flush();
+    if (shutdown_) return 0;
+  }
+}
+
+// --------------------------------------------------------------- socket loop
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Sends all bytes on a (nonblocking) socket, poll-waiting on short writes.
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;  // peer went away
+  }
+  return true;
+}
+
+struct Conn {
+  int fd = -1;
+  std::string buffer;
+  bool dead = false;
+};
+
+}  // namespace
+
+int Server::serve_fd(int listen_fd) {
+  std::vector<Conn> conns;
+  const auto close_all = [&] {
+    for (Conn& conn : conns) ::close(conn.fd);
+    conns.clear();
+    ::close(listen_fd);
+  };
+
+  for (;;) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd, POLLIN, 0});
+    for (const Conn& conn : conns) fds.push_back({conn.fd, POLLIN, 0});
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      close_all();
+      return 2;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        Conn conn;
+        conn.fd = fd;
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    // Drain every readable connection, then cut complete frames — one
+    // readiness sweep builds one batch, which is what coalesces a
+    // thundering herd of concurrent identical queries into one compute.
+    const std::size_t polled = fds.size() - 1;
+    for (std::size_t k = 0; k < polled; ++k) {
+      Conn& conn = conns[k];
+      if (!(fds[k + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      for (;;) {
+        char chunk[65536];
+        const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+        if (n > 0) {
+          conn.buffer.append(chunk, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        conn.dead = true;  // peer closed (n == 0) or hard error
+        break;
+      }
+    }
+
+    std::vector<std::pair<std::size_t, std::string>> batch;  // (conn, payload)
+    for (std::size_t k = 0; k < conns.size(); ++k) {
+      Conn& conn = conns[k];
+      for (;;) {
+        std::string payload;
+        const int got = extract_frame(conn.buffer, payload);
+        if (got == 0) break;
+        if (got < 0) {
+          send_all(conn.fd, [&] {
+            std::ostringstream frame;
+            write_frame(frame, make_error_response("", "malformed frame"));
+            return frame.str();
+          }());
+          conn.dead = true;
+          break;
+        }
+        batch.emplace_back(k, std::move(payload));
+      }
+    }
+
+    if (!batch.empty()) {
+      std::vector<std::string> payloads;
+      payloads.reserve(batch.size());
+      for (auto& [k, payload] : batch) payloads.push_back(std::move(payload));
+      const std::vector<std::string> responses = handle_batch(payloads);
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        Conn& conn = conns[batch[b].first];
+        if (conn.dead) continue;
+        std::ostringstream frame;
+        write_frame(frame, responses[b]);
+        if (!send_all(conn.fd, frame.str())) conn.dead = true;
+      }
+    }
+
+    for (std::size_t k = conns.size(); k-- > 0;) {
+      if (conns[k].dead) {
+        ::close(conns[k].fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+    }
+
+    if (shutdown_) {
+      close_all();
+      return 0;
+    }
+  }
+}
+
+int Server::serve_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  check(path.size() < sizeof addr.sun_path,
+        cat("socket path too long (max ", sizeof addr.sun_path - 1, "): ", path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  check(fd >= 0, cat("socket(): ", std::strerror(errno)));
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    fail(cat("cannot listen on unix socket '", path, "': ", why));
+  }
+  const int code = serve_fd(fd);
+  ::unlink(path.c_str());
+  return code;
+}
+
+int Server::serve_tcp(int port) {
+  check(port > 0 && port < 65536, cat("bad TCP port: ", port));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  check(fd >= 0, cat("socket(): ", std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    fail(cat("cannot listen on 127.0.0.1:", port, ": ", why));
+  }
+  return serve_fd(fd);
+}
+
+}  // namespace srra::service

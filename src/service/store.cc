@@ -1,0 +1,156 @@
+#include "service/store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace fs = std::filesystem;
+
+namespace srra::service {
+
+namespace {
+
+bool valid_key(const std::string& key) {
+  return key.size() == 16 &&
+         key.find_first_not_of("0123456789abcdef") == std::string::npos;
+}
+
+// Reads a whole file; nullopt on any I/O problem.
+std::optional<std::string> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return text.str();
+}
+
+// Crash-safe write: temp file in the same directory, then rename into
+// place (atomic within one filesystem). Returns false on any I/O failure.
+bool write_then_rename(const fs::path& path, const std::string& bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir, std::int64_t max_entries)
+    : dir_(std::move(dir)), max_entries_(std::max<std::int64_t>(1, max_entries)) {
+  if (dir_.empty()) return;
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  check(!ec, cat("cannot create store directory '", dir_, "': ", ec.message()));
+
+  // Version stamp: a store written by a different format version is cleared
+  // — stale payload shapes must degrade to cold misses, not be served.
+  const fs::path format_path = fs::path(dir_) / "FORMAT";
+  const std::optional<std::string> stamp = slurp(format_path);
+  const std::string want = cat(kStoreFormat, "\n");
+  const bool fresh = !stamp.has_value();
+  if (!fresh && *stamp != want) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+      if (entry.path().extension() == ".entry") fs::remove(entry.path(), ec);
+    }
+  }
+  if (fresh || *stamp != want) {
+    check(write_then_rename(format_path, want),
+          cat("cannot stamp store directory '", dir_, "'"));
+  }
+
+  // Startup scan: entry filenames become the in-memory index; contents are
+  // validated lazily on get(). Oldest-mtime-first seeds the eviction order.
+  std::vector<std::pair<fs::file_time_type, std::string>> found;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 1 + 16 + 6 || name[0] != 'k' ||
+        entry.path().extension() != ".entry") {
+      continue;
+    }
+    const std::string key = name.substr(1, 16);
+    if (!valid_key(key)) continue;
+    std::error_code time_ec;
+    const fs::file_time_type mtime = entry.last_write_time(time_ec);
+    found.emplace_back(time_ec ? fs::file_time_type::min() : mtime, key);
+  }
+  check(!ec, cat("cannot scan store directory '", dir_, "': ", ec.message()));
+  std::sort(found.begin(), found.end());
+  for (auto& [mtime, key] : found) {
+    keys_.insert(key);
+    order_.push_back(std::move(key));
+  }
+}
+
+std::string ResultStore::entry_path(const std::string& key) const {
+  return (fs::path(dir_) / cat("k", key, ".entry")).string();
+}
+
+void ResultStore::drop(const std::string& key) {
+  keys_.erase(key);
+  order_.erase(std::remove(order_.begin(), order_.end(), key), order_.end());
+  std::error_code ec;
+  fs::remove(entry_path(key), ec);  // best effort
+}
+
+std::optional<std::string> ResultStore::get(const std::string& key) {
+  if (!enabled() || keys_.count(key) == 0) return std::nullopt;
+  const std::optional<std::string> bytes = slurp(entry_path(key));
+  if (bytes.has_value()) {
+    // Header: "srrad-entry/v1 <key16> <payload bytes>\n".
+    const std::size_t eol = bytes->find('\n');
+    if (eol != std::string::npos) {
+      std::istringstream header(bytes->substr(0, eol));
+      std::string stamp, stored_key;
+      unsigned long long size = 0;
+      header >> stamp >> stored_key >> size;
+      if (header && stamp == kEntryFormat && stored_key == key &&
+          bytes->size() == eol + 1 + size) {
+        return bytes->substr(eol + 1);
+      }
+    }
+  }
+  // Unreadable, torn, or mislabeled: a miss, never a crash.
+  ++corrupt_dropped_;
+  drop(key);
+  return std::nullopt;
+}
+
+void ResultStore::put(const std::string& key, const std::string& payload) {
+  if (!enabled()) return;
+  check(valid_key(key), "ResultStore::put: malformed key");
+  const bool existed = keys_.count(key) != 0;
+  if (!existed) {
+    while (static_cast<std::int64_t>(keys_.size()) >= max_entries_ && !order_.empty()) {
+      const std::string victim = order_.front();
+      drop(victim);
+      ++evictions_;
+    }
+  }
+  const std::string bytes =
+      cat(kEntryFormat, ' ', key, ' ', payload.size(), '\n', payload);
+  if (!write_then_rename(entry_path(key), bytes)) return;  // degrade, don't throw
+  if (!existed) {
+    keys_.insert(key);
+    order_.push_back(key);
+  }
+}
+
+}  // namespace srra::service

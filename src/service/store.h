@@ -1,0 +1,68 @@
+// Persistent result store for the srrad daemon (DESIGN.md §12): an on-disk
+// cache of srra-query/v1 payloads keyed by the proto cache key. Layout:
+//
+//   <dir>/FORMAT            version stamp ("srrad-store/v1\n")
+//   <dir>/k<key16>.entry    one entry per key:
+//                           "srrad-entry/v1 <key16> <payload bytes>\n<payload>"
+//
+// Properties the tests pin (test_service.cc):
+//  * crash safety — entries are written to a temp file and renamed into
+//    place, so a torn write can only ever produce a *corrupt* entry, never
+//    a half-visible one;
+//  * corrupt tolerance — an entry that fails validation (bad stamp, wrong
+//    key, short payload) reads as a miss and is dropped, never a crash;
+//  * version migration — a FORMAT stamp from another version clears the
+//    store (cold restart) instead of serving payloads of a stale schema;
+//  * bounded size — at most max_entries entries; inserting past the cap
+//    evicts the oldest entry (startup order = file mtime, then key).
+//
+// Not thread-safe: the server serializes all store access on its loop
+// thread (compute runs on the pool, store I/O does not).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace srra::service {
+
+inline constexpr const char kStoreFormat[] = "srrad-store/v1";
+inline constexpr const char kEntryFormat[] = "srrad-entry/v1";
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store at `dir`; empty `dir` disables
+  /// persistence (every get misses, every put is a no-op). Throws
+  /// srra::Error when the directory cannot be created or scanned.
+  explicit ResultStore(std::string dir, std::int64_t max_entries = 4096);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// The payload stored under `key`, or nullopt. A corrupt entry is
+  /// dropped (counted in corrupt_dropped()) and reported as a miss.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Inserts or overwrites `key`, evicting the oldest entries beyond the
+  /// cap. I/O failures degrade to "not stored" rather than throwing — a
+  /// full disk must not take the daemon down.
+  void put(const std::string& key, const std::string& payload);
+
+  std::int64_t entries() const { return static_cast<std::int64_t>(keys_.size()); }
+  std::int64_t evictions() const { return evictions_; }
+  std::int64_t corrupt_dropped() const { return corrupt_dropped_; }
+
+ private:
+  std::string entry_path(const std::string& key) const;
+  void drop(const std::string& key);
+
+  std::string dir_;
+  std::int64_t max_entries_ = 4096;
+  std::unordered_set<std::string> keys_;
+  std::vector<std::string> order_;  ///< eviction order, oldest first
+  std::int64_t evictions_ = 0;
+  std::int64_t corrupt_dropped_ = 0;
+};
+
+}  // namespace srra::service

@@ -1,8 +1,12 @@
-// Minimal streaming JSON writer with correct string escaping — the
+// Minimal streaming JSON writer and recursive-descent parser — the
 // machine-readable twin of support/table.h. Emission is fully
 // deterministic (fixed indentation, fixed number formatting, no locale
 // dependence), which the DSE engine relies on for byte-identical reports
-// across thread counts (DESIGN.md §7).
+// across thread counts (DESIGN.md §7) and the service wire protocol
+// (service/proto.h, DESIGN.md §12) relies on for byte-identical response
+// frames. The parser accepts exactly RFC 8259 documents (no comments, no
+// trailing commas) and preserves object member order, so
+// parse -> write round-trips every document this library emits.
 //
 // Usage:
 //   JsonWriter json(os);
@@ -18,6 +22,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace srra {
@@ -71,5 +76,67 @@ class JsonWriter {
   bool key_pending_ = false;
   bool done_ = false;
 };
+
+/// One parsed JSON value. Objects keep their members in document order
+/// (lookup is a linear scan — wire-protocol objects are small); numbers
+/// remember whether they were written as integers so integer fields
+/// round-trip exactly through write().
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  static JsonValue make_bool(bool v);
+  static JsonValue make_int(std::int64_t v);
+  static JsonValue make_double(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+
+  /// Checked accessors; throw srra::Error on kind mismatch. as_double()
+  /// accepts integers too (widening); as_int() requires an integral number.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;     ///< array elements
+  const std::vector<Member>& members() const;      ///< object members, document order
+
+  /// Object member by key, or nullptr (null/other kinds: always nullptr).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Mutators for building documents programmatically (arrays/objects only).
+  void push_back(JsonValue v);
+  void set(std::string key, JsonValue v);
+
+  /// Re-emits this value through `json` (object member order preserved), so
+  /// parse_json + write reproduces the writer's deterministic formatting.
+  void write(JsonWriter& json) const;
+
+  /// Renders this value as a standalone pretty-printed document.
+  std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws srra::Error with the byte offset of the
+/// problem. Nesting depth is capped (protocol safety) at 64 levels.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace srra

@@ -25,7 +25,10 @@ ThreadPool::ThreadPool(int jobs) {
         {
           std::unique_lock<std::mutex> lock(mu_);
           start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
-          if (shutdown_) return;
+          // Batch first, shutdown second: a batch posted before (or racing
+          // with) shutdown() must run to completion, not be abandoned —
+          // its caller is blocked waiting for idle_workers_ to converge.
+          if (generation_ == seen) return;  // shutdown with no pending batch
           seen = generation_;
         }
         run_batch();
@@ -39,13 +42,20 @@ ThreadPool::ThreadPool(int jobs) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // workers_ stays populated after the join (jobs() keeps reporting the
+  // configured lane count); a waiter comparing idle_workers_ against
+  // workers_.size() must not see the size change under it.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 void ThreadPool::run_batch() {
@@ -64,12 +74,19 @@ void ThreadPool::run_batch() {
 void ThreadPool::parallel_for(std::int64_t n,
                               const std::function<void(std::int64_t)>& fn) {
   if (n <= 0) return;
-  if (workers_.empty()) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);  // inline: exceptions propagate as-is
-    return;
-  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Checking shutdown_ and posting the batch under one lock acquisition:
+    // a shutdown() that lands after the batch is posted still runs it to
+    // completion (workers handle a pending batch before exiting); one that
+    // lands before is seen here and the batch runs inline instead.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (workers_.empty() || shutdown_) {
+      lock.unlock();
+      // No workers, or the pool is (being) shut down: run inline on the
+      // caller, exceptions propagate as-is. Every task still runs once.
+      for (std::int64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
     fn_ = &fn;
     n_ = n;
     next_.store(0, std::memory_order_relaxed);

@@ -37,6 +37,16 @@ class ThreadPool {
   /// not call parallel_for on the same pool.
   void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 
+  /// Stops the worker threads and blocks until they exit. A batch already
+  /// in flight completes in full first — workers never abandon claimed or
+  /// unclaimed indices of a posted batch. Batches posted at or after
+  /// shutdown run inline on their calling thread, so every parallel_for
+  /// ever issued runs all of its tasks exactly once — the deterministic
+  /// clean-exit contract the srrad daemon relies on (tested in
+  /// test_support.cc). Idempotent; called by the destructor. May race with
+  /// one concurrent parallel_for from another thread, but not with itself.
+  void shutdown();
+
   /// Resolves a requested job count: <= 0 becomes hardware_concurrency;
   /// explicit positive requests are honored (capped at 256).
   static int clamp_jobs(int jobs);

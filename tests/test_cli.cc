@@ -14,6 +14,7 @@
 #include "dse/cli.h"
 #include "dse/report.h"
 #include "kernels/kernels.h"
+#include "support/json.h"
 
 namespace {
 
@@ -309,6 +310,42 @@ TEST(Cli, HelpAndUsageErrors) {
   // Overflow-sized numbers are usage errors, not std::out_of_range aborts.
   EXPECT_EQ(run({"sweep", "--kernel=example", "--jobs=9999999999"}).code, 2);
   EXPECT_EQ(run({"sweep", "--kernel=example", "--budgets=99999999999999999999"}).code, 2);
+}
+
+// `srra run --format=json` emits the service's srra-query/v1 report: one
+// object for one algorithm, an array of them otherwise (test_service.cc
+// additionally pins the single-object bytes against a srrad response).
+TEST(Cli, RunJsonEmitsQuerySchema) {
+  const CliResult single =
+      run({"run", "--kernel=fir", "--algos=cpa", "--budget=64", "--format=json"});
+  ASSERT_EQ(single.code, 0) << single.err;
+  const JsonValue report = parse_json(single.out);
+  ASSERT_TRUE(report.is_object());
+  EXPECT_EQ(report.find("schema")->as_string(), "srra-query/v1");
+  EXPECT_EQ(report.find("kernel")->as_string(), "FIR");
+  EXPECT_EQ(report.find("algorithm")->as_string(), "CPA-RA");
+  EXPECT_EQ(report.find("mode")->as_string(), "budget");
+  EXPECT_EQ(report.find("budget")->as_int(), 64);
+  EXPECT_TRUE(report.find("feasible")->as_bool());
+  ASSERT_NE(report.find("point"), nullptr);
+  EXPECT_EQ(report.find("point")->find("registers")->as_int(), 64);
+
+  const CliResult many = run({"run", "--kernel=fir", "--format=json"});
+  ASSERT_EQ(many.code, 0) << many.err;
+  const JsonValue reports = parse_json(many.out);
+  ASSERT_TRUE(reports.is_array());
+  ASSERT_EQ(reports.items().size(), 3u);  // the paper's three variants
+  for (const JsonValue& entry : reports.items()) {
+    EXPECT_EQ(entry.find("schema")->as_string(), "srra-query/v1");
+  }
+
+  // An infeasible budget is a well-formed report, not a CLI error.
+  const CliResult infeasible =
+      run({"run", "--kernel=fir", "--algos=cpa", "--budget=2", "--format=json"});
+  ASSERT_EQ(infeasible.code, 0) << infeasible.err;
+  const JsonValue degenerate = parse_json(infeasible.out);
+  EXPECT_FALSE(degenerate.find("feasible")->as_bool());
+  EXPECT_NE(degenerate.find("error"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,472 @@
+// Tests for the srrad service stack (DESIGN.md §12): wire protocol framing
+// and request validation, the persistent result store (crash/corruption
+// tolerance, versioning, eviction), and the batching server core. Pins the
+// PR's acceptance contract:
+//  * responses are byte-identical for any --jobs value and any request
+//    arrival order against the same starting store;
+//  * a daemon restarted on a warm store serves hits with byte-identical
+//    payloads;
+//  * a corrupt store entry degrades to a miss (recompute), never a crash;
+//  * `srra run --format=json` and a service response's "query" member are
+//    the same bytes (shared serialization in service/proto).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/cli.h"
+#include "kernels/kernels.h"
+#include "service/client.h"
+#include "service/proto.h"
+#include "service/server.h"
+#include "service/store.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/str.h"
+
+namespace srra::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh store directory under the test temp dir (wiped on entry, so
+// reruns start cold).
+std::string fresh_store(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "srra_service_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string query(const std::string& kernel, const std::string& algorithm,
+                  std::int64_t budget, const std::string& id = "") {
+  JsonValue request = JsonValue::make_object();
+  if (!id.empty()) request.set("id", JsonValue::make_string(id));
+  request.set("kernel", JsonValue::make_string(kernel));
+  request.set("algorithm", JsonValue::make_string(algorithm));
+  request.set("budget", JsonValue::make_int(budget));
+  return request.to_string();
+}
+
+const JsonValue* member(const JsonValue& doc, const char* name) {
+  const JsonValue* value = doc.find(name);
+  EXPECT_NE(value, nullptr) << "missing member '" << name << "' in " << doc.to_string();
+  return value;
+}
+
+std::string cache_status(const std::string& response) {
+  const JsonValue doc = parse_json(response);
+  return member(*member(doc, "cache"), "status")->as_string();
+}
+
+std::string cache_key_of(const std::string& response) {
+  const JsonValue doc = parse_json(response);
+  return member(*member(doc, "cache"), "key")->as_string();
+}
+
+// ------------------------------------------------------------------ framing
+
+TEST(Proto, FrameRoundTrip) {
+  std::stringstream stream;
+  write_frame(stream, "hello");
+  write_frame(stream, "");
+  write_frame(stream, std::string(1000, 'x'));
+  EXPECT_EQ(read_frame(stream).value(), "hello");
+  EXPECT_EQ(read_frame(stream).value(), "");
+  EXPECT_EQ(read_frame(stream).value(), std::string(1000, 'x'));
+  EXPECT_FALSE(read_frame(stream).has_value());  // clean EOF
+}
+
+TEST(Proto, ReadFrameRejectsTornAndMalformedFrames) {
+  std::istringstream torn("10\nabc");  // announces 10 bytes, delivers 3
+  EXPECT_THROW(read_frame(torn), Error);
+  std::istringstream bad_length("12x\npayload");
+  EXPECT_THROW(read_frame(bad_length), Error);
+  std::istringstream oversized("999999999\n");
+  EXPECT_THROW(read_frame(oversized), Error);
+  std::istringstream mid_header("12");  // EOF inside the length line
+  EXPECT_THROW(read_frame(mid_header), Error);
+}
+
+TEST(Proto, ExtractFrameIsIncremental) {
+  std::string buffer;
+  std::string payload;
+  std::ostringstream frame;
+  write_frame(frame, "abc");
+  const std::string bytes = frame.str();
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    buffer += bytes[i];
+    ASSERT_EQ(extract_frame(buffer, payload), 0) << "after " << i + 1 << " bytes";
+  }
+  buffer += bytes.back();
+  EXPECT_EQ(extract_frame(buffer, payload), 1);
+  EXPECT_EQ(payload, "abc");
+  EXPECT_TRUE(buffer.empty());
+
+  std::string garbage = "x\n";
+  EXPECT_EQ(extract_frame(garbage, payload), -1);
+}
+
+// ----------------------------------------------------------------- requests
+
+TEST(Proto, ParseRequestValidates) {
+  EXPECT_EQ(parse_request(R"({"kernel": "fir"})").kernel, "fir");
+  EXPECT_EQ(parse_request(R"({"op": "stats"})").op, RequestOp::kStats);
+
+  EXPECT_THROW(parse_request("not json"), Error);
+  EXPECT_THROW(parse_request(R"([1, 2])"), Error);              // not an object
+  EXPECT_THROW(parse_request(R"({"kernel": "fir", "banana": 1})"), Error);
+  EXPECT_THROW(parse_request(R"({})"), Error);                  // no kernel/key
+  EXPECT_THROW(parse_request(R"({"kernel": "fir", "key": "0123456789abcdef"})"),
+               Error);                                          // mutually exclusive
+  EXPECT_THROW(parse_request(R"({"key": "0123456789abcdef"})"), Error);  // needs probe
+  EXPECT_THROW(parse_request(R"({"key": "XYZ"})"), Error);      // malformed key
+  EXPECT_THROW(parse_request(R"({"kernel": "fir", "budget": 0})"), Error);
+  EXPECT_THROW(
+      parse_request(R"({"kernel": "fir", "mode": "frontier", "budget": 8})"),
+      Error);  // frontier takes budgets
+  EXPECT_THROW(parse_request(R"({"kernel": "fir", "budgets": "8:32"})"),
+               Error);  // budget mode takes budget
+  EXPECT_THROW(parse_request(R"({"op": "stats", "kernel": "fir"})"), Error);
+}
+
+// ----------------------------------------------------------------- the store
+
+TEST(Store, PutGetAndRestartPersistence) {
+  const std::string dir = fresh_store("putget");
+  const std::string key(16, 'a');
+  {
+    ResultStore store(dir);
+    EXPECT_FALSE(store.get(key).has_value());
+    store.put(key, "payload-1");
+    EXPECT_EQ(store.get(key).value(), "payload-1");
+  }
+  ResultStore reopened(dir);
+  EXPECT_EQ(reopened.entries(), 1);
+  EXPECT_EQ(reopened.get(key).value(), "payload-1");
+}
+
+TEST(Store, CorruptEntryDegradesToMiss) {
+  const std::string dir = fresh_store("corrupt");
+  const std::string key(16, 'b');
+  {
+    ResultStore store(dir);
+    store.put(key, "good payload");
+  }
+  {
+    std::ofstream scribble(fs::path(dir) / ("k" + key + ".entry"),
+                           std::ios::binary | std::ios::trunc);
+    scribble << "garbage bytes, no header";
+  }
+  ResultStore store(dir);
+  EXPECT_FALSE(store.get(key).has_value());
+  EXPECT_EQ(store.corrupt_dropped(), 1);
+  EXPECT_EQ(store.entries(), 0);  // dropped, so the next put recreates it
+  store.put(key, "recomputed");
+  EXPECT_EQ(store.get(key).value(), "recomputed");
+}
+
+TEST(Store, FormatVersionMismatchClearsStaleEntries) {
+  const std::string dir = fresh_store("version");
+  const std::string key(16, 'c');
+  {
+    ResultStore store(dir);
+    store.put(key, "stale-schema payload");
+  }
+  {
+    std::ofstream stamp(fs::path(dir) / "FORMAT", std::ios::trunc);
+    stamp << "srrad-store/v0\n";  // a previous format version
+  }
+  ResultStore store(dir);
+  EXPECT_EQ(store.entries(), 0);
+  EXPECT_FALSE(store.get(key).has_value());
+}
+
+TEST(Store, EvictsOldestBeyondCap) {
+  const std::string dir = fresh_store("evict");
+  ResultStore store(dir, /*max_entries=*/2);
+  const std::string k1(16, '1');
+  const std::string k2(16, '2');
+  const std::string k3(16, '3');
+  store.put(k1, "one");
+  store.put(k2, "two");
+  store.put(k3, "three");
+  EXPECT_EQ(store.entries(), 2);
+  EXPECT_EQ(store.evictions(), 1);
+  EXPECT_FALSE(store.get(k1).has_value());  // FIFO victim
+  EXPECT_EQ(store.get(k2).value(), "two");
+  EXPECT_EQ(store.get(k3).value(), "three");
+}
+
+// --------------------------------------------------------------- the server
+
+// The headline determinism guarantee: the same request multiset, any jobs
+// value, any arrival order, a fresh store each time — responses match by
+// id, byte for byte.
+TEST(Server, ResponsesByteIdenticalAcrossJobsAndArrivalOrder) {
+  std::vector<std::string> requests = {
+      query("fir", "cpa", 64, "a"),
+      query("mat", "fr", 32, "b"),
+      query("fir", "cpa", 64, "c"),  // duplicate of "a": coalesces
+      query("fir", "pr", 64, "d"),
+      R"({"id": "e", "kernel": "example", "mode": "frontier", "budgets": "8:32"})",
+      query("fir", "cpa", 2, "f"),   // infeasible budget: feasible:false
+      R"({"id": "g", "kernel": "fir", "probe": true})",  // cold probe: miss
+      R"({"id": "h", "kernel": "nosuchkernel"})",        // resolve error
+  };
+
+  const auto by_id = [](const std::vector<std::string>& responses) {
+    std::vector<std::pair<std::string, std::string>> tagged;
+    for (const std::string& response : responses) {
+      const JsonValue doc = parse_json(response);
+      tagged.emplace_back(member(doc, "id")->as_string(), response);
+    }
+    std::sort(tagged.begin(), tagged.end());
+    return tagged;
+  };
+
+  ServerOptions one;
+  one.jobs = 1;
+  one.store_dir = fresh_store("det_jobs1");
+  Server server_one(one);
+  const auto base = by_id(server_one.handle_batch(requests));
+
+  ServerOptions four;
+  four.jobs = 4;
+  four.store_dir = fresh_store("det_jobs4");
+  Server server_four(four);
+  EXPECT_EQ(by_id(server_four.handle_batch(requests)), base);
+
+  std::vector<std::string> reversed(requests.rbegin(), requests.rend());
+  ServerOptions shuffled;
+  shuffled.jobs = 4;
+  shuffled.store_dir = fresh_store("det_order");
+  Server server_shuffled(shuffled);
+  EXPECT_EQ(by_id(server_shuffled.handle_batch(reversed)), base);
+
+  // And the expected statuses: the duplicate reports the batch-start state
+  // (miss), the error request is ok:false.
+  EXPECT_EQ(cache_status(server_one.handle(query("fir", "cpa", 64))), "hit");
+  for (const auto& [id, response] : base) {
+    const JsonValue doc = parse_json(response);
+    EXPECT_EQ(member(doc, "ok")->as_bool(), id != "h") << response;
+  }
+}
+
+TEST(Server, CoalescesDuplicateInFlightWork) {
+  ServerOptions options;
+  options.jobs = 4;
+  Server server(options);  // no store: memory cache only
+  const std::vector<std::string> responses = server.handle_batch({
+      query("fir", "cpa", 64),
+      query("fir", "cpa", 64),
+      query("fir", "cpa", 64),
+      query("mat", "cpa", 64),
+  });
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0], responses[1]);
+  EXPECT_EQ(responses[1], responses[2]);
+  EXPECT_EQ(cache_status(responses[0]), "miss");  // absent at batch start
+  EXPECT_EQ(server.stats().computed, 2);   // one per unique key
+  EXPECT_EQ(server.stats().coalesced, 2);  // two duplicates folded away
+  EXPECT_EQ(server.stats().misses, 4);
+}
+
+TEST(Server, CanonicalSpellingsShareOneCacheEntry) {
+  Server server(ServerOptions{});
+  EXPECT_EQ(cache_status(server.handle(query("fir", "cpa", 64))), "miss");
+  // Same query under different spellings: algorithm display name, kernel
+  // case, explicit default fetch — all hit the first entry.
+  EXPECT_EQ(cache_status(server.handle(query("FIR", "CPA-RA", 64))), "hit");
+  EXPECT_EQ(cache_status(server.handle(
+                R"({"kernel": "fir", "algorithm": "cpa", "budget": 64, "fetch": true})")),
+            "hit");
+  EXPECT_EQ(server.stats().computed, 1);
+
+  // Frontier axis spellings canonicalize too: 8:32 doubles to 8,16,32.
+  EXPECT_EQ(cache_status(server.handle(
+                R"({"kernel": "fir", "mode": "frontier", "budgets": "8:32"})")),
+            "miss");
+  EXPECT_EQ(cache_status(server.handle(
+                R"({"kernel": "fir", "mode": "frontier", "budgets": "8,16,32"})")),
+            "hit");
+}
+
+TEST(Server, RestartOnWarmStoreServesIdenticalPayloads) {
+  const std::string dir = fresh_store("restart");
+  std::string cold_response;
+  std::string key;
+  {
+    ServerOptions options;
+    options.store_dir = dir;
+    Server server(options);
+    cold_response = server.handle(query("dec_fir", "cpa", 48));
+    EXPECT_EQ(cache_status(cold_response), "miss");
+    key = cache_key_of(cold_response);
+  }
+  ServerOptions options;
+  options.store_dir = dir;
+  Server server(options);
+  const std::string warm_response = server.handle(query("dec_fir", "cpa", 48));
+  EXPECT_EQ(cache_status(warm_response), "hit");
+  EXPECT_EQ(server.stats().computed, 0);  // nothing evaluated
+
+  // Identical except the cache status; the cached query payload matches.
+  const JsonValue cold = parse_json(cold_response);
+  const JsonValue warm = parse_json(warm_response);
+  EXPECT_EQ(member(cold, "query")->to_string(), member(warm, "query")->to_string());
+  EXPECT_EQ(cache_key_of(warm_response), key);
+
+  // A key probe against the warm store hits without any kernel text.
+  const std::string probe_response =
+      server.handle(cat(R"({"key": ")", key, R"(", "probe": true})"));
+  EXPECT_EQ(cache_status(probe_response), "hit");
+  EXPECT_EQ(member(parse_json(probe_response), "query")->to_string(),
+            member(cold, "query")->to_string());
+}
+
+TEST(Server, CorruptStoreEntryRecomputesInsteadOfCrashing) {
+  const std::string dir = fresh_store("server_corrupt");
+  std::string cold_query;
+  std::string key;
+  {
+    ServerOptions options;
+    options.store_dir = dir;
+    Server server(options);
+    const std::string response = server.handle(query("imi", "cpa", 64));
+    cold_query = member(parse_json(response), "query")->to_string();
+    key = cache_key_of(response);
+  }
+  {
+    std::ofstream scribble(fs::path(dir) / ("k" + key + ".entry"),
+                           std::ios::binary | std::ios::trunc);
+    scribble << "\0\xff torn write \0" << std::flush;
+  }
+  ServerOptions options;
+  options.store_dir = dir;
+  Server server(options);
+  const std::string response = server.handle(query("imi", "cpa", 64));
+  EXPECT_EQ(cache_status(response), "miss");  // corrupt entry = cold key
+  EXPECT_EQ(member(parse_json(response), "query")->to_string(), cold_query);
+  EXPECT_EQ(server.store().corrupt_dropped(), 1);
+  EXPECT_EQ(server.stats().computed, 1);
+}
+
+TEST(Server, RunJsonAndServicePayloadAreTheSameBytes) {
+  // Satellite (a): the CLI emits the service's srra-query/v1 object through
+  // the same proto serialization, so the two can never drift.
+  std::ostringstream out, err;
+  const int code = srra::dse::run_cli(
+      {"run", "--kernel=fir", "--algos=cpa", "--budget=64", "--format=json"}, out, err);
+  ASSERT_EQ(code, 0) << err.str();
+
+  Server server(ServerOptions{});
+  const std::string response = server.handle(query("fir", "cpa", 64));
+  const JsonValue envelope = parse_json(response);
+  EXPECT_EQ(member(envelope, "query")->to_string() + "\n", out.str());
+}
+
+TEST(Server, InlineKernelDslAndTransforms) {
+  Server server(ServerOptions{});
+  const std::string dsl_query = cat(
+      R"({"kernel": ")",
+      json_escape(kernels::kernel_source("fir")),
+      R"(", "algorithm": "cpa", "budget": 64})");
+  const std::string by_text = server.handle(dsl_query);
+  const std::string by_name = server.handle(query("fir", "cpa", 64));
+  // Same structure (same structural hash), but the DSL text declares
+  // `kernel fir` while the builtin displays as "FIR" — the payloads name
+  // the kernel differently, so they are distinct cache entries. The design
+  // points themselves are identical.
+  const JsonValue text_query = *member(parse_json(by_text), "query");
+  const JsonValue name_query = *member(parse_json(by_name), "query");
+  EXPECT_NE(cache_key_of(by_text), cache_key_of(by_name));
+  EXPECT_EQ(member(text_query, "structural_hash")->as_string(),
+            member(name_query, "structural_hash")->as_string());
+  EXPECT_EQ(member(text_query, "point")->to_string(),
+            member(name_query, "point")->to_string());
+
+  const std::string transformed = server.handle(
+      R"x({"kernel": "mat", "transforms": "i(1,0,2)", "algorithm": "cpa", "budget": 64})x");
+  const JsonValue doc = parse_json(transformed);
+  EXPECT_TRUE(member(doc, "ok")->as_bool());
+  EXPECT_EQ(member(*member(doc, "query"), "transforms")->as_string(), "i(1,0,2)");
+}
+
+TEST(Server, ServeStreamFramesAndShutdownOp) {
+  std::stringstream in, outs;
+  write_frame(in, query("fir", "cpa", 64, "q1"));
+  write_frame(in, query("fir", "cpa", 64, "q2"));
+  write_frame(in, R"({"op": "shutdown", "id": "bye"})");
+
+  Server server(ServerOptions{});
+  EXPECT_EQ(server.serve_stream(in, outs), 0);
+  EXPECT_TRUE(server.shutdown_requested());
+
+  std::vector<std::string> responses;
+  for (;;) {
+    std::optional<std::string> frame = read_frame(outs);
+    if (!frame.has_value()) break;
+    responses.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(responses.size(), 3u);
+  for (const std::string& response : responses) {
+    EXPECT_TRUE(member(parse_json(response), "ok")->as_bool()) << response;
+  }
+  EXPECT_TRUE(member(parse_json(responses[2]), "shutdown")->as_bool());
+}
+
+TEST(Server, ServeStreamReportsMalformedFraming) {
+  std::stringstream in, outs;
+  in << "notaframe";
+  Server server(ServerOptions{});
+  EXPECT_EQ(server.serve_stream(in, outs), 2);
+  const std::optional<std::string> error_frame = read_frame(outs);
+  ASSERT_TRUE(error_frame.has_value());
+  EXPECT_FALSE(member(parse_json(*error_frame), "ok")->as_bool());
+}
+
+TEST(Server, UnixSocketEndToEnd) {
+  const std::string dir = fresh_store("socket");
+  fs::create_directories(dir);
+  const std::string path = dir + "/srrad.sock";
+
+  ServerOptions options;
+  options.jobs = 2;
+  Server server(options);
+  std::thread daemon([&] { server.serve_unix(path); });
+  // Wait for the listener (bind happens quickly; connect retries cover it).
+  Client client = [&] {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return Client::connect_unix(path);
+      } catch (const Error&) {
+        if (attempt > 100) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }();
+
+  const std::vector<std::string> responses = client.roundtrip_batch({
+      query("fir", "cpa", 64, "s1"),
+      query("fir", "cpa", 64, "s2"),
+  });
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(member(parse_json(responses[0]), "id")->as_string(), "s1");
+  EXPECT_EQ(member(parse_json(responses[1]), "id")->as_string(), "s2");
+  EXPECT_EQ(member(parse_json(responses[0]), "query")->to_string(),
+            member(parse_json(responses[1]), "query")->to_string());
+
+  const std::string bye = client.roundtrip(R"({"op": "shutdown"})");
+  EXPECT_TRUE(member(parse_json(bye), "shutdown")->as_bool());
+  daemon.join();
+  EXPECT_FALSE(fs::exists(path));  // socket unlinked on clean exit
+}
+
+}  // namespace
+}  // namespace srra::service

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/csv.h"
 #include "support/error.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/str.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace srra {
 namespace {
@@ -131,6 +137,142 @@ TEST(Rng, Uniform01InUnitInterval) {
     EXPECT_GE(v, 0.0);
     EXPECT_LT(v, 1.0);
   }
+}
+
+// ------------------------------------------------------------- JSON parser
+
+// parse -> write reaches a fixpoint: re-parsing the canonical rendering
+// reproduces it byte for byte (the property the service's envelope
+// re-emission relies on).
+std::string canonical(const std::string& text) { return parse_json(text).to_string(); }
+
+TEST(Json, ParseRoundTripsNestedDocument) {
+  const std::string text =
+      R"({"name": "FIR", "nested": {"list": [1, 2.5, true, null, "x"],)"
+      R"( "empty_obj": {}, "empty_arr": []}, "deep": [[["leaf"]]]})";
+  const std::string first = canonical(text);
+  EXPECT_EQ(canonical(first), first);
+
+  const JsonValue doc = parse_json(text);
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* nested = doc.find("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(nested->find("list"), nullptr);
+  EXPECT_EQ(nested->find("list")->items().size(), 5u);
+  EXPECT_EQ(nested->find("list")->items()[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(nested->find("list")->items()[1].as_double(), 2.5);
+  EXPECT_TRUE(nested->find("list")->items()[3].is_null());
+}
+
+TEST(Json, ParsePreservesMemberOrder) {
+  const JsonValue doc = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+TEST(Json, ParseKeepsIntDoubleDistinction) {
+  const JsonValue doc = parse_json(R"({"i": 42, "d": 42.0, "e": 1e3})");
+  EXPECT_EQ(doc.find("i")->kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(doc.find("i")->as_int(), 42);
+  EXPECT_EQ(doc.find("d")->kind(), JsonValue::Kind::kDouble);
+  EXPECT_EQ(doc.find("e")->kind(), JsonValue::Kind::kDouble);
+  EXPECT_THROW(doc.find("d")->as_int(), Error);   // not an integral number
+  EXPECT_DOUBLE_EQ(doc.find("i")->as_double(), 42.0);  // widening is fine
+}
+
+TEST(Json, ParseDecodesStringEscapes) {
+  const JsonValue doc =
+      parse_json(R"({"s": "a\"b\\c\/d\b\f\n\r\t", "u": "Aé"})");
+  EXPECT_EQ(doc.find("s")->as_string(), "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(doc.find("u")->as_string(), "A\xc3\xa9");
+  // Escaped strings survive a write -> parse round trip.
+  EXPECT_EQ(parse_json(doc.to_string()).find("s")->as_string(),
+            doc.find("s")->as_string());
+}
+
+TEST(Json, ParseDecodesSurrogatePairs) {
+  const JsonValue doc = parse_json(R"(["😀"])");
+  EXPECT_EQ(doc.items().front().as_string(), "\xf0\x9f\x98\x80");  // U+1F600
+}
+
+TEST(Json, BuildersEmitParseableDocuments) {
+  JsonValue obj = JsonValue::make_object();
+  obj.set("k", JsonValue::make_int(7));
+  obj.set("k", JsonValue::make_string("overwritten"));  // set() replaces
+  JsonValue arr = JsonValue::make_array();
+  arr.push_back(JsonValue::make_double(1.5));
+  arr.push_back(JsonValue::make_bool(false));
+  obj.set("a", std::move(arr));
+  const JsonValue back = parse_json(obj.to_string());
+  EXPECT_EQ(back.find("k")->as_string(), "overwritten");
+  EXPECT_EQ(back.members().size(), 2u);
+  EXPECT_EQ(back.find("a")->items().size(), 2u);
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json(R"({"a": 1,})"), Error);  // trailing comma
+  EXPECT_THROW(parse_json(R"({"a" 1})"), Error);    // missing colon
+  EXPECT_THROW(parse_json(R"({"a": 1} x)"), Error); // trailing garbage
+  EXPECT_THROW(parse_json(R"("\q")"), Error);       // bad escape
+  EXPECT_THROW(parse_json(R"("\ud83d")"), Error);   // lone high surrogate
+  EXPECT_THROW(parse_json("01"), Error);            // leading zero
+  EXPECT_THROW(parse_json("nul"), Error);
+}
+
+TEST(Json, ParseEnforcesDepthCap) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW(parse_json(deep), Error);
+  std::string ok;
+  for (int i = 0; i < 30; ++i) ok += '[';
+  for (int i = 0; i < 30; ++i) ok += ']';
+  EXPECT_NO_THROW(parse_json(ok));
+}
+
+// ------------------------------------------------------ ThreadPool shutdown
+
+// The srrad clean-exit contract: a shutdown racing an in-flight batch never
+// loses or double-runs a task, and batches posted after shutdown still run
+// (inline on the caller).
+TEST(ThreadPool, ShutdownUnderLoadRunsEveryTaskExactlyOnce) {
+  constexpr std::int64_t kTasks = 400;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (auto& r : runs) r.store(0);
+
+  std::thread driver([&] {
+    pool.parallel_for(kTasks, [&](std::int64_t i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      runs[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  // Land the shutdown somewhere inside the batch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  pool.shutdown();
+  driver.join();
+
+  for (std::int64_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+
+  // Post-shutdown batches run inline, still exactly once each.
+  std::atomic<int> late{0};
+  pool.parallel_for(16, [&](std::int64_t) { late.fetch_add(1); });
+  EXPECT_EQ(late.load(), 16);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::int64_t) { count.fetch_add(1); });
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, destructor makes a third
+  EXPECT_EQ(count.load(), 8);
 }
 
 }  // namespace

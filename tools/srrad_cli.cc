@@ -1,0 +1,100 @@
+// srrad: the batch/streaming allocation service (DESIGN.md §12). Serves
+// length-prefixed JSON query frames over a Unix socket, loopback TCP, or
+// stdin/stdout, against a persistent on-disk result store.
+//
+//   srrad --stdio [--store=DIR] [--jobs=N]
+//   srrad --socket=/tmp/srrad.sock --store=/var/cache/srrad --jobs=0
+//   srrad --tcp=7433 --store=store
+//
+// Query it with `srra client` (see README "Running the service").
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/server.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace {
+
+const char kUsage[] =
+    "usage: srrad (--stdio | --socket=PATH | --tcp=PORT) [flags]\n"
+    "\n"
+    "flags:\n"
+    "  --stdio          serve frames on stdin/stdout (one-shot pipe mode)\n"
+    "  --socket=PATH    listen on a Unix domain socket\n"
+    "  --tcp=PORT       listen on 127.0.0.1:PORT\n"
+    "  --store=DIR      persistent result store directory (default: none,\n"
+    "                   in-memory caching only)\n"
+    "  --store-max=N    store eviction cap in entries (default 4096)\n"
+    "  --jobs=N         compute threads per batch (default 0 = all cores;\n"
+    "                   responses are byte-identical for any value)\n";
+
+long long parse_count(const std::string& text, const char* what, long long min_value) {
+  srra::check(!text.empty() && text.size() <= 9 &&
+                  text.find_first_not_of("0123456789") == std::string::npos,
+              srra::cat("bad ", what, " value: ", text));
+  const long long value = std::atoll(text.c_str());
+  srra::check(value >= min_value,
+              srra::cat("bad ", what, " value: ", text, " (must be >= ", min_value, ")"));
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  bool stdio = false;
+  std::string socket_path;
+  int tcp_port = 0;
+  srra::service::ServerOptions options;
+  options.jobs = 0;  // a daemon defaults to all cores; results don't depend on it
+
+  try {
+    for (const std::string& arg : args) {
+      if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      }
+      const std::size_t eq = arg.find('=');
+      const std::string name = arg.substr(0, eq);
+      const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+      if (name == "--stdio") {
+        stdio = true;
+      } else if (name == "--socket") {
+        srra::check(!value.empty(), "--socket needs a path");
+        socket_path = value;
+      } else if (name == "--tcp") {
+        tcp_port = static_cast<int>(parse_count(value, "--tcp", 1));
+      } else if (name == "--store") {
+        srra::check(!value.empty(), "--store needs a directory");
+        options.store_dir = value;
+      } else if (name == "--store-max") {
+        options.store_max_entries = parse_count(value, "--store-max", 1);
+      } else if (name == "--jobs") {
+        options.jobs = static_cast<int>(parse_count(value, "--jobs", 0));
+      } else {
+        srra::fail(srra::cat("unknown flag: ", arg));
+      }
+    }
+    const int modes = static_cast<int>(stdio) + static_cast<int>(!socket_path.empty()) +
+                      static_cast<int>(tcp_port != 0);
+    if (modes != 1) {
+      std::cerr << "error: pick exactly one of --stdio, --socket, --tcp\n\n" << kUsage;
+      return 2;
+    }
+
+    srra::service::Server server(std::move(options));
+    if (stdio) return server.serve_stream(std::cin, std::cout);
+    if (!socket_path.empty()) {
+      std::cerr << "srrad: listening on " << socket_path << "\n";
+      return server.serve_unix(socket_path);
+    }
+    std::cerr << "srrad: listening on 127.0.0.1:" << tcp_port << "\n";
+    return server.serve_tcp(tcp_port);
+  } catch (const srra::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
