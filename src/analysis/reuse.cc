@@ -36,6 +36,16 @@ AffineExpr linearize_access(const Kernel& kernel, const ArrayAccess& access) {
   return flat;
 }
 
+std::vector<std::int64_t> access_shift_profile(const Kernel& kernel,
+                                               const ArrayAccess& access) {
+  const AffineExpr flat = linearize_access(kernel, access);
+  std::vector<std::int64_t> shifts(static_cast<std::size_t>(kernel.depth()), 0);
+  for (int l = 0; l < kernel.depth(); ++l) {
+    shifts[static_cast<std::size_t>(l)] = flat.coeff(l) * kernel.loop(l).step;
+  }
+  return shifts;
+}
+
 namespace {
 
 // Builds the access matrix: one row per array dimension, one column per loop

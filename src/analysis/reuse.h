@@ -59,6 +59,15 @@ std::int64_t element_at(const Kernel& kernel, const ArrayAccess& access,
 /// per-dimension subscripts on every access.
 AffineExpr linearize_access(const Kernel& kernel, const ArrayAccess& access);
 
+/// Per-level linearized element shift of `access` per single step of each
+/// loop: result[l] = linearize_access coefficient at l times the loop step.
+/// This is the row of the (step-scaled) access matrix the analytic
+/// transform-space bounds (dse/prune.h) act on: zero at a level means the
+/// reference is invariant under that loop, the innermost nonzero entry
+/// identifies the level whose stepping moves the element every iteration.
+std::vector<std::int64_t> access_shift_profile(const Kernel& kernel,
+                                               const ArrayAccess& access);
+
 /// Number of distinct elements `access` touches during one iteration of
 /// loop `level` (the register requirement of a window at that level).
 std::int64_t window_size(const Kernel& kernel, const ArrayAccess& access, int level);

@@ -27,10 +27,37 @@ DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
 
 Kernel transform_for_pipeline(const Kernel& kernel,
                               srra::span<const LoopTransform> transforms) {
+  PeeledNest nest = transform_nest_for_pipeline(kernel, transforms);
+  check(!nest.peeled(),
+        cat("transform sequence '", to_string(transforms),
+            "' needs remainder peeling on kernel ", kernel.name(),
+            " (multi-piece nest); this entry point takes single nests only"));
+  return std::move(nest.main);
+}
+
+PeeledNest transform_nest_for_pipeline(const Kernel& kernel,
+                                       srra::span<const LoopTransform> transforms) {
   check(is_safe(kernel, transforms),
         cat("transform sequence '", to_string(transforms), "' is illegal for kernel ",
             kernel.name()));
-  return apply(kernel, transforms);
+  return apply_peeled(kernel, transforms);
+}
+
+DesignPoint combine_pieces(std::vector<DesignPoint> pieces) {
+  check(!pieces.empty(), "combine_pieces: no pieces");
+  std::size_t widest = 0;
+  CycleReport total = pieces.front().cycles;
+  for (std::size_t p = 1; p < pieces.size(); ++p) {
+    const CycleReport& c = pieces[p].cycles;
+    total.mem_cycles += c.mem_cycles;
+    total.ram_accesses += c.ram_accesses;
+    total.exec_cycles += c.exec_cycles;
+    total.iterations += c.iterations;
+    if (pieces[p].allocation.total() > pieces[widest].allocation.total()) widest = p;
+  }
+  DesignPoint out = std::move(pieces[widest]);
+  out.cycles = total;
+  return out;
 }
 
 std::vector<DesignPoint> run_paper_variants(const RefModel& model,

@@ -42,10 +42,28 @@ DesignPoint run_pipeline(const RefModel& model, Algorithm algorithm,
 /// Applies a loop-transform sequence (ir/transform.h) to `kernel` after
 /// checking its legality, returning the rewritten nest that feeds
 /// RefModel/run_pipeline like any source kernel — the driver-level entry
-/// behind the CLI's --transforms flag. Throws srra::Error naming the
-/// offending sequence when it is illegal or malformed for the kernel.
+/// behind single-nest consumers (the srrad service). Throws srra::Error
+/// naming the offending sequence when it is illegal or malformed for the
+/// kernel, or when it needs remainder peeling (those sequences produce a
+/// multi-piece nest; use transform_nest_for_pipeline).
 Kernel transform_for_pipeline(const Kernel& kernel,
                               srra::span<const LoopTransform> transforms);
+
+/// Peel-aware counterpart of transform_for_pipeline: applies the sequence
+/// with remainder peeling (ir/transform.h apply_peeled) after checking its
+/// legality — the entry behind the CLI's --transforms flag and the DSE
+/// transform axis. Sequences that need no peeling return an empty-epilogue
+/// nest whose main equals transform_for_pipeline's result.
+PeeledNest transform_nest_for_pipeline(const Kernel& kernel,
+                                       srra::span<const LoopTransform> transforms);
+
+/// Combines the per-piece design points of one peeled nest (main first,
+/// epilogues after, each evaluated like a standalone kernel) into the
+/// variant's reported point: cycle totals are summed — the pieces execute
+/// back to back — and the allocation / hardware columns come from the piece
+/// with the largest register total, since the datapath must provision for
+/// the widest piece. A single piece passes through unchanged.
+DesignPoint combine_pieces(std::vector<DesignPoint> pieces);
 
 /// The tail of run_pipeline for an already-computed allocation: validate,
 /// cycle model, hardware estimate. Frontier-based sweeps (run_budget_sweep,

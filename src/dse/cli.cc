@@ -7,6 +7,7 @@
 #include <map>
 #include <sstream>
 
+#include "dse/prune.h"
 #include "dse/report.h"
 #include "ir/kernel.h"
 #include "ir/parser.h"
@@ -49,6 +50,10 @@ const char kUsage[] =
     "                   e.g. 'i(1,0,2);t(2,8)' (see DESIGN.md §10); sweep and\n"
     "                   pareto accept several sequences joined with '+',\n"
     "                   run applies exactly one to its kernel\n"
+    "  --prune=MODE     sweep/pareto transform-axis search: off (default) =\n"
+    "                   exhaustive enumeration; on = analytic bound-guided\n"
+    "                   search (DESIGN.md §13) that skips dominated\n"
+    "                   candidates; stats = on, plus a pruning summary line\n"
     "  --fetch=MODE     concurrent operand fetch: on (default) | off | both\n"
     "  --jobs=N         evaluation threads (default 1; 0 = all cores)\n"
     "  --format=FMT     text (default) | csv | json\n"
@@ -90,7 +95,7 @@ struct Flags {
 // silently ignored).
 const std::vector<const char*> kExploreFlags = {
     "kernel", "algos", "budget", "budgets", "interchange", "tiles", "unroll",
-    "transforms", "fetch", "jobs", "format", "frontier", "per-point"};
+    "transforms", "prune", "fetch", "jobs", "format", "frontier", "per-point"};
 const std::vector<const char*> kClientFlags = {
     "socket", "tcp", "emit", "decode", "script", "repeat", "kernel",
     "transforms", "algo", "budget", "budgets", "fetch", "probe", "key",
@@ -270,6 +275,7 @@ int cmd_run(const Flags& flags, std::ostream& out) {
         "run takes an explicit --transforms sequence");
   check(!flags.has("frontier") && !flags.has("per-point"),
         "--frontier/--per-point apply to sweep/pareto");
+  check(!flags.has("prune"), "--prune applies to sweep/pareto");
   std::vector<SpaceKernel> selected = resolve_kernels(flags.get("kernel", ""));
   check(selected.size() == 1, "run takes exactly one kernel");
   std::string transforms_encoding;  // canonical, for the JSON report header
@@ -340,6 +346,9 @@ int cmd_run(const Flags& flags, std::ostream& out) {
 
 int cmd_sweep(const Flags& flags, std::ostream& out, bool reduce_to_pareto) {
   check(!flags.has("budget"), "sweep/pareto take --budgets, not --budget");
+  const std::string prune_mode = flags.get("prune", "off");
+  check(prune_mode == "on" || prune_mode == "off" || prune_mode == "stats",
+        cat("bad --prune value: ", prune_mode, " (want on|off|stats)"));
   AxisSpec axes;
   axes.kernels = resolve_kernels(flags.get("kernel", "paper"));
   axes.algorithms = resolve_algorithms(flags.get("algos", "paper"));
@@ -365,7 +374,20 @@ int cmd_sweep(const Flags& flags, std::ostream& out, bool reduce_to_pareto) {
   options.frontier = !flags.has("per-point");
   const Format format = parse_format(flags.get("format", "text"));
 
-  const ExploreResult result = explore(std::move(axes), options);
+  const ExploreResult result = prune_mode == "off"
+                                   ? explore(std::move(axes), options)
+                                   : explore_guided(std::move(axes), options);
+  if (prune_mode == "stats") {
+    const SpaceStats& stats = result.space.stats;
+    const double share =
+        stats.variants_generated > 0
+            ? 100.0 * static_cast<double>(stats.variants_pruned) /
+                  static_cast<double>(stats.variants_generated)
+            : 0.0;
+    out << "Prune: generated " << stats.variants_generated << ", pruned "
+        << stats.variants_pruned << " (" << to_fixed(share, 1)
+        << "%), evaluated " << stats.variants_evaluated << "\n\n";
+  }
   if (reduce_to_pareto) {
     write_pareto_report(out, result, format);
   } else {

@@ -1,0 +1,633 @@
+#include "dse/prune.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "analysis/refs.h"
+#include "analysis/reuse.h"
+#include "dfg/dfg.h"
+#include "sched/schedule.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace srra::dse {
+
+namespace {
+
+// ---- Abstract candidate state ------------------------------------------
+//
+// Everything the bound needs about a transformed nest, maintained under
+// the transforms analytically: per-level trip counts and, per reference
+// group, the per-level element shift (the step-scaled access-matrix row).
+// Interchange permutes both, Tile splits a column, UnrollJam scales one —
+// no kernel is ever rewritten.
+
+struct AbsGroup {
+  std::vector<std::int64_t> shift;  ///< element shift per single loop step
+  int array = 0;
+  bool read_node = false;  ///< has a read that is not forwarded in-iteration
+  bool write = false;
+  std::int64_t mult = 1;  ///< structural copies made by unroll-and-jam
+};
+
+struct AbsState {
+  std::vector<std::int64_t> trips;
+  std::vector<AbsGroup> groups;
+  /// Iteration counts of the remainder nests peeled off so far (their body
+  /// is a snapshot of the main body, so the shared L0 floor applies).
+  std::vector<std::int64_t> epilogue_iterations;
+
+  std::int64_t main_iterations() const {
+    std::int64_t n = 1;
+    for (const std::int64_t t : trips) n *= t;
+    return n;
+  }
+};
+
+void apply_interchange_abs(AbsState& state, const std::vector<int>& perm) {
+  const auto permute = [&](const std::vector<std::int64_t>& in) {
+    std::vector<std::int64_t> out(in.size());
+    for (std::size_t l = 0; l < perm.size(); ++l) {
+      out[l] = in[static_cast<std::size_t>(perm[l])];
+    }
+    return out;
+  };
+  state.trips = permute(state.trips);
+  for (AbsGroup& g : state.groups) g.shift = permute(g.shift);
+}
+
+// Mirrors ir/transform.cc: a non-dividing size peels the remainder range
+// into an epilogue first; the main range then full-tiles into a tile loop
+// (stride scaled by `size`) over a point loop (original stride).
+void apply_tile_abs(AbsState& state, int level, std::int64_t size) {
+  const std::size_t l = static_cast<std::size_t>(level);
+  const std::int64_t rem = state.trips[l] % size;
+  if (rem != 0) {
+    state.epilogue_iterations.push_back(state.main_iterations() / state.trips[l] * rem);
+    state.trips[l] -= rem;
+  }
+  state.trips[l] /= size;
+  state.trips.insert(state.trips.begin() + static_cast<std::ptrdiff_t>(l) + 1, size);
+  for (AbsGroup& g : state.groups) {
+    const std::int64_t shift = g.shift[l];
+    g.shift[l] = shift * size;
+    g.shift.insert(g.shift.begin() + static_cast<std::ptrdiff_t>(l) + 1, shift);
+  }
+}
+
+void apply_unroll_jam_abs(AbsState& state, int level, std::int64_t factor) {
+  const std::size_t l = static_cast<std::size_t>(level);
+  for (AbsGroup& g : state.groups) {
+    // Copies whose subscripts move at the level become distinct groups; an
+    // invariant group's copies collapse back onto one syntactic pattern.
+    if (g.shift[l] != 0) g.mult *= factor;
+    g.shift[l] *= factor;
+  }
+  state.trips[l] /= factor;
+}
+
+void apply_abs(AbsState& state, const LoopTransform& t) {
+  switch (t.kind) {
+    case TransformKind::kInterchange:
+      apply_interchange_abs(state, t.perm);
+      return;
+    case TransformKind::kTile:
+      apply_tile_abs(state, t.level, t.amount);
+      return;
+    case TransformKind::kUnrollJam:
+      apply_unroll_jam_abs(state, t.level, t.amount);
+      return;
+  }
+  fail("unknown TransformKind");
+}
+
+// ---- Reuse-distance lower bound ----------------------------------------
+//
+// A sound lower bound (in iterations of the transformed nest) on the
+// distance between two touches of the same element by one group. Used as
+// the savings ramp: one extra register can eliminate at most one steady
+// access per `distance` iterations. Returns <= 0 for "no temporal reuse"
+// (the group's charge can never be reduced).
+
+double distance_lb(const AbsState& state, const AbsGroup& group) {
+  const int depth = static_cast<int>(state.trips.size());
+  const auto inner_product = [&](int level) {
+    std::int64_t p = 1;
+    for (int m = level + 1; m < depth; ++m) p *= state.trips[static_cast<std::size_t>(m)];
+    return p;
+  };
+  double best = -1.0;  // no reuse found yet
+  std::vector<int> moving;
+  for (int l = 0; l < depth; ++l) {
+    const std::int64_t trip = state.trips[static_cast<std::size_t>(l)];
+    if (trip < 2) continue;  // a degenerate level never steps
+    if (group.shift[static_cast<std::size_t>(l)] != 0) {
+      moving.push_back(l);
+    } else {
+      // Stepping an invariant level alone revisits every element: distance
+      // = the iteration sub-space below it. The deepest such level is the
+      // minimum, but taking all is harmless.
+      const double d = static_cast<double>(inner_product(l));
+      if (best < 0 || d < best) best = d;
+    }
+  }
+  if (moving.size() == 2) {
+    // Exactly two moving levels j < l: all same-element pairs differ by a
+    // multiple of the primitive cancellation (gl/g at j, -gj/g at l). The
+    // k=1 instance, when it fits the trip ranges, is the minimal distance.
+    const int j = moving[0];
+    const int l = moving[1];
+    const std::int64_t gj = group.shift[static_cast<std::size_t>(j)];
+    const std::int64_t gl = group.shift[static_cast<std::size_t>(l)];
+    if ((gj > 0) == (gl > 0)) {  // opposite signs only lengthen the distance
+      const std::int64_t aj = gj < 0 ? -gj : gj;
+      const std::int64_t al = gl < 0 ? -gl : gl;
+      const std::int64_t g = std::gcd(aj, al);
+      const std::int64_t dj = al / g;  // delta at j
+      const std::int64_t dl = aj / g;  // |delta| at l (negative direction)
+      if (dj <= state.trips[static_cast<std::size_t>(j)] - 1 &&
+          dl <= state.trips[static_cast<std::size_t>(l)] - 1) {
+        const double d = static_cast<double>(dj * inner_product(j) - dl * inner_product(l));
+        if (best < 0 || d < best) best = d;
+      }
+    }
+  } else if (moving.size() >= 3) {
+    // Three or more coupled levels can cancel in ways the pairwise solve
+    // misses; fall back to the universal minimum (consecutive iterations
+    // cannot touch the same element when the innermost shift is nonzero).
+    best = 2.0;
+  }
+  if (best >= 0 && best < 2.0) best = 2.0;
+  return best;
+}
+
+// ---- Bound-curve construction ------------------------------------------
+
+struct BaseSummary {
+  std::int64_t l0 = 0;  ///< empty-memory-profile schedule length of the body
+  AbsState initial;
+  bool reorder_safe = false;
+  /// Arrays some statement writes — fixed under every transform here.
+  std::vector<bool> written;
+};
+
+BaseSummary summarize(const Kernel& kernel, const CycleOptions& cycles) {
+  BaseSummary s;
+  const std::vector<RefGroup> groups = collect_ref_groups(kernel);
+  std::vector<int> array_of_group(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    array_of_group[g] = groups[g].access.array_id;
+  }
+  const Dfg dfg = Dfg::build(kernel, groups);
+  IterationProfile empty;
+  empty.ram_access.assign(static_cast<std::size_t>(dfg.node_count()), false);
+  s.l0 = schedule_iteration(dfg, empty, array_of_group, cycles.latency);
+  s.initial.trips = kernel.trip_counts();
+  s.written.assign(kernel.arrays().size(), false);
+  for (const RefGroup& g : groups) {
+    if (g.writes_per_iter > 0) {
+      s.written[static_cast<std::size_t>(g.access.array_id)] = true;
+    }
+  }
+  for (const RefGroup& g : groups) {
+    AbsGroup ag;
+    ag.shift = access_shift_profile(kernel, g.access);
+    ag.array = g.access.array_id;
+    ag.read_node = g.reads_per_iter > g.forwarded_reads_per_iter;
+    ag.write = g.writes_per_iter > 0;
+    s.initial.groups.push_back(std::move(ag));
+  }
+  s.reorder_safe = reorder_is_safe(kernel);
+  return s;
+}
+
+BoundCurve make_curve(const AbsState& state, const BaseSummary& summary,
+                      const CycleOptions& cycles) {
+  BoundCurve curve;
+  curve.main_iterations = state.main_iterations();
+  std::int64_t total_iterations = curve.main_iterations;
+  for (const std::int64_t e : state.epilogue_iterations) total_iterations += e;
+  curve.floor_cycles = total_iterations * (cycles.loop_overhead + summary.l0);
+  curve.min_regs = 0;
+  for (const AbsGroup& g : state.groups) curve.min_regs += g.mult;
+
+  // The memory corner holds only in the FSM execution model, where every
+  // iteration's memory cycles serialize with the compute path.
+  if (!cycles.fsm_serial_memory) return curve;
+
+  std::int64_t min_eff_trip = 0;
+  int inn = -1;  // deepest level that actually steps
+  const int depth = static_cast<int>(state.trips.size());
+  for (int l = 0; l < depth; ++l) {
+    const std::int64_t trip = state.trips[static_cast<std::size_t>(l)];
+    if (trip < 2) continue;
+    inn = l;
+    if (min_eff_trip == 0 || trip < min_eff_trip) min_eff_trip = trip;
+  }
+  if (inn < 0) return curve;  // single-iteration nest: floor only
+  // Slack absorbing the peeled (non-steady) boundary accounting of held
+  // windows: at most the first and last carry-loop values per instance.
+  const double steady = 1.0 - 2.0 / static_cast<double>(min_eff_trip);
+  if (steady <= 0) return curve;
+
+  for (const AbsGroup& g : state.groups) {
+    // Charged groups: the element moves at the effective innermost level,
+    // so no carrying window fits in one register (the inner footprint is at
+    // least that level's trip) and a 1-register group pays RAM every
+    // steady iteration.
+    if (g.shift[static_cast<std::size_t>(inn)] == 0) continue;
+    BoundCurve::Item item;
+    item.read_rate =
+        g.read_node ? static_cast<double>(cycles.latency.mem_read) : 0.0;
+    item.write_rate = g.write ? static_cast<double>(cycles.latency.mem_write) : 0.0;
+    if (item.read_rate <= 0 && item.write_rate <= 0) continue;
+    item.array = g.array;
+    item.distance = distance_lb(state, g);
+    item.steady = steady;
+    curve.items.push_back(item);
+  }
+  curve.finalize();
+  return curve;
+}
+
+}  // namespace
+
+void BoundCurve::finalize() {
+  pools_.clear();
+  // Reads of one RAM block serialize even under concurrent operand fetch,
+  // so each block alone lower-bounds the per-iteration memory cycles: one
+  // greedy pool per distinct array, charging that array's reads plus every
+  // write.
+  std::vector<int> arrays;
+  for (const Item& item : items) {
+    if (std::find(arrays.begin(), arrays.end(), item.array) == arrays.end()) {
+      arrays.push_back(item.array);
+    }
+  }
+  for (const int array : arrays) {
+    ArrayPool pool;
+    for (const Item& item : items) {
+      const double rate =
+          item.write_rate + (item.array == array ? item.read_rate : 0.0);
+      if (rate <= 0) continue;
+      pool.total += rate * item.steady;
+      // One register slot saves at most one access per `distance`
+      // iterations; granting the pre-existing feasibility register to the
+      // ramp as well (factor 2) only lowers the bound.
+      if (item.distance > 0) {
+        Ramp ramp;
+        ramp.slope = rate * 2.0 / item.distance;
+        ramp.cap = item.steady * item.distance / 2.0;  // regs to zero the item
+        pool.ramps.push_back(ramp);
+      }
+    }
+    std::sort(pool.ramps.begin(), pool.ramps.end(),
+              [](const Ramp& a, const Ramp& b) { return a.slope > b.slope; });
+    pools_.push_back(std::move(pool));
+  }
+}
+
+std::int64_t BoundCurve::at(std::int64_t regs) const {
+  if (pools_.empty()) return floor_cycles;
+  const double budget =
+      regs > min_regs ? static_cast<double>(regs - min_regs) : 0.0;
+  // The adversary (the allocator) spends the extra-register budget greedily
+  // on the steepest savings ramp first — the continuous optimum of the LP,
+  // which never exceeds any integer allocation's true savings.
+  double best = 0.0;
+  for (const ArrayPool& pool : pools_) {
+    double total = pool.total;
+    double remaining = budget;
+    for (const Ramp& ramp : pool.ramps) {
+      if (remaining <= 0 || total <= 0) break;
+      const double spend = remaining < ramp.cap ? remaining : ramp.cap;
+      total -= spend * ramp.slope;
+      remaining -= spend;
+    }
+    if (total > best) best = total;
+  }
+  return floor_cycles +
+         static_cast<std::int64_t>(static_cast<double>(main_iterations) * best);
+}
+
+BoundCurve bound_curve(const Kernel& kernel, srra::span<const LoopTransform> transforms,
+                       const CycleOptions& cycles) {
+  const BaseSummary summary = summarize(kernel, cycles);
+  AbsState state = summary.initial;
+  for (const LoopTransform& t : transforms) apply_abs(state, t);
+  return make_curve(state, summary, cycles);
+}
+
+namespace {
+
+// ---- Guided search ------------------------------------------------------
+
+std::string order_label(const Kernel& kernel) {
+  return cat("(", join(kernel.loop_names(), ","), ")");
+}
+
+std::uint64_t nest_hash(const PeeledNest& nest) {
+  std::uint64_t h = structural_hash(nest.main);
+  for (const Kernel& epilogue : nest.epilogues) {
+    h = h * 1099511628211ull ^ structural_hash(epilogue);
+  }
+  return h;
+}
+
+struct Candidate {
+  std::vector<LoopTransform> sequence;
+  BoundCurve curve;
+  std::int64_t optimistic = 0;  ///< curve at the sweep's largest budget
+  std::int64_t corner = 0;      ///< curve at the feasibility floor
+  std::int64_t gen_index = 0;
+};
+
+// Abstract mirror of dse/space.cc's VariantEnumerator: the same candidate
+// tree (source, explicit sequences, permutations x tile stacks x unroll
+// factors) walked over AbsState with *superset* legality — peeled-tile and
+// unroll-and-jam dependence conditions are deferred to materialization,
+// where the real is_safe filters them. Every node counts as generated.
+class AbstractEnumerator {
+ public:
+  AbstractEnumerator(std::vector<Candidate>& out, SpaceStats& stats,
+                     const TransformSpec& spec, const std::string& kernel_name,
+                     const Kernel& base, const BaseSummary& summary,
+                     const CycleOptions& cycles, std::int64_t max_budget)
+      : out_(out),
+        stats_(stats),
+        spec_(spec),
+        kernel_name_(kernel_name),
+        base_(base),
+        summary_(summary),
+        cycles_(cycles),
+        max_budget_(max_budget) {}
+
+  void run() {
+    add(summary_.initial, {});
+    for (const std::vector<LoopTransform>& sequence : spec_.sequences) {
+      const srra::span<const LoopTransform> seq(sequence.data(), sequence.size());
+      check(is_safe(base_, seq), cat("transform sequence '", to_string(seq),
+                                     "' is illegal for kernel ", kernel_name_));
+      AbsState state = summary_.initial;
+      for (const LoopTransform& t : sequence) apply_abs(state, t);
+      add(state, sequence);
+    }
+
+    const int depth = base_.depth();
+    const bool permute = spec_.interchange && depth > 1 &&
+                         depth <= spec_.max_interchange_depth && summary_.reorder_safe;
+    std::vector<int> perm(static_cast<std::size_t>(depth));
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      const bool identity = std::is_sorted(perm.begin(), perm.end());
+      if (identity) {
+        expand(summary_.initial, {}, /*add_bare=*/false, spec_.tile_depth);
+      } else {
+        const std::vector<LoopTransform> prefix{LoopTransform::interchange(perm)};
+        AbsState state = summary_.initial;
+        apply_abs(state, prefix.front());
+        expand(state, prefix, /*add_bare=*/true, spec_.tile_depth);
+      }
+    } while (permute && std::next_permutation(perm.begin(), perm.end()));
+  }
+
+ private:
+  void expand(const AbsState& state, const std::vector<LoopTransform>& prefix,
+              bool add_bare, int tiles_left) {
+    if (add_bare) add(state, prefix);
+    add_unrolls(state, prefix);
+    if (tiles_left <= 0) return;
+    for (int level = 0; level < static_cast<int>(state.trips.size()); ++level) {
+      const std::int64_t trip = state.trips[static_cast<std::size_t>(level)];
+      for (const std::int64_t size : spec_.tile_sizes) {
+        if (size < 2 || size >= trip) continue;
+        std::vector<LoopTransform> sequence = prefix;
+        sequence.push_back(LoopTransform::tile(level, size));
+        AbsState tiled = state;
+        apply_tile_abs(tiled, level, size);
+        expand(tiled, sequence, /*add_bare=*/true, tiles_left - 1);
+      }
+    }
+  }
+
+  // Abstract mirror of the real unroll-and-jam write-invariance condition:
+  // every group touching a written array must be invariant at the unrolled
+  // level. shift[l] == 0 whenever the subscripts are invariant in l, so the
+  // abstract test accepts a superset of the real one (linearization can
+  // cancel varying subscripts to a zero shift; the real is_safe still runs
+  // at materialization). The dependence half (outer-level reorder) stays
+  // deferred — only the real check decides it.
+  bool unroll_invariance_holds(const AbsState& state, int level) const {
+    for (const AbsGroup& g : state.groups) {
+      if (summary_.written[static_cast<std::size_t>(g.array)] &&
+          g.shift[static_cast<std::size_t>(level)] != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void add_unrolls(const AbsState& state, const std::vector<LoopTransform>& prefix) {
+    for (int level = 0; level < static_cast<int>(state.trips.size()); ++level) {
+      const std::int64_t trip = state.trips[static_cast<std::size_t>(level)];
+      if (!unroll_invariance_holds(state, level)) continue;
+      for (const std::int64_t factor : spec_.unroll_factors) {
+        if (factor < 2 || trip % factor != 0) continue;
+        std::vector<LoopTransform> sequence = prefix;
+        sequence.push_back(LoopTransform::unroll_jam(level, factor));
+        AbsState unrolled = state;
+        apply_unroll_jam_abs(unrolled, level, factor);
+        add(unrolled, sequence);
+      }
+    }
+  }
+
+  void add(const AbsState& state, std::vector<LoopTransform> sequence) {
+    ++stats_.variants_generated;
+    Candidate cand;
+    cand.curve = make_curve(state, summary_, cycles_);
+    cand.optimistic = cand.curve.at(max_budget_);
+    cand.corner = cand.curve.at(cand.curve.min_regs);
+    cand.gen_index = static_cast<std::int64_t>(out_.size());
+    cand.sequence = std::move(sequence);
+    out_.push_back(std::move(cand));
+  }
+
+  std::vector<Candidate>& out_;
+  SpaceStats& stats_;
+  const TransformSpec& spec_;
+  const std::string& kernel_name_;
+  const Kernel& base_;
+  const BaseSummary& summary_;
+  const CycleOptions& cycles_;
+  std::int64_t max_budget_;
+};
+
+// Measured (registers, cycles) points of one kernel, reduced to the
+// dominating staircase: regs strictly ascending, cycles strictly descending.
+class MeasuredPool {
+ public:
+  void insert(std::int64_t regs, std::int64_t cycles) {
+    points_.emplace_back(regs, cycles);
+    std::sort(points_.begin(), points_.end());
+    std::vector<std::pair<std::int64_t, std::int64_t>> stair;
+    for (const auto& p : points_) {
+      if (!stair.empty() && p.second >= stair.back().second) continue;
+      if (!stair.empty() && p.first == stair.back().first) stair.pop_back();
+      stair.push_back(p);
+    }
+    points_ = std::move(stair);
+  }
+
+  /// True when some measured point strictly beats `curve` at every register
+  /// count in [curve.min_regs, max_budget] — the candidate cannot tie any
+  /// frontier point, so it is safe to discard.
+  bool dominates(const BoundCurve& curve, std::int64_t max_budget) const {
+    if (points_.empty() || curve.min_regs > max_budget) return false;
+    // No measured point at or below the candidate's feasibility floor: the
+    // low-register region is uncontested.
+    if (points_.front().first > curve.min_regs) return false;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const std::int64_t from = points_[i].first;
+      if (from > max_budget) break;
+      // This point is the pool's best up to the next staircase step; the
+      // candidate's curve is lowest at the range's right edge.
+      std::int64_t to = max_budget;
+      if (i + 1 < points_.size() && points_[i + 1].first <= max_budget) {
+        to = points_[i + 1].first - 1;
+      }
+      if (to < curve.min_regs) continue;
+      if (points_[i].second >= curve.at(to)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::int64_t, std::int64_t>> points_;  ///< (regs, cycles)
+};
+
+}  // namespace
+
+ExploreResult explore_guided(AxisSpec axes, const ExploreOptions& options,
+                             const PruneOptions& prune) {
+  check(!axes.kernels.empty(), "explore_guided: no kernels");
+  check(!axes.algorithms.empty(), "explore_guided: no algorithms");
+  check(!axes.budgets.empty(), "explore_guided: no budgets");
+  check(!axes.fetch_modes.empty(), "explore_guided: no fetch modes");
+  check(prune.wave >= 1, "explore_guided: wave must be at least 1");
+
+  const std::int64_t max_budget =
+      *std::max_element(axes.budgets.begin(), axes.budgets.end());
+
+  ExploreResult final;
+  for (const SpaceKernel& sk : axes.kernels) {
+    const BaseSummary summary = summarize(sk.kernel, options.pipeline.cycles);
+    std::vector<Candidate> candidates;
+    AbstractEnumerator(candidates, final.space.stats, axes.transforms, sk.name,
+                       sk.kernel, summary, options.pipeline.cycles, max_budget)
+        .run();
+
+    // Most promising first: lowest optimistic bound, then lowest corner —
+    // generation order breaks ties, so the search is deterministic.
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const Candidate& ca = candidates[a];
+      const Candidate& cb = candidates[b];
+      if (ca.optimistic != cb.optimistic) return ca.optimistic < cb.optimistic;
+      if (ca.corner != cb.corner) return ca.corner < cb.corner;
+      return ca.gen_index < cb.gen_index;
+    });
+
+    MeasuredPool pool;
+    std::unordered_set<std::uint64_t> seen;
+    int evaluated = 0;
+    std::size_t next = 0;
+    while (next < order.size()) {
+      // Assemble one wave of bound-surviving, legal, novel candidates.
+      std::vector<Variant> wave;
+      while (static_cast<int>(wave.size()) < prune.wave && next < order.size()) {
+        const Candidate& cand = candidates[order[next++]];
+        const srra::span<const LoopTransform> seq(cand.sequence.data(),
+                                                  cand.sequence.size());
+        if (prune.max_evaluated_per_kernel > 0 &&
+            evaluated + static_cast<int>(wave.size()) >=
+                prune.max_evaluated_per_kernel) {
+          ++final.space.stats.variants_pruned;
+          continue;
+        }
+        if (pool.dominates(cand.curve, max_budget)) {
+          ++final.space.stats.variants_pruned;
+          continue;
+        }
+        // Abstract legality is a superset; the real check runs here, once,
+        // only for bound survivors.
+        if (!cand.sequence.empty() && !is_safe(sk.kernel, seq)) {
+          ++final.space.stats.variants_pruned;
+          continue;
+        }
+        PeeledNest nest = apply_peeled(sk.kernel, seq);
+        if (!seen.insert(nest_hash(nest)).second) {
+          ++final.space.stats.variants_pruned;
+          continue;
+        }
+        Variant variant;
+        variant.index = static_cast<int>(wave.size());
+        variant.kernel_name = sk.name;
+        variant.order = order_label(nest.main);
+        variant.encoding = to_string(seq);
+        variant.transforms = cand.sequence;
+        variant.kernel = std::move(nest.main);
+        variant.epilogues = std::move(nest.epilogues);
+        wave.push_back(std::move(variant));
+      }
+      if (wave.empty()) continue;
+
+      EnumeratedSpace ws;
+      ws.variants = std::move(wave);
+      for (const Variant& variant : ws.variants) {
+        for (const bool fetch : axes.fetch_modes) {
+          for (const Algorithm algorithm : axes.algorithms) {
+            for (const std::int64_t budget : axes.budgets) {
+              SpacePoint point;
+              point.index = static_cast<int>(ws.points.size());
+              point.variant = variant.index;
+              point.algorithm = algorithm;
+              point.budget = budget;
+              point.concurrent_fetch = fetch;
+              ws.points.push_back(point);
+            }
+          }
+        }
+      }
+      ExploreResult measured = explore(std::move(ws), options);
+
+      // Feed the pool, then splice the wave into the merged result with
+      // global variant and point indices.
+      for (std::size_t i = 0; i < measured.results.size(); ++i) {
+        const PointResult& r = measured.results[i];
+        if (r.feasible) {
+          pool.insert(r.design.allocation.total(), r.design.cycles.exec_cycles);
+        }
+      }
+      const int variant_offset = static_cast<int>(final.space.variants.size());
+      for (Variant& variant : measured.space.variants) {
+        variant.index += variant_offset;
+        ++evaluated;
+        ++final.space.stats.variants_evaluated;
+        final.space.variants.push_back(std::move(variant));
+      }
+      for (std::size_t i = 0; i < measured.space.points.size(); ++i) {
+        SpacePoint point = measured.space.points[i];
+        point.variant += variant_offset;
+        point.index = static_cast<int>(final.space.points.size());
+        final.space.points.push_back(point);
+        final.results.push_back(std::move(measured.results[i]));
+      }
+    }
+  }
+  return final;
+}
+
+}  // namespace srra::dse

@@ -99,6 +99,21 @@ void json_frontier(JsonWriter& json, const ExploreResult& result, const Frontier
   json.end_object();
 }
 
+// Candidate-count accounting line (text), CSV trailing comment, and JSON
+// fields. generated = pruned + evaluated always holds — whether the space
+// came from the exhaustive enumerator (cap + structural dedup) or the
+// guided search (dse/prune.h), no candidate disappears uncounted.
+std::string stats_line(const SpaceStats& stats) {
+  return cat("generated ", stats.variants_generated, ", pruned ",
+             stats.variants_pruned, ", evaluated ", stats.variants_evaluated);
+}
+
+void json_stats(JsonWriter& json, const SpaceStats& stats) {
+  json.field("variants_generated", stats.variants_generated);
+  json.field("variants_pruned", stats.variants_pruned);
+  json.field("variants_evaluated", stats.variants_evaluated);
+}
+
 }  // namespace
 
 Format parse_format(const std::string& name) {
@@ -121,7 +136,8 @@ void write_points_report(std::ostream& os, const ExploreResult& result, Format f
   switch (format) {
     case Format::kText: {
       os << "Design-space sweep: " << result.space.variants.size() << " variant(s), "
-         << result.space.points.size() << " point(s)\n\n";
+         << result.space.points.size() << " point(s)\n";
+      os << "Candidates: " << stats_line(result.space.stats) << "\n\n";
       Table table({"Kernel", "Order", "Fetch", "Algorithm", "Budget", "Regs",
                    "Distribution", "Tmem", "Tmem/outer", "Exec cycles", "Clock ns",
                    "Time us", "Slices", "RAMs", "Status"});
@@ -161,6 +177,7 @@ void write_points_report(std::ostream& os, const ExploreResult& result, Format f
       for (const SpacePoint& point : result.space.points) {
         csv.row(csv_point(result, point));
       }
+      os << "# candidates: " << stats_line(result.space.stats) << "\n";
       return;
     }
     case Format::kJson: {
@@ -168,6 +185,7 @@ void write_points_report(std::ostream& os, const ExploreResult& result, Format f
       json.begin_object();
       json.field("schema", "srra-dse-points/v1");
       json.field("variants", static_cast<std::int64_t>(result.space.variants.size()));
+      json_stats(json, result.space.stats);
       json.key("points");
       json.begin_array();
       for (const SpacePoint& point : result.space.points) json_point(json, result, point);
@@ -184,6 +202,7 @@ void write_pareto_report(std::ostream& os, const ExploreResult& result, Format f
 
   switch (format) {
     case Format::kText: {
+      os << "Candidates: " << stats_line(result.space.stats) << "\n\n";
       for (const std::string& name : names) {
         const Frontier rc = registers_vs_cycles(result, name);
         const Frontier st = slices_vs_time(result, name);
@@ -237,12 +256,14 @@ void write_pareto_report(std::ostream& os, const ExploreResult& result, Format f
         }
       }
       for (const int i : best) emit("best_per_budget", i);
+      os << "# candidates: " << stats_line(result.space.stats) << "\n";
       return;
     }
     case Format::kJson: {
       JsonWriter json(os);
       json.begin_object();
       json.field("schema", "srra-dse-pareto/v1");
+      json_stats(json, result.space.stats);
       json.key("kernels");
       json.begin_array();
       for (const std::string& name : names) {

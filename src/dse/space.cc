@@ -31,10 +31,31 @@ std::int64_t parse_positive(std::string_view token, const std::string& spec) {
   return value;
 }
 
+// Structural fingerprint of a peeled nest: the main kernel's hash mixed
+// with every epilogue's (two variants are duplicates only when every piece
+// matches).
+std::uint64_t nest_hash(const PeeledNest& nest) {
+  std::uint64_t h = structural_hash(nest.main);
+  for (const Kernel& epilogue : nest.epilogues) {
+    h = h * 1099511628211ull ^ structural_hash(epilogue);
+  }
+  return h;
+}
+
+PeeledNest clone_nest(const PeeledNest& nest) {
+  PeeledNest out;
+  out.main = nest.main.clone();
+  out.epilogues.reserve(nest.epilogues.size());
+  for (const Kernel& epilogue : nest.epilogues) out.epilogues.push_back(epilogue.clone());
+  return out;
+}
+
 // Enumerates the transform axis of one kernel (see TransformSpec): the
 // source variant, the explicit sequences, then the generated cross product
-// permutations x tiles x unroll factors, deduplicated by structural hash
-// and capped. Deterministic: purely a function of the kernel and the spec.
+// permutations x tile stacks x unroll factors, deduplicated by structural
+// hash and capped — but never silently: candidates past the cap (and
+// duplicates) keep counting into space.stats. Deterministic: purely a
+// function of the kernel and the spec.
 class VariantEnumerator {
  public:
   VariantEnumerator(EnumeratedSpace& space, const TransformSpec& spec,
@@ -42,22 +63,15 @@ class VariantEnumerator {
       : space_(space), spec_(spec), kernel_name_(kernel_name), base_(base) {}
 
   void run() {
-    add(base_.clone(), {});  // the source variant always enumerates first
-    // Explicit sequences: one pass per sequence both validates every prefix
-    // and builds the transformed kernel. The legality check runs for every
-    // sequence even once the variant cap is reached — the API contract
-    // promises a throw for an illegal sequence, never a silent skip.
+    add({base_.clone(), {}}, {});  // the source variant always enumerates first
+    // Explicit sequences: validated first (the API contract promises a
+    // throw for an illegal sequence, never a silent skip — even once the
+    // variant cap is reached), then applied with remainder peeling.
     for (const std::vector<LoopTransform>& sequence : spec_.sequences) {
-      Kernel current = base_.clone();
-      for (const LoopTransform& t : sequence) {
-        check(is_safe(current, t),
-              cat("transform sequence '",
-                  to_string(srra::span<const LoopTransform>(sequence.data(),
-                                                            sequence.size())),
-                  "' is illegal for kernel ", kernel_name_));
-        current = apply_transform(current, t);
-      }
-      if (!full()) add(std::move(current), sequence);
+      const srra::span<const LoopTransform> seq(sequence.data(), sequence.size());
+      check(is_safe(base_, seq), cat("transform sequence '", to_string(seq),
+                                     "' is illegal for kernel ", kernel_name_));
+      add(apply_peeled(base_, seq), sequence);
     }
 
     const int depth = base_.depth();
@@ -68,65 +82,81 @@ class VariantEnumerator {
     do {
       const bool identity = std::is_sorted(perm.begin(), perm.end());
       if (identity) {
-        expand(base_, {}, /*add_bare=*/false);  // the source variant exists
+        expand({base_.clone(), {}}, {}, /*add_bare=*/false, spec_.tile_depth);
       } else {
         const std::vector<LoopTransform> prefix{LoopTransform::interchange(perm)};
-        expand(apply_transform(base_, prefix.front()), prefix, /*add_bare=*/true);
+        expand({apply_transform(base_, prefix.front()), {}}, prefix,
+               /*add_bare=*/true, spec_.tile_depth);
       }
-      if (full()) return;
     } while (permute && std::next_permutation(perm.begin(), perm.end()));
   }
 
  private:
-  // One permuted nest: the bare kernel (when requested), its unroll-and-jam
-  // options, then every legal Tile{level, size} with that tile's unroll
-  // options layered on top.
-  void expand(const Kernel& kernel, const std::vector<LoopTransform>& prefix,
-              bool add_bare) {
-    if (add_bare) add(kernel.clone(), prefix);
-    add_unrolls(kernel, prefix);
-    for (int level = 0; level < kernel.depth() && !full(); ++level) {
-      const std::int64_t trip = kernel.loop(level).trip_count();
+  // One (possibly permuted, possibly tiled) nest: the bare variant (when
+  // requested), its unroll-and-jam options, then — while tile layers
+  // remain — every legal Tile{level, size} expanded recursively, so
+  // tile_depth > 1 stacks tiles on tiles.
+  void expand(const PeeledNest& nest, const std::vector<LoopTransform>& prefix,
+              bool add_bare, int tiles_left) {
+    if (add_bare) add(clone_nest(nest), prefix);
+    add_unrolls(nest, prefix);
+    if (tiles_left <= 0) return;
+    for (int level = 0; level < nest.main.depth(); ++level) {
+      const std::int64_t trip = nest.main.loop(level).trip_count();
       for (const std::int64_t size : spec_.tile_sizes) {
-        if (full()) return;
-        if (size < 2 || size >= trip || trip % size != 0) continue;
+        if (size < 2 || size >= trip) continue;
+        const LoopTransform t = LoopTransform::tile(level, size);
+        // Full tiles are always legal; peeled ones check the level-0 /
+        // reorder condition (ir/transform.h).
+        if (trip % size != 0 && !is_safe(nest.main, t)) continue;
         std::vector<LoopTransform> sequence = prefix;
-        sequence.push_back(LoopTransform::tile(level, size));
-        const Kernel tiled = apply_transform(kernel, sequence.back());
-        add(tiled.clone(), sequence);
-        add_unrolls(tiled, sequence);
+        sequence.push_back(t);
+        PeeledNest tiled = apply_peeled(nest.main, srra::span<const LoopTransform>(&t, 1));
+        for (std::size_t e = 0; e < nest.epilogues.size(); ++e) {
+          tiled.epilogues.insert(tiled.epilogues.begin() + static_cast<std::ptrdiff_t>(e),
+                                 nest.epilogues[e].clone());
+        }
+        expand(tiled, sequence, /*add_bare=*/true, tiles_left - 1);
       }
     }
   }
 
-  // Every legal UnrollJam{level, factor} on top of `kernel`.
-  void add_unrolls(const Kernel& kernel, const std::vector<LoopTransform>& prefix) {
-    for (int level = 0; level < kernel.depth() && !full(); ++level) {
+  // Every legal UnrollJam{level, factor} on top of the nest's main piece
+  // (epilogues are never unrolled — they execute after the whole main
+  // range, so a main-only unroll-and-jam cannot observe them).
+  void add_unrolls(const PeeledNest& nest, const std::vector<LoopTransform>& prefix) {
+    for (int level = 0; level < nest.main.depth(); ++level) {
       for (const std::int64_t factor : spec_.unroll_factors) {
-        if (full()) return;
         const LoopTransform t = LoopTransform::unroll_jam(level, factor);
-        if (!is_safe(kernel, t)) continue;
+        if (!is_safe(nest.main, t)) continue;
         std::vector<LoopTransform> sequence = prefix;
         sequence.push_back(t);
-        add(apply_transform(kernel, t), sequence);
+        PeeledNest unrolled = clone_nest(nest);
+        unrolled.main = apply_transform(unrolled.main, t);
+        add(std::move(unrolled), sequence);
       }
     }
   }
 
   bool full() const { return added_ >= spec_.max_variants_per_kernel; }
 
-  void add(Kernel kernel, std::vector<LoopTransform> transforms) {
-    if (full()) return;
-    if (!seen_.insert(structural_hash(kernel)).second) return;
+  void add(PeeledNest nest, std::vector<LoopTransform> transforms) {
+    ++space_.stats.variants_generated;
+    if (full() || !seen_.insert(nest_hash(nest)).second) {
+      ++space_.stats.variants_pruned;
+      return;
+    }
     Variant variant;
     variant.index = static_cast<int>(space_.variants.size());
     variant.kernel_name = kernel_name_;
-    variant.order = order_label(kernel);
+    variant.order = order_label(nest.main);
     variant.encoding = to_string(
         srra::span<const LoopTransform>(transforms.data(), transforms.size()));
     variant.transforms = std::move(transforms);
-    variant.kernel = std::move(kernel);
+    variant.kernel = std::move(nest.main);
+    variant.epilogues = std::move(nest.epilogues);
     space_.variants.push_back(std::move(variant));
+    ++space_.stats.variants_evaluated;
     ++added_;
   }
 

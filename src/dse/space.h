@@ -33,25 +33,32 @@ struct SpaceKernel {
 /// kernel enter the space. Enumeration is the cross product
 ///
 ///   (source order + legal interchange permutations)
-///     x (untiled + one Tile{level, size} per level and size)
+///     x (untiled + Tile{level, size} stacks up to tile_depth layers)
 ///     x (unjammed + one UnrollJam{level, factor} per level and factor)
 ///
 /// in that nesting order, each sequence applied left to right, with levels
 /// of later transforms referring to the nest the earlier ones produced.
-/// Illegal combinations (non-dividing sizes/factors, unsafe reorders) are
-/// skipped; structurally identical results — e.g. permutations that are
-/// no-ops on 1D or symmetric nests — are deduplicated via structural_hash;
-/// and each kernel contributes at most max_variants_per_kernel variants.
+/// Non-dividing tile sizes are applied with remainder peeling where legal;
+/// remaining illegal combinations (oversized tiles, non-dividing unroll
+/// factors, unsafe reorders) are skipped; structurally identical results —
+/// e.g. permutations that are no-ops on 1D or symmetric nests — are
+/// deduplicated via structural_hash; and each kernel contributes at most
+/// max_variants_per_kernel variants (candidates past the cap are still
+/// counted in EnumeratedSpace::stats).
 struct TransformSpec {
   /// Enumerate every legal loop-interchange permutation per kernel.
   bool interchange = false;
   /// Nests deeper than this keep source order even with interchange on
   /// (depth d contributes d! orders; 3 ⇒ at most 6 orders per kernel).
   int max_interchange_depth = 3;
-  /// Tile sizes to try at every level of the (possibly permuted) nest;
-  /// sizes that do not divide a level's trip count (or equal it) are
-  /// skipped for that level.
+  /// Tile sizes to try at every level of the (possibly permuted) nest.
+  /// Sizes that do not divide a level's trip count are applied with
+  /// remainder peeling (ir/transform.h apply_peeled) when that is legal for
+  /// the level; sizes >= the trip count are skipped.
   std::vector<std::int64_t> tile_sizes;
+  /// How many Tile layers the generated cross product stacks (1 = one tile
+  /// per candidate, 2 adds tile-on-tile candidates, ...).
+  int tile_depth = 1;
   /// Unroll-and-jam factors to try at every level of the (possibly
   /// permuted, possibly tiled) nest; illegal factors are skipped.
   std::vector<std::int64_t> unroll_factors;
@@ -60,9 +67,10 @@ struct TransformSpec {
   /// (ir/transform.h is_safe) for every kernel of the space; an illegal or
   /// malformed sequence throws srra::Error.
   std::vector<std::vector<LoopTransform>> sequences;
-  /// Hard cap on the variants one kernel contributes (enumeration stops
-  /// quietly once reached; the source variant always survives).
-  int max_variants_per_kernel = 64;
+  /// Hard cap on the variants one kernel contributes. Generation keeps
+  /// *counting* candidates past the cap (EnumeratedSpace::stats — no
+  /// silent truncation), it just stops materializing them.
+  int max_variants_per_kernel = 6400;
 
   /// True when any axis beyond the source order is requested.
   bool any() const {
@@ -84,7 +92,11 @@ struct Variant {
   std::string order;                      ///< loop-order label, e.g. "(i,j,k)"
   std::string encoding;                   ///< canonical transform encoding
   std::vector<LoopTransform> transforms;  ///< applied sequence (empty = source)
-  Kernel kernel;
+  Kernel kernel;                          ///< main nest (peeled-tile full range)
+  /// Remainder nests peeled off by non-dividing tiles (ir/transform.h
+  /// PeeledNest), in peel order; empty for full-tile / untiled variants.
+  /// Evaluation runs every piece and combines (dse/explore.h).
+  std::vector<Kernel> epilogues;
 
   const std::string& label() const {
     const bool pure_interchange =
@@ -116,10 +128,23 @@ struct SpacePoint {
   bool concurrent_fetch = true;
 };
 
+/// Candidate-generation counters — the no-silent-caps contract. Every
+/// candidate transform sequence the generator produces increments
+/// `generated`; `evaluated` counts the variants that entered the space;
+/// `pruned` counts the rest (bound-dominated in guided search, duplicate or
+/// over-cap in exhaustive enumeration). generated == pruned + evaluated, so
+/// a capped or pruned run is visible in every report.
+struct SpaceStats {
+  std::int64_t variants_generated = 0;
+  std::int64_t variants_pruned = 0;
+  std::int64_t variants_evaluated = 0;
+};
+
 /// A fully enumerated space.
 struct EnumeratedSpace {
   std::vector<Variant> variants;
   std::vector<SpacePoint> points;
+  SpaceStats stats;
 
   /// Point indices grouped by variant, each group in point order.
   std::vector<std::vector<int>> points_by_variant() const;

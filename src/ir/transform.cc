@@ -199,6 +199,26 @@ Kernel apply_unroll_jam(const Kernel& kernel, int level, std::int64_t factor) {
   return out;
 }
 
+// The kernel with loop `level`'s range replaced by [lower, upper) — the
+// splitting primitive behind remainder peeling. Bodies are deep-copied via
+// the identity rewrite.
+Kernel with_loop_bounds(const Kernel& kernel, int level, std::int64_t lower,
+                        std::int64_t upper) {
+  Kernel out(kernel.name());
+  for (const ArrayDecl& array : kernel.arrays()) out.add_array(array);
+  for (int l = 0; l < kernel.depth(); ++l) {
+    Loop loop = kernel.loop(l);
+    if (l == level) {
+      loop.lower = lower;
+      loop.upper = upper;
+    }
+    out.add_loop(loop);
+  }
+  const AffineFn affine = [](const AffineExpr& e) { return e; };
+  const LoopVarFn loop_var = [](int l) { return Expr::make_loop_var(l); };
+  return rewrite_body(kernel, std::move(out), affine, loop_var);
+}
+
 // ---- Dependence condition -------------------------------------------------
 
 // True when `expr` is `lhs + rest` or `rest + lhs` with no other occurrence
@@ -283,6 +303,35 @@ Kernel apply(const Kernel& kernel, srra::span<const LoopTransform> transforms) {
   return out;
 }
 
+PeeledNest apply_peeled(const Kernel& kernel, srra::span<const LoopTransform> transforms) {
+  PeeledNest out;
+  out.main = kernel.clone();
+  int peels = 0;
+  for (const LoopTransform& t : transforms) {
+    if (t.kind == TransformKind::kTile) {
+      check(t.level >= 0 && t.level < out.main.depth(), "tile level out of range");
+      const Loop target = out.main.loop(t.level);
+      const std::int64_t trip = target.trip_count();
+      if (trip % t.amount != 0) {
+        check(t.amount >= 2 && t.amount < trip,
+              cat("tile size ", t.amount, " cannot peel loop ", target.var,
+                  " with trip count ", trip));
+        // Split at the last full-tile boundary: the main range keeps trip
+        // - trip % size iterations (a multiple of the size, so the tile
+        // below is full-tile), the remainder becomes an untiled epilogue.
+        const std::int64_t split =
+            target.lower + (trip - trip % t.amount) * target.step;
+        Kernel epilogue = with_loop_bounds(out.main, t.level, split, target.upper);
+        epilogue.set_name(cat(kernel.name(), "__peel", ++peels));
+        out.epilogues.push_back(std::move(epilogue));
+        out.main = with_loop_bounds(out.main, t.level, target.lower, split);
+      }
+    }
+    out.main = apply_transform(out.main, t);
+  }
+  return out;
+}
+
 bool is_safe(const Kernel& kernel, const LoopTransform& t) {
   switch (t.kind) {
     case TransformKind::kInterchange: {
@@ -292,9 +341,16 @@ bool is_safe(const Kernel& kernel, const LoopTransform& t) {
     }
     case TransformKind::kTile: {
       // Full-tile strip-mining replays the exact source iteration sequence,
-      // so well-formedness is legality.
+      // so well-formedness is legality. A non-dividing size is applied with
+      // remainder peeling (apply_peeled): main range first, remainder after.
+      // At level 0 that *is* the source order (the outer ranges execute
+      // back-to-back with their inner nests complete); at inner levels the
+      // epilogue of an outer iteration runs after every outer iteration's
+      // main range — a cross-iteration reorder needing reorder_is_safe.
       if (t.level < 0 || t.level >= kernel.depth() || t.amount < 2) return false;
-      return kernel.loop(t.level).trip_count() % t.amount == 0;
+      const std::int64_t trip = kernel.loop(t.level).trip_count();
+      if (trip % t.amount == 0) return true;
+      return t.amount < trip && (t.level == 0 || reorder_is_safe(kernel));
     }
     case TransformKind::kUnrollJam: {
       if (t.level < 0 || t.level >= kernel.depth() || t.amount < 2) return false;
@@ -336,10 +392,13 @@ bool is_safe(const Kernel& kernel, const LoopTransform& t) {
 }
 
 bool is_safe(const Kernel& kernel, srra::span<const LoopTransform> transforms) {
+  // Later transforms apply to the peeled *main* nest (apply_peeled), so the
+  // legality walk advances through the main piece of every peeled Tile.
   Kernel current = kernel.clone();
   for (const LoopTransform& t : transforms) {
     if (!is_safe(current, t)) return false;
-    current = apply_transform(current, t);
+    current = std::move(
+        apply_peeled(current, srra::span<const LoopTransform>(&t, 1)).main);
   }
   return true;
 }

@@ -11,22 +11,29 @@
 //    (same bounds, step scaled by `size`) and a point loop `vi`
 //    (0..step*size by step) inserted directly below, with v = vt + vi.
 //    Subscripts stay affine (the coefficient of v appears at both new
-//    levels). The full-tile precondition (`size` divides the trip count)
-//    keeps the nest perfect — no remainder peeling — and makes pure
-//    strip-mining an exact reordering of nothing: the iteration sequence is
-//    unchanged, only the *level structure* the register-window policy sees.
-//    That is the Domagała-style lever: a window that fits nowhere in the
-//    source nest fits at the point loop of a small tile.
+//    levels). When `size` divides the trip count the nest stays perfect and
+//    pure strip-mining is an exact reordering of nothing: the iteration
+//    sequence is unchanged, only the *level structure* the register-window
+//    policy sees. That is the Domagała-style lever: a window that fits
+//    nowhere in the source nest fits at the point loop of a small tile.
+//    Non-dividing sizes are handled by *remainder peeling* (apply_peeled):
+//    the loop is split at the last full-tile boundary into a main range
+//    (tiled, still perfect) and an untiled epilogue nest covering the
+//    remaining trip % size iterations — together a PeeledNest, the repo's
+//    representation of an imperfect nest as a sequence of perfect ones.
 //  * UnrollJam{level, factor} — advances loop `level` by `factor` steps at
 //    a time and jams the unrolled bodies: the statement list is replicated
 //    `factor` times with constant-offset subscripts (v -> v + u*step), so
 //    cross-iteration reuse at `level` becomes same-iteration forward wiring
 //    visible to the walker.
 //
-// Legality (is_safe): tiling is always semantics-preserving under the
-// full-tile precondition; interchange and unroll-and-jam reorder cross-
-// iteration execution and additionally require the conservative dependence
-// condition of reorder_is_safe — every statement either writes an element
+// Legality (is_safe): a full tile is always semantics-preserving; a peeled
+// tile executes the whole main range before the whole remainder range, which
+// is the source order when the peeled loop is outermost (level 0) and a
+// cross-iteration reorder otherwise, so outer-level peeling is always legal
+// and inner-level peeling requires reorder_is_safe. Interchange and
+// unroll-and-jam reorder cross-iteration execution and require the
+// conservative dependence condition of reorder_is_safe — every statement either writes an element
 // never re-read across iterations, or is a commutative accumulator update
 // `x = x + e` (whose arithmetic commutes under the wrap-around semantics of
 // the datapath). Unroll-and-jam of the *innermost* loop only concatenates
@@ -77,6 +84,28 @@ Kernel apply_transform(const Kernel& kernel, const LoopTransform& t);
 
 /// Applies a sequence left to right.
 Kernel apply(const Kernel& kernel, srra::span<const LoopTransform> transforms);
+
+/// A transformed nest with remainder epilogues: `main` is the (still
+/// perfect) transformed kernel covering the full-tile range of every peeled
+/// Tile, and `epilogues` are the peeled-off remainder nests, in peel order.
+/// Executing main then every epilogue in order computes exactly what the
+/// source kernel computes (when the sequence is_safe). Most sequences peel
+/// nothing and epilogues is empty.
+struct PeeledNest {
+  Kernel main;
+  std::vector<Kernel> epilogues;
+
+  bool peeled() const { return !epilogues.empty(); }
+};
+
+/// Applies a sequence left to right with remainder peeling: a Tile whose
+/// size does not divide the target trip count first splits the loop at the
+/// last full-tile boundary — the main range keeps the tile (full-tile by
+/// construction), the remainder becomes an untiled epilogue kernel. Later
+/// transforms apply to the main nest only; epilogues accumulate in peel
+/// order. Throws srra::Error on malformed transforms (size >= trip, bad
+/// levels, non-dividing unroll factors).
+PeeledNest apply_peeled(const Kernel& kernel, srra::span<const LoopTransform> transforms);
 
 /// Per-transform legality: well-formed for this kernel AND semantics-
 /// preserving (see header comment).

@@ -114,10 +114,12 @@ inline Kernel random_kernel(Rng& rng) {
 
 /// A random sequence of 1-3 loop transforms, each legal (is_safe) on the
 /// kernel the preceding ones produce — so applying the result to `base`
-/// always preserves semantics. Interchange and unroll-and-jam only appear
-/// when the dependence condition admits them; tiling whenever some level
-/// has a dividing size. Body growth from unroll-and-jam is capped so the
-/// full-walk oracles the callers cross-check against stay fast.
+/// with apply_peeled always preserves semantics (sequences may contain
+/// peeled tiles, so callers use apply_peeled, not apply). Interchange and
+/// unroll-and-jam only appear when the dependence condition admits them;
+/// tiling wherever is_safe admits a full or peeled tile. Body growth from
+/// unroll-and-jam is capped so the full-walk oracles the callers
+/// cross-check against stay fast.
 inline std::vector<LoopTransform> random_transforms(Rng& rng, const Kernel& base) {
   std::vector<LoopTransform> out;
   Kernel current = base.clone();
@@ -151,7 +153,10 @@ inline std::vector<LoopTransform> random_transforms(Rng& rng, const Kernel& base
     if (candidates.empty()) break;
     LoopTransform pick =
         candidates[static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(candidates.size()) - 1))];
-    current = apply_transform(current, pick);
+    // Peel-aware walk: later transforms apply to the main piece of a
+    // peeled tile, mirroring apply_peeled's composition.
+    current = std::move(
+        apply_peeled(current, srra::span<const LoopTransform>(&pick, 1)).main);
     out.push_back(std::move(pick));
   }
   return out;

@@ -109,17 +109,27 @@ TEST(Space, EmptyAxisThrows) {
 TEST(Space, TileAxisEnumeratesLegalSitesOnly) {
   AxisSpec axes;
   axes.kernels.push_back({"MAT", kernels::mat()});  // 16x16x16
-  axes.transforms.tile_sizes = {4, 5};              // 5 divides nothing
+  axes.transforms.tile_sizes = {4, 5};  // 5 divides nothing -> peeled tiles
   const EnumeratedSpace space = enumerate_space(std::move(axes));
-  // Source + one Tile(level, 4) per level.
-  ASSERT_EQ(space.variants.size(), 4u);
+  // Source + Tile(level, 4) and peeled Tile(level, 5) per level (MAT is an
+  // accumulator kernel, so inner-level peeling passes reorder_is_safe).
+  ASSERT_EQ(space.variants.size(), 7u);
   EXPECT_EQ(space.variants[0].label(), "(i,j,k)");
   EXPECT_EQ(space.variants[1].label(), "t(0,4)");
-  EXPECT_EQ(space.variants[2].label(), "t(1,4)");
-  EXPECT_EQ(space.variants[3].label(), "t(2,4)");
-  EXPECT_EQ(space.variants[3].kernel.depth(), 4);
+  EXPECT_EQ(space.variants[2].label(), "t(0,5)");
+  EXPECT_EQ(space.variants[3].label(), "t(1,4)");
+  EXPECT_EQ(space.variants[5].label(), "t(2,4)");
+  EXPECT_EQ(space.variants[5].kernel.depth(), 4);
   // The legacy order label still describes the transformed nest.
-  EXPECT_EQ(space.variants[3].order, "(i,j,kt,ki)");
+  EXPECT_EQ(space.variants[5].order, "(i,j,kt,ki)");
+  // Full tiles stay single-piece; a peeled tile carries its remainder nest.
+  EXPECT_TRUE(space.variants[1].epilogues.empty());
+  ASSERT_EQ(space.variants[2].epilogues.size(), 1u);
+  EXPECT_EQ(space.variants[2].kernel.loop(0).trip_count(), 3);      // 15/5 tiles
+  EXPECT_EQ(space.variants[2].epilogues[0].loop(0).trip_count(), 1);  // 16 % 5
+  EXPECT_EQ(space.stats.variants_generated,
+            space.stats.variants_pruned + space.stats.variants_evaluated);
+  EXPECT_EQ(space.stats.variants_evaluated, 7);
 }
 
 TEST(Space, UnrollAxisSkipsAliasingLevels) {
@@ -169,7 +179,7 @@ TEST(Space, ExplicitSequencesEnumerateAfterSource) {
 TEST(Space, IllegalExplicitSequenceThrows) {
   AxisSpec axes;
   axes.kernels.push_back({"MAT", kernels::mat()});
-  axes.transforms.sequences = {parse_transforms("t(0,3)")};  // 3 !| 16
+  axes.transforms.sequences = {parse_transforms("t(0,17)")};  // size > trip
   EXPECT_THROW(enumerate_space(std::move(axes)), Error);
 
   // The legality contract holds even when the variant cap has already been
@@ -178,8 +188,17 @@ TEST(Space, IllegalExplicitSequenceThrows) {
   capped.kernels.push_back({"MAT", kernels::mat()});
   capped.transforms.max_variants_per_kernel = 1;
   capped.transforms.sequences = {parse_transforms("t(0,4)"),
-                                 parse_transforms("t(0,3)")};
+                                 parse_transforms("t(0,17)")};
   EXPECT_THROW(enumerate_space(std::move(capped)), Error);
+
+  // t(0,3) used to be illegal under the full-tile restriction; it now
+  // enumerates as a peeled tile (5 full tiles of 3 + a 1-iteration rest).
+  AxisSpec peeled;
+  peeled.kernels.push_back({"MAT", kernels::mat()});
+  peeled.transforms.sequences = {parse_transforms("t(0,3)")};
+  const EnumeratedSpace space = enumerate_space(std::move(peeled));
+  ASSERT_EQ(space.variants.size(), 2u);
+  ASSERT_EQ(space.variants[1].epilogues.size(), 1u);
 }
 
 TEST(Space, VariantCapBoundsEnumeration) {

@@ -106,23 +106,26 @@ TEST_P(Fuzz, TransformedKernelMachineMatchesInterpreter) {
   Rng rng(seed() * 319993 + 11);
   const Kernel base = random_kernel(rng);
   const std::vector<LoopTransform> sequence = testing::random_transforms(rng, base);
-  const Kernel transformed =
-      apply(base, srra::span<const LoopTransform>(sequence.data(), sequence.size()));
+  const PeeledNest nest =
+      apply_peeled(base, srra::span<const LoopTransform>(sequence.data(), sequence.size()));
 
-  // Semantics: the rewritten nest computes bit-identical array contents.
+  // Semantics: the rewritten nest — main piece, then every peeled
+  // remainder epilogue in order — computes bit-identical array contents.
   ArrayStore reference(base);
   reference.randomize(seed());
   interpret(base, reference);
-  ArrayStore rewritten(transformed);
+  ArrayStore rewritten(nest.main);
   rewritten.randomize(seed());
-  interpret(transformed, rewritten);
+  interpret(nest.main, rewritten);
+  for (const Kernel& epilogue : nest.epilogues) interpret(epilogue, rewritten);
   EXPECT_TRUE(rewritten.equals(reference))
       << "sequence " << to_string(srra::span<const LoopTransform>(sequence.data(),
                                                                   sequence.size()))
-      << "\n" << kernel_to_string(transformed);
+      << "\n" << kernel_to_string(nest.main);
 
-  // Machine-vs-interpreter bit equality under every allocator.
-  const RefModel model(transformed.clone());
+  // Machine-vs-interpreter bit equality under every allocator (the main
+  // piece; epilogues are plain untransformed sub-ranges).
+  const RefModel model(nest.main.clone());
   const std::int64_t budget = model.group_count() + rng.uniform(0, 40);
   for (Algorithm alg : {Algorithm::kFeasibility, Algorithm::kFrRa, Algorithm::kPrRa,
                         Algorithm::kCpaRa, Algorithm::kKnapsack}) {
@@ -145,8 +148,9 @@ TEST_P(Fuzz, TransformedKernelCollapsedCountsMatchOracle) {
   Rng rng(seed() * 57637 + 13);
   const Kernel base = random_kernel(rng);
   const std::vector<LoopTransform> sequence = testing::random_transforms(rng, base);
-  const Kernel kernel =
-      apply(base, srra::span<const LoopTransform>(sequence.data(), sequence.size()));
+  const Kernel kernel = std::move(
+      apply_peeled(base, srra::span<const LoopTransform>(sequence.data(), sequence.size()))
+          .main);
 
   const std::vector<RefGroup> groups = collect_ref_groups(kernel);
   const std::vector<ReuseInfo> reuse = analyze_all_reuse(kernel, groups);
@@ -183,8 +187,9 @@ TEST_P(Fuzz, TransformedKernelCycleReportMatchesFullWalk) {
   Rng rng(seed() * 92821 + 17);
   const Kernel base = random_kernel(rng);
   const std::vector<LoopTransform> sequence = testing::random_transforms(rng, base);
-  const RefModel model(
-      apply(base, srra::span<const LoopTransform>(sequence.data(), sequence.size())));
+  const RefModel model(std::move(
+      apply_peeled(base, srra::span<const LoopTransform>(sequence.data(), sequence.size()))
+          .main));
   const Allocation a =
       allocate(Algorithm::kPrRa, model, model.group_count() + rng.uniform(0, 20));
   CycleOptions collapsed;

@@ -1,0 +1,222 @@
+// Analytic transform-space pruning (dse/prune.h, DESIGN.md §13):
+//  * frontier identity — at an unlimited evaluation cap the guided search
+//    produces exactly the registers-vs-cycles frontier of the exhaustive
+//    sweep, on the builtin kernels and on random ones,
+//  * bound soundness — bound_curve() never exceeds the measured exec
+//    cycles of any feasible design point of the same candidate, at that
+//    point's realized register count (the property pruning rests on),
+//  * curve shape — at() is non-increasing in registers and never dips
+//    below the compute floor,
+//  * stats stay an exact partition (generated = pruned + evaluated), with
+//    and without a per-kernel evaluation cap,
+//  * the sweep-spec parsers reject trailing garbage ("8x") instead of
+//    silently truncating — pinned here because the guided bench leans on
+//    hand-typed size lists.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "dse/pareto.h"
+#include "dse/prune.h"
+#include "kernels/kernels.h"
+#include "random_kernel.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace srra {
+namespace {
+
+using dse::AxisSpec;
+using dse::BoundCurve;
+using dse::ExploreOptions;
+using dse::ExploreResult;
+using dse::Frontier;
+using dse::PointResult;
+using dse::PruneOptions;
+using dse::SpacePoint;
+using srra::testing::random_kernel;
+
+// The moderate transform space the identity tests sweep: interchange plus
+// a couple of tile sizes and unroll factors — large enough that the guided
+// search actually prunes, small enough for an exhaustive reference run.
+AxisSpec spec_for(const std::string& name, Kernel kernel) {
+  AxisSpec axes;
+  axes.kernels.push_back({name, std::move(kernel)});
+  axes.budgets = {8, 64};
+  axes.transforms.interchange = true;
+  axes.transforms.tile_sizes = {4, 8};
+  axes.transforms.unroll_factors = {2, 4};
+  return axes;
+}
+
+// (registers, exec cycles) coordinates of one frontier, sorted — frontiers
+// are compared as coordinate sets because guided and exhaustive enumerate
+// candidates in different orders (point indices differ).
+std::vector<std::pair<std::int64_t, std::int64_t>> coords(const ExploreResult& result,
+                                                          const Frontier& frontier) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  for (const int index : frontier.points) {
+    const PointResult& r = result.results[static_cast<std::size_t>(index)];
+    out.emplace_back(r.design.allocation.total(), r.design.cycles.exec_cycles);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void expect_identical_frontiers(const std::string& name, const Kernel& kernel) {
+  SCOPED_TRACE(name);
+  ExploreOptions options;
+  const ExploreResult exhaustive = dse::explore(spec_for(name, kernel.clone()), options);
+  const ExploreResult guided =
+      dse::explore_guided(spec_for(name, kernel.clone()), options);
+  EXPECT_EQ(coords(exhaustive, dse::registers_vs_cycles(exhaustive, name)),
+            coords(guided, dse::registers_vs_cycles(guided, name)));
+}
+
+TEST(Prune, GuidedFrontierMatchesExhaustiveOnBuiltins) {
+  expect_identical_frontiers("example", kernels::paper_example());
+  expect_identical_frontiers("mat", kernels::mat());
+  expect_identical_frontiers("dec_fir", kernels::dec_fir());
+  expect_identical_frontiers("matvec", kernels::matvec());
+}
+
+// Every feasible measured point must sit on or above its candidate's bound
+// curve at the point's realized register total. This is the exact property
+// strict-dominance pruning relies on: if it held only approximately, a
+// pruned candidate could have beaten the frontier.
+void expect_bounds_sound(const std::string& name, const Kernel& base) {
+  SCOPED_TRACE(name);
+  ExploreOptions options;
+  const ExploreResult result = dse::explore(spec_for(name, base.clone()), options);
+  int checked = 0;
+  for (const SpacePoint& point : result.space.points) {
+    const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+    if (!r.feasible) continue;
+    const BoundCurve curve = dse::bound_curve(
+        base, result.variant_of(point).transforms, options.pipeline.cycles);
+    EXPECT_LE(curve.at(r.design.allocation.total()), r.design.cycles.exec_cycles)
+        << result.variant_of(point).label() << " budget " << point.budget;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Prune, BoundNeverExceedsMeasuredCyclesOnBuiltins) {
+  expect_bounds_sound("example", kernels::paper_example());
+  expect_bounds_sound("mat", kernels::mat());
+}
+
+TEST(Prune, CurveIsMonotoneAndAboveFloor) {
+  const Kernel mat = kernels::mat();
+  const std::vector<LoopTransform> seqs[] = {
+      {},
+      {LoopTransform::tile(0, 4)},
+      {LoopTransform::tile(2, 4), LoopTransform::unroll_jam(0, 2)},
+      {LoopTransform::interchange({2, 0, 1})},
+  };
+  const CycleOptions cycles;  // pipeline defaults: serial memory, overhead on
+  for (const auto& seq : seqs) {
+    const BoundCurve curve = dse::bound_curve(mat, seq, cycles);
+    EXPECT_GE(curve.min_regs, 1);
+    EXPECT_GT(curve.floor_cycles, 0);
+    std::int64_t prev = curve.at(1);  // below min_regs: clamped, still defined
+    for (std::int64_t regs = curve.min_regs; regs <= curve.min_regs + 40; ++regs) {
+      const std::int64_t b = curve.at(regs);
+      EXPECT_LE(b, prev) << "regs " << regs;
+      EXPECT_GE(b, curve.floor_cycles) << "regs " << regs;
+      prev = b;
+    }
+  }
+}
+
+TEST(Prune, StatsPartitionExactlyWithAndWithoutCap) {
+  ExploreOptions options;
+  {
+    const ExploreResult r = dse::explore_guided(spec_for("mat", kernels::mat()), options);
+    const dse::SpaceStats& s = r.space.stats;
+    EXPECT_EQ(s.variants_generated, s.variants_pruned + s.variants_evaluated);
+    EXPECT_EQ(s.variants_evaluated, static_cast<std::int64_t>(r.space.variants.size()));
+    EXPECT_GT(s.variants_pruned, 0);  // the space is big enough that some prune
+  }
+  {
+    PruneOptions prune;
+    prune.max_evaluated_per_kernel = 3;
+    const ExploreResult r =
+        dse::explore_guided(spec_for("mat", kernels::mat()), options, prune);
+    const dse::SpaceStats& s = r.space.stats;
+    EXPECT_EQ(s.variants_generated, s.variants_pruned + s.variants_evaluated);
+    EXPECT_EQ(s.variants_evaluated, 3);
+    EXPECT_EQ(r.space.variants.size(), 3u);
+  }
+}
+
+// The spec parsers already rejected trailing garbage before the guided
+// sweep landed; these pins keep "8x" from ever quietly becoming 8.
+TEST(Prune, SweepSpecParsersRejectTrailingGarbage) {
+  EXPECT_THROW(dse::parse_budget_spec("8x"), Error);
+  EXPECT_THROW(dse::parse_budget_spec("4:8x"), Error);
+  EXPECT_THROW(dse::parse_budget_spec("16,32q,64"), Error);
+  EXPECT_THROW(dse::parse_budget_spec(""), Error);
+  EXPECT_THROW(dse::parse_size_list("4x", "--tiles"), Error);
+  EXPECT_THROW(dse::parse_size_list("2,x4", "--unroll"), Error);
+  EXPECT_EQ(dse::parse_budget_spec(" 8 , 16 "), (std::vector<std::int64_t>{8, 16}));
+  EXPECT_EQ(dse::parse_size_list("4,8", "--tiles"), (std::vector<std::int64_t>{4, 8}));
+}
+
+class PruneFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  std::uint64_t seed() const {
+    return fuzz_seed() + static_cast<std::uint64_t>(GetParam());
+  }
+  std::string replay_hint() const {
+    std::ostringstream os;
+    os << "fuzz seed " << seed() << " — replay with SRRA_FUZZ_SEED=" << seed()
+       << " SRRA_FUZZ_ITERS=1 ./test_prune";
+    return os.str();
+  }
+  // Smaller than spec_for: two explores per instance, 24 instances.
+  AxisSpec fuzz_spec(Kernel kernel) const {
+    AxisSpec axes;
+    axes.kernels.push_back({"fuzz", std::move(kernel)});
+    axes.budgets = {8, 32};
+    axes.transforms.interchange = true;
+    axes.transforms.tile_sizes = {2, 3};
+    axes.transforms.unroll_factors = {2};
+    return axes;
+  }
+};
+
+TEST_P(PruneFuzz, GuidedFrontierMatchesExhaustive) {
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 6271 + 5);
+  const Kernel base = random_kernel(rng);
+  ExploreOptions options;
+  const ExploreResult exhaustive = dse::explore(fuzz_spec(base.clone()), options);
+  const ExploreResult guided = dse::explore_guided(fuzz_spec(base.clone()), options);
+  EXPECT_EQ(coords(exhaustive, dse::registers_vs_cycles(exhaustive, "fuzz")),
+            coords(guided, dse::registers_vs_cycles(guided, "fuzz")));
+}
+
+TEST_P(PruneFuzz, BoundNeverExceedsMeasuredCycles) {
+  SCOPED_TRACE(replay_hint());
+  Rng rng(seed() * 104729 + 11);
+  const Kernel base = random_kernel(rng);
+  ExploreOptions options;
+  const ExploreResult result = dse::explore(fuzz_spec(base.clone()), options);
+  for (const SpacePoint& point : result.space.points) {
+    const PointResult& r = result.results[static_cast<std::size_t>(point.index)];
+    if (!r.feasible) continue;
+    const BoundCurve curve = dse::bound_curve(
+        base, result.variant_of(point).transforms, options.pipeline.cycles);
+    EXPECT_LE(curve.at(r.design.allocation.total()), r.design.cycles.exec_cycles)
+        << result.variant_of(point).label() << " budget " << point.budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruneFuzz, ::testing::Range(0, fuzz_iters()));
+
+}  // namespace
+}  // namespace srra

@@ -173,10 +173,14 @@ TEST(Transform, TilingMovesReuseWindowIntoBudget) {
 }
 
 TEST(Transform, TileRequiresDividingSize) {
+  // apply_transform keeps the full-tile contract; non-dividing sizes go
+  // through apply_peeled, which is_safe now accepts where peeling is legal.
   EXPECT_THROW(apply_transform(kernels::mat(), LoopTransform::tile(0, 3)), Error);
   EXPECT_THROW(apply_transform(kernels::mat(), LoopTransform::tile(0, 1)), Error);
   EXPECT_THROW(apply_transform(kernels::mat(), LoopTransform::tile(4, 2)), Error);
-  EXPECT_FALSE(is_safe(kernels::mat(), LoopTransform::tile(0, 3)));
+  EXPECT_TRUE(is_safe(kernels::mat(), LoopTransform::tile(0, 3)));   // peelable
+  EXPECT_FALSE(is_safe(kernels::mat(), LoopTransform::tile(0, 17)));  // size > trip
+  EXPECT_FALSE(is_safe(kernels::mat(), LoopTransform::tile(0, 1)));
   EXPECT_TRUE(is_safe(kernels::mat(), LoopTransform::tile(0, 4)));
 }
 
