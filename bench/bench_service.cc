@@ -5,6 +5,11 @@
 // thread and must be served almost entirely from cache — the determinism
 // contract says a warm store answers without recomputing, so the bench
 // exits 1 when the second-pass hit rate drops below 90%.
+//
+// Pass 3 reruns the cold set against a fresh daemon whose store fails
+// every write (a 100% ENOSPC fault plan, DESIGN.md §14): the daemon must
+// flip to compute-only mode, stay up, and cost at most 1.2x the plain
+// cold pass — graceful degradation, enforced in-bench.
 #include <unistd.h>
 
 #include <algorithm>
@@ -20,6 +25,8 @@
 #include "kernels/kernels.h"
 #include "service/client.h"
 #include "service/server.h"
+#include "service/store.h"
+#include "support/faultio.h"
 #include "support/json.h"
 #include "support/str.h"
 #include "support/table.h"
@@ -164,7 +171,38 @@ int main() {
     client.roundtrip(R"({"op": "shutdown"})");
   }
   daemon.join();
+
+  // Pass 3 (degraded): a fresh daemon over a pre-stamped store whose every
+  // write fails. The breaker must open (compute-only), the daemon must keep
+  // answering, and the pass must not cost more than 1.2x the plain cold run.
+  const std::string degraded_socket = (dir / "srrad_degraded.sock").string();
+  { service::ResultStore stamp((dir / "store_degraded").string()); }
+  srra::faultio::install_plan("store.write=enospc@p=1");
+  std::string degraded_mode;
+  PassResult degraded;
+  {
+    service::ServerOptions degraded_options;
+    degraded_options.jobs = 0;
+    degraded_options.store_dir = (dir / "store_degraded").string();
+    service::Server degraded_server(degraded_options);
+    std::thread degraded_daemon([&] { degraded_server.serve_unix(degraded_socket); });
+    while (!std::filesystem::exists(degraded_socket)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    degraded = run_pass(degraded_socket, cold_shares);
+    {
+      service::Client client = service::Client::connect_unix(degraded_socket);
+      const JsonValue health =
+          *parse_json(client.roundtrip(R"({"op": "health"})")).find("health");
+      degraded_mode = health.find("store_mode")->as_string();
+      client.roundtrip(R"({"op": "shutdown"})");
+    }
+    degraded_daemon.join();
+  }
+  srra::faultio::reset();
   std::filesystem::remove_all(dir);
+  const double degraded_ratio =
+      cold.wall_seconds > 0.0 ? degraded.wall_seconds / cold.wall_seconds : 0.0;
 
   const auto row = [](const char* label, const PassResult& p) {
     return std::vector<std::string>{
@@ -179,11 +217,15 @@ int main() {
   Table table({"pass", "requests", "wall ms", "req/s", "p50 us", "p99 us", "hits"});
   table.add_row(row("cold", cold));
   table.add_row(row("warm", warm));
+  table.add_row(row("degraded", degraded));
 
   std::cout << "srrad service bench: " << queries.size() << " unique queries, "
             << kThreads << " client threads, Unix socket\n\n";
   table.render(std::cout);
-  std::cout << "\nwarm hit rate: " << to_fixed(warm_hit_rate * 100.0, 1) << "%\n";
+  std::cout << "\nwarm hit rate: " << to_fixed(warm_hit_rate * 100.0, 1) << "%\n"
+            << "degraded pass (100% store-write failure): store mode '"
+            << degraded_mode << "', " << to_fixed(degraded_ratio, 2)
+            << "x cold wall time\n";
 
   std::cout << "BENCH JSON: {\"bench\": \"bench_service\", \"unique_queries\": "
             << queries.size() << ", \"threads\": " << kThreads
@@ -193,11 +235,26 @@ int main() {
             << to_fixed(static_cast<double>(warm.requests) / warm.wall_seconds, 0)
             << ", \"warm_p50_us\": " << to_fixed(percentile(warm.latencies_us, 0.50), 1)
             << ", \"warm_p99_us\": " << to_fixed(percentile(warm.latencies_us, 0.99), 1)
-            << ", \"warm_hit_rate\": " << to_fixed(warm_hit_rate, 3) << "}\n";
+            << ", \"warm_hit_rate\": " << to_fixed(warm_hit_rate, 3)
+            << ", \"degraded_req_per_s\": "
+            << to_fixed(static_cast<double>(degraded.requests) / degraded.wall_seconds, 0)
+            << ", \"degraded_vs_cold\": " << to_fixed(degraded_ratio, 3)
+            << ", \"degraded_mode\": \"" << degraded_mode << "\"}\n";
 
   if (warm_hit_rate < 0.9) {
     std::cerr << "FAIL: warm-pass hit rate " << to_fixed(warm_hit_rate, 3)
               << " below 0.9 — warm store recomputed work\n";
+    return 1;
+  }
+  if (degraded_mode != "degraded") {
+    std::cerr << "FAIL: store mode after a 100% write-failure pass is '"
+              << degraded_mode << "', want 'degraded' (breaker never opened?)\n";
+    return 1;
+  }
+  if (degraded_ratio > 1.2) {
+    std::cerr << "FAIL: degraded cold pass cost " << to_fixed(degraded_ratio, 2)
+              << "x the plain cold pass (budget: 1.2x) — store failure must "
+                 "not stall the compute path\n";
     return 1;
   }
   return 0;

@@ -75,10 +75,16 @@ const char kUsage[] =
     "                   'kernel=fir algo=cpa budget=64', 'kernel=mat\n"
     "                   budgets=8:64', 'probe key=HEX16', 'stats'\n"
     "  --repeat=N       send the request list N times over\n"
+    "  --timeout-ms=N   connect/send/receive deadline (default 5000 connect,\n"
+    "                   30000 I/O; 0 = wait forever)\n"
+    "  --retries=N      reconnect-and-resend attempts after a failed\n"
+    "                   roundtrip, with deterministic exponential backoff\n"
+    "                   (default 0; retried queries are answered from the\n"
+    "                   daemon's store, never recomputed)\n"
     "  one-shot query:  --kernel=NAME|FILE [--transforms=SEQ] [--algo=NAME]\n"
     "                   [--budget=N | --budgets=SPEC] [--fetch=on|off]\n"
     "                   [--probe] [--key=HEX16] [--timing] [--id=TAG],\n"
-    "                   or --stats / --shutdown\n";
+    "                   or --stats / --health / --shutdown\n";
 
 struct Flags {
   std::map<std::string, std::string> values;
@@ -99,7 +105,7 @@ const std::vector<const char*> kExploreFlags = {
 const std::vector<const char*> kClientFlags = {
     "socket", "tcp", "emit", "decode", "script", "repeat", "kernel",
     "transforms", "algo", "budget", "budgets", "fetch", "probe", "key",
-    "timing", "id", "stats", "shutdown"};
+    "timing", "id", "stats", "health", "shutdown", "timeout-ms", "retries"};
 
 Flags parse_flags(const std::vector<std::string>& args, std::size_t first,
                   const std::vector<const char*>& known) {
@@ -416,7 +422,8 @@ std::string client_request(const std::map<std::string, std::string>& tokens) {
   for (const auto& [name, value] : tokens) {
     static const char* known[] = {"kernel", "transforms", "algo",   "budget",
                                   "budgets", "fetch",     "probe",  "key",
-                                  "timing",  "id",        "stats",  "shutdown"};
+                                  "timing",  "id",        "stats",  "health",
+                                  "shutdown"};
     check(std::find_if(std::begin(known), std::end(known),
                        [&, n = name](const char* k) { return n == k; }) != std::end(known),
           cat("unknown request token: ", name, (value.empty() ? "" : "="), value));
@@ -425,11 +432,15 @@ std::string client_request(const std::map<std::string, std::string>& tokens) {
   const auto get = [&](const char* k) { return tokens.at(k); };
 
   JsonValue request = JsonValue::make_object();
-  check(!(has("stats") && has("shutdown")), "stats and shutdown are separate requests");
-  if (has("stats") || has("shutdown")) {
+  const int admin_ops = static_cast<int>(has("stats")) + static_cast<int>(has("health")) +
+                        static_cast<int>(has("shutdown"));
+  check(admin_ops <= 1, "stats, health and shutdown are separate requests");
+  if (admin_ops == 1) {
     check(!has("kernel") && !has("key"),
-          "stats/shutdown requests take no query tokens");
-    request.set("op", JsonValue::make_string(has("stats") ? "stats" : "shutdown"));
+          "stats/health/shutdown requests take no query tokens");
+    request.set("op", JsonValue::make_string(has("stats")    ? "stats"
+                                             : has("health") ? "health"
+                                                             : "shutdown"));
     if (has("id")) request.set("id", JsonValue::make_string(get("id")));
     return request.to_string();
   }
@@ -517,7 +528,8 @@ int cmd_client(const Flags& flags, std::ostream& out) {
   } else {
     std::map<std::string, std::string> tokens;
     for (const char* name : {"kernel", "transforms", "budget", "budgets", "fetch",
-                             "probe", "key", "timing", "id", "stats", "shutdown"}) {
+                             "probe", "key", "timing", "id", "stats", "health",
+                             "shutdown"}) {
       if (flags.has(name)) tokens.emplace(name, flags.get(name, ""));
     }
     if (flags.has("algo")) tokens.emplace("algo", flags.get("algo", ""));
@@ -535,13 +547,25 @@ int cmd_client(const Flags& flags, std::ostream& out) {
     return 0;
   }
 
+  service::ClientOptions client_options;
+  if (flags.has("timeout-ms")) {
+    const int timeout = parse_int(flags.get("timeout-ms", ""), "--timeout-ms", 0);
+    client_options.connect_timeout_ms = timeout;
+    client_options.io_timeout_ms = timeout;
+  }
+  if (flags.has("retries")) {
+    client_options.retries = parse_int(flags.get("retries", ""), "--retries", 0);
+  }
   service::Client client = [&] {
-    if (flags.has("socket")) return service::Client::connect_unix(flags.get("socket", ""));
+    if (flags.has("socket")) {
+      return service::Client::connect_unix(flags.get("socket", ""), client_options);
+    }
     const std::string endpoint = flags.get("tcp", "");
     const std::size_t colon = endpoint.rfind(':');
     const std::string host = colon == std::string::npos ? "127.0.0.1" : endpoint.substr(0, colon);
     const std::string port = colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
-    return service::Client::connect_tcp(host, parse_int(port, "--tcp port", 1));
+    return service::Client::connect_tcp(host, parse_int(port, "--tcp port", 1),
+                                        client_options);
   }();
 
   bool all_ok = true;

@@ -107,8 +107,9 @@ Request parse_request(const std::string& payload) {
       const std::string& op = value.as_string();
       if (op == "query") request.op = RequestOp::kQuery;
       else if (op == "stats") request.op = RequestOp::kStats;
+      else if (op == "health") request.op = RequestOp::kHealth;
       else if (op == "shutdown") request.op = RequestOp::kShutdown;
-      else fail(cat("unknown op '", op, "' (want query|stats|shutdown)"));
+      else fail(cat("unknown op '", op, "' (want query|stats|health|shutdown)"));
     } else if (name == "id") {
       request.id = value.as_string();
     } else if (name == "kernel") {
@@ -157,7 +158,7 @@ Request parse_request(const std::string& payload) {
 
   if (request.op != RequestOp::kQuery) {
     check(!saw_query_field && !saw_probe,
-          "stats/shutdown requests take only 'op', 'id' and 'timing'");
+          "stats/health/shutdown requests take only 'op', 'id' and 'timing'");
     return request;
   }
 

@@ -22,6 +22,8 @@
 //    "key": "0123456789abcdef",             -- probe an exact cache key
 //    "timing": false}                       -- include elapsed_us
 //   {"op": "stats"}    -- server counters (hits/misses/coalesced/...)
+//   {"op": "health"}   -- store mode (ok|degraded|disabled), store/failure
+//                         counters, deadline closes (DESIGN.md §14)
 //   {"op": "shutdown"} -- respond, then stop the serve loop
 //
 // Response envelope:
@@ -75,7 +77,7 @@ int extract_frame(std::string& buffer, std::string& payload);
 
 // ----------------------------------------------------------------- requests
 
-enum class RequestOp { kQuery, kStats, kShutdown };
+enum class RequestOp { kQuery, kStats, kHealth, kShutdown };
 
 /// One parsed request. Defaults reproduce the paper's setup (CPA-RA at
 /// budget 64, concurrent fetch), matching the `srra run` CLI defaults.

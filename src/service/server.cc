@@ -22,6 +22,7 @@
 #include "ir/transform.h"
 #include "kernels/kernels.h"
 #include "support/error.h"
+#include "support/faultio.h"
 #include "support/str.h"
 
 namespace srra::service {
@@ -77,10 +78,70 @@ struct Server::Slot {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      store_(options_.store_dir, options_.store_max_entries),
-      pool_(options_.jobs) {}
+      store_(options_.store_dir,
+             StoreOptions{options_.store_max_entries, options_.store_fsync}),
+      pool_(options_.jobs) {
+  store_mode_ = store_.enabled() ? StoreMode::kOk : StoreMode::kDisabled;
+}
 
 Server::~Server() = default;
+
+std::optional<std::string> Server::store_get(const std::string& key) {
+  // Compute-only mode skips reads too: a disk that fails writes is not a
+  // disk to trust for reads, and every skipped call is latency saved.
+  if (store_mode_ != StoreMode::kOk) return std::nullopt;
+  return store_.get(key);
+}
+
+void Server::store_put(const std::string& key, const std::string& payload) {
+  if (store_mode_ == StoreMode::kDisabled) return;
+  if (store_mode_ == StoreMode::kDegraded) {
+    if (++puts_since_probe_ < options_.store_probe_every) return;
+    puts_since_probe_ = 0;
+    ++stats_.store_probes;
+  }
+  if (store_.put(key, payload)) {
+    consecutive_store_failures_ = 0;
+    store_mode_ = StoreMode::kOk;  // probe (or ordinary put) succeeded
+    return;
+  }
+  ++stats_.store_put_failures;
+  ++consecutive_store_failures_;
+  if (store_mode_ == StoreMode::kOk && options_.store_failure_threshold > 0 &&
+      consecutive_store_failures_ >= options_.store_failure_threshold) {
+    store_mode_ = StoreMode::kDegraded;
+    puts_since_probe_ = 0;
+    ++stats_.store_degraded;
+  }
+}
+
+std::string Server::health_response(const std::string& id) {
+  const char* mode = store_mode_ == StoreMode::kOk         ? "ok"
+                     : store_mode_ == StoreMode::kDegraded ? "degraded"
+                                                           : "disabled";
+  JsonValue health = JsonValue::make_object();
+  health.set("store_mode", JsonValue::make_string(mode));
+  health.set("store_entries", JsonValue::make_int(store_.entries()));
+  health.set("store_evictions", JsonValue::make_int(store_.evictions()));
+  health.set("store_corrupt_dropped", JsonValue::make_int(store_.corrupt_dropped()));
+  health.set("store_tmp_swept", JsonValue::make_int(store_.tmp_swept()));
+  health.set("store_put_failures", JsonValue::make_int(stats_.store_put_failures));
+  health.set("store_consecutive_failures",
+             JsonValue::make_int(consecutive_store_failures_));
+  health.set("store_degraded", JsonValue::make_int(stats_.store_degraded));
+  health.set("store_probes", JsonValue::make_int(stats_.store_probes));
+  if (!store_.last_write_error().empty()) {
+    health.set("store_last_error", JsonValue::make_string(store_.last_write_error()));
+  }
+  health.set("hits", JsonValue::make_int(stats_.hits));
+  health.set("misses", JsonValue::make_int(stats_.misses));
+  health.set("computed", JsonValue::make_int(stats_.computed));
+  health.set("coalesced", JsonValue::make_int(stats_.coalesced));
+  health.set("errors", JsonValue::make_int(stats_.errors));
+  health.set("deadline_closes", JsonValue::make_int(stats_.deadline_closes));
+  health.set("fault_plan", JsonValue::make_bool(faultio::plan_installed()));
+  return make_value_response(id, "health", health);
+}
 
 const Server::ResolvedVariant& Server::resolve_variant(const std::string& kernel_field,
                                                        const std::string& transforms) {
@@ -213,7 +274,7 @@ std::vector<std::string> Server::handle_batch(const std::vector<std::string>& re
       slot.payload = mem->second;
       continue;
     }
-    if (std::optional<std::string> stored = store_.get(slot.key)) {
+    if (std::optional<std::string> stored = store_get(slot.key)) {
       slot.hit = true;
       slot.payload = *stored;
       cache_insert(slot.key, slot.payload);  // promote; already persistent
@@ -276,7 +337,7 @@ std::vector<std::string> Server::handle_batch(const std::vector<std::string>& re
   for (std::size_t j = 0; j < job_slots.size(); ++j) {
     if (!compute_errors[j].empty()) continue;
     cache_insert(slots[static_cast<std::size_t>(job_slots[j])].key, computed[j]);
-    store_.put(slots[static_cast<std::size_t>(job_slots[j])].key, computed[j]);
+    store_put(slots[static_cast<std::size_t>(job_slots[j])].key, computed[j]);
     ++stats_.computed;
   }
 
@@ -308,6 +369,10 @@ std::vector<std::string> Server::handle_batch(const std::vector<std::string>& re
       stats.set("store_evictions", JsonValue::make_int(store_.evictions()));
       stats.set("store_corrupt_dropped", JsonValue::make_int(store_.corrupt_dropped()));
       responses[i] = make_value_response(slot.request.id, "stats", stats);
+      continue;
+    }
+    if (slot.request.op == RequestOp::kHealth) {
+      responses[i] = health_response(slot.request.id);
       continue;
     }
     if (slot.request.op == RequestOp::kShutdown) {
@@ -387,11 +452,15 @@ bool set_nonblocking(int fd) {
 }
 
 // Sends all bytes on a (nonblocking) socket, poll-waiting on short writes.
+// Goes through the fault shim so a plan can inject short writes, EINTR
+// storms and torn frames; MSG_NOSIGNAL (not a SIGPIPE handler) keeps a
+// peer that hung up mid-response from killing the daemon.
 bool send_all(int fd, std::string_view bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    const ssize_t n = faultio::send(faultio::Site::kServerWrite, fd,
+                                    bytes.data() + off, bytes.size() - off,
+                                    MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
@@ -410,6 +479,10 @@ struct Conn {
   int fd = -1;
   std::string buffer;
   bool dead = false;
+  /// Set while `buffer` holds a *partial* frame: the moment the deadline
+  /// clock started for this connection.
+  std::chrono::steady_clock::time_point partial_since{};
+  bool has_partial = false;
 };
 
 }  // namespace
@@ -426,7 +499,23 @@ int Server::serve_fd(int listen_fd) {
     std::vector<pollfd> fds;
     fds.push_back({listen_fd, POLLIN, 0});
     for (const Conn& conn : conns) fds.push_back({conn.fd, POLLIN, 0});
-    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    // Sleep forever unless some connection is sitting on a partial frame —
+    // then wake in time to enforce its read deadline.
+    int timeout_ms = -1;
+    if (options_.read_deadline_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (const Conn& conn : conns) {
+        if (!conn.has_partial) continue;
+        const auto deadline =
+            conn.partial_since + std::chrono::milliseconds(options_.read_deadline_ms);
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - now)
+                              .count();
+        const int bounded = left < 1 ? 1 : static_cast<int>(std::min<long long>(left, 60000));
+        if (timeout_ms < 0 || bounded < timeout_ms) timeout_ms = bounded;
+      }
+    }
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       close_all();
@@ -456,7 +545,8 @@ int Server::serve_fd(int listen_fd) {
       if (!(fds[k + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       for (;;) {
         char chunk[65536];
-        const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+        const ssize_t n =
+            faultio::recv(faultio::Site::kServerRead, conn.fd, chunk, sizeof chunk, 0);
         if (n > 0) {
           conn.buffer.append(chunk, static_cast<std::size_t>(n));
           continue;
@@ -485,6 +575,36 @@ int Server::serve_fd(int listen_fd) {
           break;
         }
         batch.emplace_back(k, std::move(payload));
+      }
+      // Track whether leftover bytes form a partial frame; the deadline
+      // clock starts when one appears and resets when it completes.
+      if (conn.buffer.empty()) {
+        conn.has_partial = false;
+      } else if (!conn.has_partial) {
+        conn.has_partial = true;
+        conn.partial_since = std::chrono::steady_clock::now();
+      }
+    }
+
+    // Read deadlines: a connection stuck mid-frame past the deadline gets
+    // one error frame and the door — one stalled (or malicious) client
+    // must not pin buffer memory or a server slot forever.
+    if (options_.read_deadline_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (Conn& conn : conns) {
+        if (conn.dead || !conn.has_partial) continue;
+        if (now - conn.partial_since <
+            std::chrono::milliseconds(options_.read_deadline_ms)) {
+          continue;
+        }
+        std::ostringstream frame;
+        write_frame(frame, make_error_response(
+                               "", cat("read deadline exceeded after ",
+                                       options_.read_deadline_ms,
+                                       " ms with a partial frame buffered")));
+        send_all(conn.fd, frame.str());
+        conn.dead = true;
+        ++stats_.deadline_closes;
       }
     }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,11 +40,31 @@ struct ServerOptions {
   std::string store_dir;
   /// Eviction cap of the persistent store.
   std::int64_t store_max_entries = 4096;
+  /// Durability: fsync store entries (StoreOptions::fsync).
+  bool store_fsync = false;
   /// Eviction cap of the in-memory payload cache.
   std::int64_t memory_max_entries = 1 << 16;
+  /// Consecutive store-write failures before the server flips to
+  /// compute-only mode (skips the store entirely; <= 0 disables the
+  /// breaker and every put keeps hitting the failing disk).
+  int store_failure_threshold = 3;
+  /// While compute-only: every Nth would-be put goes through as a probe;
+  /// one success flips the store back to normal service.
+  int store_probe_every = 16;
+  /// Socket serve loops: a connection holding a *partial* frame longer
+  /// than this is sent an error and closed, so one stalled client cannot
+  /// pin buffer memory forever (0 = no deadline).
+  int read_deadline_ms = 30000;
 };
 
-/// Monotonic service counters (the "stats" op reports these).
+/// Store service state (the "health" op reports this).
+enum class StoreMode {
+  kDisabled,  ///< no store configured (or it failed to open)
+  kOk,        ///< store serving reads and writes
+  kDegraded,  ///< compute-only after repeated failures; probing its way back
+};
+
+/// Monotonic service counters (the "stats" and "health" ops report these).
 struct ServerStats {
   std::int64_t requests = 0;   ///< frames handled (all ops)
   std::int64_t queries = 0;    ///< query-op requests
@@ -52,6 +73,10 @@ struct ServerStats {
   std::int64_t computed = 0;   ///< unique evaluations actually run
   std::int64_t coalesced = 0;  ///< duplicate in-batch queries folded away
   std::int64_t errors = 0;     ///< ok:false responses
+  std::int64_t store_put_failures = 0;  ///< failed persistent writes
+  std::int64_t store_degraded = 0;      ///< times the breaker opened
+  std::int64_t store_probes = 0;        ///< probe puts while degraded
+  std::int64_t deadline_closes = 0;     ///< connections closed by deadline
 };
 
 class Server {
@@ -88,6 +113,7 @@ class Server {
 
   const ServerStats& stats() const { return stats_; }
   const ResultStore& store() const { return store_; }
+  StoreMode store_mode() const { return store_mode_; }
 
  private:
   struct ResolvedVariant;  // memoized (kernel text, transforms) resolution
@@ -96,6 +122,13 @@ class Server {
   const ResolvedVariant& resolve_variant(const std::string& kernel_field,
                                          const std::string& transforms);
   void cache_insert(const std::string& key, const std::string& payload);
+  /// Store read honoring the health state machine (degraded = skip).
+  std::optional<std::string> store_get(const std::string& key);
+  /// Store write through the health state machine: failures count toward
+  /// the breaker; while degraded, only every Nth put probes the disk, and
+  /// one probe success closes the breaker again.
+  void store_put(const std::string& key, const std::string& payload);
+  std::string health_response(const std::string& id);
   int serve_fd(int listen_fd);
 
   ServerOptions options_;
@@ -103,6 +136,9 @@ class Server {
   ThreadPool pool_;
   bool shutdown_ = false;
   ServerStats stats_;
+  StoreMode store_mode_ = StoreMode::kDisabled;
+  int consecutive_store_failures_ = 0;
+  int puts_since_probe_ = 0;
 
   std::unordered_map<std::string, std::string> memory_cache_;
   std::vector<std::string> memory_order_;  ///< eviction order, oldest first

@@ -1,12 +1,17 @@
 #include "service/store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <system_error>
 
 #include "support/error.h"
+#include "support/faultio.h"
 #include "support/str.h"
 
 namespace fs = std::filesystem;
@@ -20,32 +25,100 @@ bool valid_key(const std::string& key) {
          key.find_first_not_of("0123456789abcdef") == std::string::npos;
 }
 
-// Reads a whole file; nullopt on any I/O problem.
+// Reads a whole file through the fault-injection shim; nullopt on any I/O
+// problem. Short reads append and continue; EINTR retries; anything else
+// (including an injected EAGAIN/EIO) degrades to a miss.
 std::optional<std::string> slurp(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return std::nullopt;
-  std::ostringstream text;
-  text << in.rdbuf();
-  if (in.bad()) return std::nullopt;
-  return text.str();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  std::string text;
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = faultio::read(faultio::Site::kStoreRead, fd, chunk, sizeof chunk);
+    if (n > 0) {
+      text.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return std::nullopt;
+  }
+  ::close(fd);
+  return text;
+}
+
+// Writes [data, data+size) to fd through the shim, riding out EINTR and
+// short writes. False on any other failure (ENOSPC, EIO, ...).
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n =
+        faultio::write(faultio::Site::kStoreWrite, fd, data + off, size - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
 }
 
 // Crash-safe write: temp file in the same directory, then rename into
-// place (atomic within one filesystem). Returns false on any I/O failure.
-bool write_then_rename(const fs::path& path, const std::string& bytes) {
-  const fs::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) return false;
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out.good()) return false;
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
+// place (atomic within one filesystem). Returns false on any I/O failure,
+// leaving errno describing it and no temp debris behind. The named crash
+// points cover every state a power cut could freeze: empty tmp, torn tmp,
+// unsynced tmp, un-renamed tmp, renamed-but-unindexed entry — the torture
+// suite (test_fault.cc) relaunches from each and proves recovery.
+bool write_then_rename(const fs::path& path, const std::string& bytes, bool durable) {
+  const std::string tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  faultio::crash_point("store.write.open");
+
+  const auto give_up = [&](int why) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = why;
     return false;
+  };
+
+  const std::size_t half = bytes.size() / 2;
+  if (!write_all(fd, bytes.data(), half)) return give_up(errno);
+  faultio::crash_point("store.write.partial");
+  if (!write_all(fd, bytes.data() + half, bytes.size() - half)) return give_up(errno);
+  faultio::crash_point("store.write.sync");
+  if (durable && faultio::fsync(faultio::Site::kStoreFlush, fd) != 0) {
+    return give_up(errno);
+  }
+  if (::close(fd) != 0) {
+    const int why = errno;
+    ::unlink(tmp.c_str());
+    errno = why;
+    return false;
+  }
+  faultio::crash_point("store.write.rename");
+  if (faultio::rename(faultio::Site::kStoreRename, tmp.c_str(), path.c_str()) != 0) {
+    // Keep the rename's errno as the diagnostic; the cleanup must not
+    // clobber it (a failed remove of the tmp file is best-effort anyway).
+    const int why = errno;
+    ::unlink(tmp.c_str());
+    errno = why;
+    return false;
+  }
+  faultio::crash_point("store.write.publish");
+  if (durable) {
+    // The rename is only durable once the *directory* entry is on disk.
+    const int dir_fd = ::open(path.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0) return false;
+    const int rc = faultio::fsync(faultio::Site::kStoreFlush, dir_fd);
+    const int why = errno;
+    ::close(dir_fd);
+    if (rc != 0) {
+      errno = why;
+      return false;
+    }
   }
   return true;
 }
@@ -53,7 +126,11 @@ bool write_then_rename(const fs::path& path, const std::string& bytes) {
 }  // namespace
 
 ResultStore::ResultStore(std::string dir, std::int64_t max_entries)
-    : dir_(std::move(dir)), max_entries_(std::max<std::int64_t>(1, max_entries)) {
+    : ResultStore(std::move(dir), StoreOptions{max_entries, false}) {}
+
+ResultStore::ResultStore(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  options_.max_entries = std::max<std::int64_t>(1, options_.max_entries);
   if (dir_.empty()) return;
 
   std::error_code ec;
@@ -72,14 +149,27 @@ ResultStore::ResultStore(std::string dir, std::int64_t max_entries)
     }
   }
   if (fresh || *stamp != want) {
-    check(write_then_rename(format_path, want),
-          cat("cannot stamp store directory '", dir_, "'"));
+    if (!write_then_rename(format_path, want, options_.fsync)) {
+      // A store that cannot even be stamped (full disk, read-only mount)
+      // degrades to disabled — the daemon keeps computing without it.
+      last_write_error_ = std::strerror(errno);
+      open_failed_ = true;
+      dir_.clear();
+      return;
+    }
   }
 
   // Startup scan: entry filenames become the in-memory index; contents are
   // validated lazily on get(). Oldest-mtime-first seeds the eviction order.
+  // Stale *.tmp files — crash leftovers from a torn write — are swept here
+  // so debris cannot accumulate across restarts.
   std::vector<std::pair<fs::file_time_type, std::string>> found;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::error_code rm_ec;
+      if (fs::remove(entry.path(), rm_ec)) ++tmp_swept_;
+      continue;
+    }
     const std::string name = entry.path().filename().string();
     if (name.size() != 1 + 16 + 6 || name[0] != 'k' ||
         entry.path().extension() != ".entry") {
@@ -133,12 +223,13 @@ std::optional<std::string> ResultStore::get(const std::string& key) {
   return std::nullopt;
 }
 
-void ResultStore::put(const std::string& key, const std::string& payload) {
-  if (!enabled()) return;
+bool ResultStore::put(const std::string& key, const std::string& payload) {
+  if (!enabled()) return false;
   check(valid_key(key), "ResultStore::put: malformed key");
   const bool existed = keys_.count(key) != 0;
   if (!existed) {
-    while (static_cast<std::int64_t>(keys_.size()) >= max_entries_ && !order_.empty()) {
+    while (static_cast<std::int64_t>(keys_.size()) >= options_.max_entries &&
+           !order_.empty()) {
       const std::string victim = order_.front();
       drop(victim);
       ++evictions_;
@@ -146,11 +237,17 @@ void ResultStore::put(const std::string& key, const std::string& payload) {
   }
   const std::string bytes =
       cat(kEntryFormat, ' ', key, ' ', payload.size(), '\n', payload);
-  if (!write_then_rename(entry_path(key), bytes)) return;  // degrade, don't throw
+  if (!write_then_rename(entry_path(key), bytes, options_.fsync)) {
+    // Degrade, don't throw — but keep the evidence for health reporting.
+    ++write_failures_;
+    last_write_error_ = std::strerror(errno);
+    return false;
+  }
   if (!existed) {
     keys_.insert(key);
     order_.push_back(key);
   }
+  return true;
 }
 
 }  // namespace srra::service

@@ -5,16 +5,27 @@
 //   <dir>/k<key16>.entry    one entry per key:
 //                           "srrad-entry/v1 <key16> <payload bytes>\n<payload>"
 //
-// Properties the tests pin (test_service.cc):
+// Properties the tests pin (test_service.cc, test_fault.cc):
 //  * crash safety — entries are written to a temp file and renamed into
 //    place, so a torn write can only ever produce a *corrupt* entry, never
-//    a half-visible one;
+//    a half-visible one; every crash point of the write path (see
+//    support/faultio.h) recovers to a store that answers byte-identically;
 //  * corrupt tolerance — an entry that fails validation (bad stamp, wrong
 //    key, short payload) reads as a miss and is dropped, never a crash;
 //  * version migration — a FORMAT stamp from another version clears the
 //    store (cold restart) instead of serving payloads of a stale schema;
 //  * bounded size — at most max_entries entries; inserting past the cap
-//    evicts the oldest entry (startup order = file mtime, then key).
+//    evicts the oldest entry (startup order = file mtime, then key);
+//  * debris-free startup — stale *.tmp files left by a crash are swept
+//    (and counted) when the store opens;
+//  * graceful I/O degradation — a failed write (ENOSPC, EIO, torn disk)
+//    reads as "not stored" with the errno kept for health reporting; a
+//    store directory that cannot even be stamped degrades to disabled
+//    instead of taking the daemon down.
+//
+// All raw I/O goes through support/faultio, so a fault plan can
+// deterministically inject short reads, EINTR storms, ENOSPC/EIO and
+// mid-write crashes (DESIGN.md §14).
 //
 // Not thread-safe: the server serializes all store access on its loop
 // thread (compute runs on the pool, store I/O does not).
@@ -31,12 +42,26 @@ namespace srra::service {
 inline constexpr const char kStoreFormat[] = "srrad-store/v1";
 inline constexpr const char kEntryFormat[] = "srrad-entry/v1";
 
+struct StoreOptions {
+  /// Eviction cap, in entries.
+  std::int64_t max_entries = 4096;
+  /// Durability: fsync every entry file (and its directory after the
+  /// rename) before reporting it stored. Off by default — the store is a
+  /// cache, and a lost entry is only a recompute; turn it on when the
+  /// store must survive power loss, not just process crashes.
+  bool fsync = false;
+};
+
 class ResultStore {
  public:
   /// Opens (creating if needed) the store at `dir`; empty `dir` disables
   /// persistence (every get misses, every put is a no-op). Throws
-  /// srra::Error when the directory cannot be created or scanned.
-  explicit ResultStore(std::string dir, std::int64_t max_entries = 4096);
+  /// srra::Error when the directory cannot be created or scanned; a
+  /// directory that cannot be *stamped* (e.g. disk full) degrades to a
+  /// disabled store instead (open_failed() reports why).
+  explicit ResultStore(std::string dir, StoreOptions options = {});
+  /// Convenience: options with just the eviction cap set.
+  ResultStore(std::string dir, std::int64_t max_entries);
 
   bool enabled() const { return !dir_.empty(); }
 
@@ -45,24 +70,38 @@ class ResultStore {
   std::optional<std::string> get(const std::string& key);
 
   /// Inserts or overwrites `key`, evicting the oldest entries beyond the
-  /// cap. I/O failures degrade to "not stored" rather than throwing — a
-  /// full disk must not take the daemon down.
-  void put(const std::string& key, const std::string& payload);
+  /// cap. Returns false when the entry was NOT persisted — disabled store,
+  /// or an I/O failure (a full disk must not take the daemon down; the
+  /// server's health state machine watches this signal).
+  bool put(const std::string& key, const std::string& payload);
 
   std::int64_t entries() const { return static_cast<std::int64_t>(keys_.size()); }
   std::int64_t evictions() const { return evictions_; }
   std::int64_t corrupt_dropped() const { return corrupt_dropped_; }
+  /// Stale *.tmp crash leftovers removed by the startup sweep.
+  std::int64_t tmp_swept() const { return tmp_swept_; }
+  /// put() calls that failed on I/O (not counting disabled-store no-ops).
+  std::int64_t write_failures() const { return write_failures_; }
+  /// strerror of the most recent failed write, "" when none.
+  const std::string& last_write_error() const { return last_write_error_; }
+  /// True when the store directory existed but could not be stamped; the
+  /// store then behaves as disabled.
+  bool open_failed() const { return open_failed_; }
 
  private:
   std::string entry_path(const std::string& key) const;
   void drop(const std::string& key);
 
   std::string dir_;
-  std::int64_t max_entries_ = 4096;
+  StoreOptions options_;
   std::unordered_set<std::string> keys_;
   std::vector<std::string> order_;  ///< eviction order, oldest first
   std::int64_t evictions_ = 0;
   std::int64_t corrupt_dropped_ = 0;
+  std::int64_t tmp_swept_ = 0;
+  std::int64_t write_failures_ = 0;
+  std::string last_write_error_;
+  bool open_failed_ = false;
 };
 
 }  // namespace srra::service

@@ -1,0 +1,115 @@
+// Deterministic fault injection for the srrad service I/O edges
+// (DESIGN.md §14). Every raw read/write/rename/fsync/connect the service
+// performs goes through the wrappers below; with no plan installed they are
+// the identity over the underlying syscalls. A FaultPlan — parsed from text
+// (the SRRA_FAULT_PLAN environment variable, or installed directly by
+// tests) — makes them deterministically misbehave: short reads/writes,
+// EINTR storms, EAGAIN, ENOSPC/EIO, injected delays, torn frames, and
+// named *crash points* that abort the process on their Nth hit so a
+// torture test can relaunch over the same store directory and verify
+// recovery.
+//
+// Plan grammar (one line; ';'-separated items):
+//
+//   plan  := item (';' item)*
+//   item  := 'seed=' N                     -- Rng seed for @p draws (default 0)
+//          | SITE '=' fault (',' fault)*   -- faults tried in order per op
+//          | 'crash=' POINT ':' N          -- abort on the Nth hit of POINT
+//   fault := KIND ('@' qual)*
+//   qual  := 'p=' FLOAT                    -- fire with probability p
+//          | 'n=' N                        -- fire on every Nth op at the site
+//          | 'max=' N                      -- fire at most N times total
+//   KIND  := short                         -- truncate to a seeded 1..len-1 cap
+//          | eintr | eagain | enospc | eio -- return -1 with that errno
+//          | delay=MS                      -- sleep, then keep scanning faults
+//          | torn                          -- write half, then shutdown(SHUT_WR)
+//   SITE  := client.connect | client.read | client.write
+//          | server.read | server.write
+//          | store.read | store.write | store.rename | store.flush
+//
+// Example: SRRA_FAULT_PLAN='seed=7;store.write=enospc@p=1;client.read=eintr@n=1@max=10,short@p=0.5'
+//
+// Faults are tried in plan order per operation; the first terminal fault
+// (anything but delay) wins. All draws come from one SplitMix64 stream
+// seeded by the plan, and all per-fault counters are plan-local, so the
+// same plan against the same operation sequence misbehaves identically —
+// which is what lets tests assert exact degraded behavior and CI soak runs
+// replay bit-for-bit.
+//
+// Crash points are named checkpoints compiled into the store's write path
+// (registered_crash_points() lists them); 'crash=POINT:N' calls _Exit(134)
+// on the Nth hit. They are ordinary no-ops when no plan names them.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srra::faultio {
+
+enum class Site {
+  kClientConnect,
+  kClientRead,
+  kClientWrite,
+  kServerRead,
+  kServerWrite,
+  kStoreRead,
+  kStoreWrite,
+  kStoreRename,
+  kStoreFlush,
+  kCount,
+};
+
+/// The site spelling used by the plan grammar ("store.write", ...).
+const char* site_name(Site site);
+
+/// Installs a plan parsed from `text`; throws srra::Error on a grammar
+/// error. An empty string resets to no injection.
+void install_plan(const std::string& text);
+
+/// Installs the plan from SRRA_FAULT_PLAN when set (srrad's entry point
+/// calls this; a daemon run without the variable pays one getenv).
+void install_plan_from_env();
+
+/// Removes any installed plan and zeroes all counters.
+void reset();
+
+/// True when a plan is installed (the wrappers consult it per op).
+bool plan_installed();
+
+/// Faults fired so far at `site` (terminal and delay fires both count).
+std::int64_t fires(Site site);
+
+// --------------------------------------------------------------- crash points
+// Named checkpoints in the store write path. crash_point() is a no-op
+// unless the installed plan says 'crash=NAME:N' and this is the Nth hit —
+// then the process exits immediately with status 134 (no destructors, no
+// atexit: the closest deterministic stand-in for a mid-write power cut).
+
+void crash_point(const char* name);
+
+/// Every crash point compiled into the library, for torture tests to
+/// iterate. Order is stable (write-path order).
+const std::vector<std::string>& registered_crash_points();
+
+// ------------------------------------------------------------------ wrappers
+// Identical to the raw syscalls when no plan is installed. With a plan,
+// each call first consults the schedule for its site: an injected errno
+// returns -1 without touching the fd; 'short' caps the byte count; 'delay'
+// sleeps; 'torn' (write sites) writes at most half then shuts down the
+// socket's write side. EINTR/EAGAIN loops in callers behave exactly as
+// they would against a hostile kernel.
+
+ssize_t read(Site site, int fd, void* buf, std::size_t count);
+ssize_t write(Site site, int fd, const void* buf, std::size_t count);
+ssize_t recv(Site site, int fd, void* buf, std::size_t count, int flags);
+ssize_t send(Site site, int fd, const void* buf, std::size_t count, int flags);
+int rename(Site site, const char* from, const char* to);
+int fsync(Site site, int fd);
+int connect(Site site, int fd, const struct sockaddr* addr, socklen_t len);
+
+}  // namespace srra::faultio

@@ -7,6 +7,7 @@
 //   srrad --tcp=7433 --store=store
 //
 // Query it with `srra client` (see README "Running the service").
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -14,6 +15,7 @@
 
 #include "service/server.h"
 #include "support/error.h"
+#include "support/faultio.h"
 #include "support/str.h"
 
 namespace {
@@ -28,8 +30,17 @@ const char kUsage[] =
     "  --store=DIR      persistent result store directory (default: none,\n"
     "                   in-memory caching only)\n"
     "  --store-max=N    store eviction cap in entries (default 4096)\n"
+    "  --fsync          fsync every store entry (and its directory) before\n"
+    "                   reporting it stored; default off — the store is a\n"
+    "                   cache, a lost entry is only a recompute\n"
     "  --jobs=N         compute threads per batch (default 0 = all cores;\n"
-    "                   responses are byte-identical for any value)\n";
+    "                   responses are byte-identical for any value)\n"
+    "  --read-deadline-ms=N  close a connection stuck mid-frame after N ms\n"
+    "                   (default 30000; 0 = never)\n"
+    "\n"
+    "The SRRA_FAULT_PLAN environment variable installs a deterministic\n"
+    "fault-injection plan over every I/O edge (DESIGN.md §14) — test and\n"
+    "soak tooling only.\n";
 
 long long parse_count(const std::string& text, const char* what, long long min_value) {
   srra::check(!text.empty() && text.size() <= 9 &&
@@ -44,6 +55,11 @@ long long parse_count(const std::string& text, const char* what, long long min_v
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client hanging up mid-response must surface as a failed write on
+  // that connection, never a process-killing SIGPIPE (socket sends already
+  // use MSG_NOSIGNAL; this covers the stdio pipe path too).
+  std::signal(SIGPIPE, SIG_IGN);
+
   const std::vector<std::string> args(argv + 1, argv + argc);
   bool stdio = false;
   std::string socket_path;
@@ -52,6 +68,7 @@ int main(int argc, char** argv) {
   options.jobs = 0;  // a daemon defaults to all cores; results don't depend on it
 
   try {
+    srra::faultio::install_plan_from_env();
     for (const std::string& arg : args) {
       if (arg == "--help" || arg == "-h") {
         std::cout << kUsage;
@@ -72,8 +89,14 @@ int main(int argc, char** argv) {
         options.store_dir = value;
       } else if (name == "--store-max") {
         options.store_max_entries = parse_count(value, "--store-max", 1);
+      } else if (name == "--fsync") {
+        srra::check(value.empty(), "--fsync takes no value");
+        options.store_fsync = true;
       } else if (name == "--jobs") {
         options.jobs = static_cast<int>(parse_count(value, "--jobs", 0));
+      } else if (name == "--read-deadline-ms") {
+        options.read_deadline_ms =
+            static_cast<int>(parse_count(value, "--read-deadline-ms", 0));
       } else {
         srra::fail(srra::cat("unknown flag: ", arg));
       }
