@@ -1,0 +1,292 @@
+// Multi-daemon srrad scale-out bench (DESIGN.md §15): three in-process
+// daemons sharing ONE persistent store directory, hammered with a
+// Zipf-skewed query stream (a few hot queries dominate, a long cold tail —
+// the shape a shared cache actually sees). Measures and enforces the PR's
+// scale-out acceptance criteria:
+//  * warm aggregate throughput of 3 daemons on the shared store is at
+//    least 2x one daemon's (enforced only on machines with >= 4 hardware
+//    threads — a 1-core container cannot parallelize anything — but always
+//    printed);
+//  * the warm pass hit rate stays >= 90% (shared store: every daemon
+//    serves every key, whichever daemon computed it);
+//  * a cold daemon warmed from a peer via --warm-from answers >= 80% of
+//    its first pass from cache, without computing.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/store.h"
+#include "support/json.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PassResult {
+  double wall_seconds = 0.0;
+  std::size_t hits = 0;
+  std::size_t requests = 0;
+};
+
+std::string make_query(const std::string& kernel, const std::string& algorithm,
+                       std::int64_t budget) {
+  srra::JsonValue req = srra::JsonValue::make_object();
+  req.set("kernel", srra::JsonValue::make_string(kernel));
+  req.set("algorithm", srra::JsonValue::make_string(algorithm));
+  req.set("budget", srra::JsonValue::make_int(budget));
+  return req.to_string();
+}
+
+std::string make_frontier(const std::string& kernel, const std::string& budgets) {
+  srra::JsonValue req = srra::JsonValue::make_object();
+  req.set("kernel", srra::JsonValue::make_string(kernel));
+  req.set("mode", srra::JsonValue::make_string("frontier"));
+  req.set("budgets", srra::JsonValue::make_string(budgets));
+  return req.to_string();
+}
+
+// One pass: thread t fires `shares[t]` at `sockets[t % sockets.size()]`,
+// counting cache hits. With one socket this loads a single daemon; with
+// three, the same total work spreads across the fleet.
+PassResult run_pass(const std::vector<std::string>& sockets,
+                    const std::vector<std::vector<std::string>>& shares) {
+  PassResult pass;
+  std::mutex mu;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(shares.size());
+  for (std::size_t t = 0; t < shares.size(); ++t) {
+    threads.emplace_back([&, t] {
+      srra::service::Client client =
+          srra::service::Client::connect_unix(sockets[t % sockets.size()]);
+      std::size_t hits = 0;
+      for (const std::string& query : shares[t]) {
+        const srra::JsonValue doc = srra::parse_json(client.roundtrip(query));
+        const srra::JsonValue* cache = doc.find("cache");
+        if (cache != nullptr && cache->find("status")->as_string() == "hit") {
+          ++hits;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      pass.hits += hits;
+      pass.requests += shares[t].size();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  pass.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return pass;
+}
+
+void await_socket(const std::string& path) {
+  while (!std::filesystem::exists(path)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace srra;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      cat("srrad_bench_multi_", static_cast<long>(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string store_dir = (dir / "store").string();
+
+  // Unique query set: every builtin kernel x allocators x budgets, plus a
+  // frontier sweep per kernel.
+  std::vector<std::string> queries;
+  std::vector<std::string> names{"example"};
+  for (const kernels::NamedKernel& nk : kernels::all_kernels()) {
+    names.push_back(nk.name);
+  }
+  for (const std::string& name : names) {
+    for (const char* algo : {"cpa", "fr", "ls"}) {
+      for (std::int64_t budget : {32, 64}) {
+        queries.push_back(make_query(name, algo, budget));
+      }
+    }
+    queries.push_back(make_frontier(name, "16:64"));
+  }
+
+  // Zipf-skewed stream over the unique set (weight 1/(rank+1)): the hot
+  // head hammers a few keys, the tail still touches everything. Seeded LCG
+  // so every run (and every machine) draws the same stream.
+  constexpr std::size_t kStreamLen = 600;
+  std::vector<double> cumulative(queries.size());
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    total_weight += 1.0 / static_cast<double>(i + 1);
+    cumulative[i] = total_weight;
+  }
+  std::vector<std::string> stream;
+  stream.reserve(kStreamLen);
+  std::uint64_t lcg = 0x5eed5eed5eed5eedULL;
+  for (std::size_t i = 0; i < kStreamLen; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u = static_cast<double>(lcg >> 11) / 9007199254740992.0;
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(),
+                                     u * total_weight);
+    stream.push_back(queries[static_cast<std::size_t>(
+        std::min(it - cumulative.begin(),
+                 static_cast<std::ptrdiff_t>(queries.size() - 1)))]);
+  }
+  constexpr std::size_t kClientThreads = 3;  // one per daemon in the fleet pass
+  std::vector<std::vector<std::string>> shares(kClientThreads);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    shares[i % kClientThreads].push_back(stream[i]);
+  }
+
+  // --- Single daemon: cold-fill the shared store, then the warm reference.
+  const std::string solo_socket = (dir / "solo.sock").string();
+  PassResult cold, solo;
+  {
+    service::ServerOptions options;
+    options.jobs = 0;
+    options.store_dir = store_dir;
+    service::Server server(options);
+    std::thread daemon([&] { server.serve_unix(solo_socket); });
+    await_socket(solo_socket);
+    std::vector<std::vector<std::string>> unique_shares(kClientThreads);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      unique_shares[i % kClientThreads].push_back(queries[i]);
+    }
+    cold = run_pass({solo_socket}, unique_shares);
+    solo = run_pass({solo_socket}, shares);  // warm Zipf stream, one daemon
+    service::Client client = service::Client::connect_unix(solo_socket);
+    client.roundtrip(R"({"op": "shutdown"})");
+    daemon.join();
+  }
+
+  // --- Three daemons, one store: same warm stream, spread across the fleet.
+  constexpr std::size_t kDaemons = 3;
+  std::vector<std::string> fleet_sockets;
+  PassResult fleet;
+  {
+    std::vector<std::unique_ptr<service::Server>> servers;
+    std::vector<std::thread> daemons;
+    for (std::size_t d = 0; d < kDaemons; ++d) {
+      fleet_sockets.push_back((dir / cat("fleet", d, ".sock")).string());
+      service::ServerOptions options;
+      options.jobs = 0;
+      options.store_dir = store_dir;  // the SAME store directory
+      servers.push_back(std::make_unique<service::Server>(options));
+      daemons.emplace_back(
+          [&, d] { servers[d]->serve_unix(fleet_sockets[d]); });
+      await_socket(fleet_sockets[d]);
+    }
+    fleet = run_pass(fleet_sockets, shares);
+
+    // --- Warm-from-peer: a cold daemon pulls the fleet's store through the
+    // wire, then takes its first pass without computing.
+    service::ServerOptions cold_options;
+    cold_options.jobs = 0;
+    cold_options.store_dir = (dir / "store_warmed").string();
+    service::Server warmed(cold_options);
+    warmed.warm_from_peer(fleet_sockets[0]);
+    const std::string warmed_socket = (dir / "warmed.sock").string();
+    std::thread warmed_daemon([&] { warmed.serve_unix(warmed_socket); });
+    await_socket(warmed_socket);
+    const PassResult first = run_pass({warmed_socket}, shares);
+    const double warmfrom_hit_rate =
+        first.requests > 0
+            ? static_cast<double>(first.hits) / static_cast<double>(first.requests)
+            : 0.0;
+
+    for (std::size_t d = 0; d < kDaemons; ++d) {
+      service::Client client = service::Client::connect_unix(fleet_sockets[d]);
+      client.roundtrip(R"({"op": "shutdown"})");
+      daemons[d].join();
+    }
+    {
+      service::Client client = service::Client::connect_unix(warmed_socket);
+      client.roundtrip(R"({"op": "shutdown"})");
+    }
+    warmed_daemon.join();
+
+    const double solo_rps =
+        static_cast<double>(solo.requests) / solo.wall_seconds;
+    const double fleet_rps =
+        static_cast<double>(fleet.requests) / fleet.wall_seconds;
+    const double scale = solo_rps > 0.0 ? fleet_rps / solo_rps : 0.0;
+    const double warm_hit_rate =
+        fleet.requests > 0
+            ? static_cast<double>(fleet.hits) / static_cast<double>(fleet.requests)
+            : 0.0;
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    std::filesystem::remove_all(dir);
+
+    const auto row = [](const char* label, const PassResult& p) {
+      return std::vector<std::string>{
+          label,
+          std::to_string(p.requests),
+          to_fixed(p.wall_seconds * 1e3, 1),
+          to_fixed(static_cast<double>(p.requests) / p.wall_seconds, 0),
+          cat(p.hits, "/", p.requests)};
+    };
+    Table table({"pass", "requests", "wall ms", "req/s", "hits"});
+    table.add_row(row("cold fill (1 daemon)", cold));
+    table.add_row(row("warm zipf (1 daemon)", solo));
+    table.add_row(row(cat("warm zipf (", kDaemons, " daemons)").c_str(), fleet));
+    table.add_row(row("first pass (warm-from)", first));
+
+    std::cout << "srrad multi-daemon bench: " << queries.size()
+              << " unique queries, " << kStreamLen << " Zipf-drawn requests, "
+              << kDaemons << " daemons on one store, " << cores
+              << " hardware threads\n\n";
+    table.render(std::cout);
+    std::cout << "\naggregate warm scaling: " << to_fixed(scale, 2)
+              << "x one daemon (enforced >= 2x when cores >= 4)\n"
+              << "warm hit rate: " << to_fixed(warm_hit_rate * 100.0, 1)
+              << "%, warm-from first-pass hit rate: "
+              << to_fixed(warmfrom_hit_rate * 100.0, 1) << "%\n";
+
+    std::cout << "BENCH JSON: {\"bench\": \"bench_service_multi\", "
+              << "\"unique_queries\": " << queries.size()
+              << ", \"stream_len\": " << kStreamLen
+              << ", \"daemons\": " << kDaemons
+              << ", \"cores\": " << cores
+              << ", \"solo_req_per_s\": " << to_fixed(solo_rps, 0)
+              << ", \"fleet_req_per_s\": " << to_fixed(fleet_rps, 0)
+              << ", \"scale\": " << to_fixed(scale, 3)
+              << ", \"warm_hit_rate\": " << to_fixed(warm_hit_rate, 3)
+              << ", \"warmfrom_hit_rate\": " << to_fixed(warmfrom_hit_rate, 3)
+              << "}\n";
+
+    if (warm_hit_rate < 0.9) {
+      std::cerr << "FAIL: fleet warm hit rate " << to_fixed(warm_hit_rate, 3)
+                << " below 0.9 — daemons are not sharing the store\n";
+      return 1;
+    }
+    if (warmfrom_hit_rate < 0.8) {
+      std::cerr << "FAIL: warm-from first-pass hit rate "
+                << to_fixed(warmfrom_hit_rate, 3)
+                << " below 0.8 — peer warmup did not transfer the store\n";
+      return 1;
+    }
+    if (cores >= 4 && scale < 2.0) {
+      std::cerr << "FAIL: 3-daemon aggregate warm throughput is only "
+                << to_fixed(scale, 2)
+                << "x one daemon (enforced >= 2x with " << cores
+                << " hardware threads)\n";
+      return 1;
+    }
+  }
+  return 0;
+}

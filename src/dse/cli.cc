@@ -71,6 +71,9 @@ const char kUsage[] =
     "                   connecting (pipe into `srrad --stdio`)\n"
     "  --decode[=MODE]  read response frames from stdin, print payloads;\n"
     "                   MODE=query prints just each cached query object\n"
+    "  --print=query    connected modes: print just each response's cached\n"
+    "                   query object (the envelope stripped), so answers\n"
+    "                   from different daemons diff byte-identical\n"
     "  --script=FILE    one request per line as key=value tokens, e.g.\n"
     "                   'kernel=fir algo=cpa budget=64', 'kernel=mat\n"
     "                   budgets=8:64', 'probe key=HEX16', 'stats'\n"
@@ -103,7 +106,7 @@ const std::vector<const char*> kExploreFlags = {
     "kernel", "algos", "budget", "budgets", "interchange", "tiles", "unroll",
     "transforms", "prune", "fetch", "jobs", "format", "frontier", "per-point"};
 const std::vector<const char*> kClientFlags = {
-    "socket", "tcp", "emit", "decode", "script", "repeat", "kernel",
+    "socket", "tcp", "emit", "decode", "print", "script", "repeat", "kernel",
     "transforms", "algo", "budget", "budgets", "fetch", "probe", "key",
     "timing", "id", "stats", "health", "shutdown", "timeout-ms", "retries"};
 
@@ -568,12 +571,25 @@ int cmd_client(const Flags& flags, std::ostream& out) {
                                         client_options);
   }();
 
+  const std::string print_mode = flags.get("print", "");
+  check(print_mode.empty() || print_mode == "query",
+        cat("bad --print value: ", print_mode, " (want query)"));
   bool all_ok = true;
   for (const std::string& response : client.roundtrip_batch(requests)) {
-    out << response;
     const JsonValue envelope = parse_json(response);
     const JsonValue* ok = envelope.find("ok");
     if (ok == nullptr || !ok->as_bool()) all_ok = false;
+    if (print_mode == "query") {
+      // Envelope stripped: the per-key cached object is a pure function of
+      // the cache key, so output diffs byte-identical across daemons.
+      if (const JsonValue* query = envelope.find("query")) {
+        out << query->to_string() << "\n";
+      } else {
+        out << response;
+      }
+      continue;
+    }
+    out << response;
   }
   return all_ok ? 0 : 1;
 }

@@ -99,7 +99,8 @@ Request parse_request(const std::string& payload) {
 
   Request request;
   bool saw_kernel = false, saw_key = false, saw_budget = false, saw_budgets = false,
-       saw_mode = false, saw_probe = false, saw_query_field = false;
+       saw_mode = false, saw_probe = false, saw_query_field = false,
+       saw_pull_field = false;
   for (const JsonValue::Member& member : doc.members()) {
     const std::string& name = member.first;
     const JsonValue& value = member.second;
@@ -109,7 +110,8 @@ Request parse_request(const std::string& payload) {
       else if (op == "stats") request.op = RequestOp::kStats;
       else if (op == "health") request.op = RequestOp::kHealth;
       else if (op == "shutdown") request.op = RequestOp::kShutdown;
-      else fail(cat("unknown op '", op, "' (want query|stats|health|shutdown)"));
+      else if (op == "pull") request.op = RequestOp::kPull;
+      else fail(cat("unknown op '", op, "' (want query|stats|health|shutdown|pull)"));
     } else if (name == "id") {
       request.id = value.as_string();
     } else if (name == "kernel") {
@@ -151,11 +153,25 @@ Request parse_request(const std::string& payload) {
       saw_probe = saw_query_field = true;
     } else if (name == "timing") {
       request.timing = value.as_bool();
+    } else if (name == "limit") {
+      request.limit = value.as_int();
+      check(request.limit >= 1, "request member 'limit' must be >= 1");
+      saw_pull_field = true;
+    } else if (name == "offset") {
+      request.offset = value.as_int();
+      check(request.offset >= 0, "request member 'offset' must be >= 0");
+      saw_pull_field = true;
     } else {
       fail(cat("unknown request member '", name, "'"));
     }
   }
 
+  if (request.op == RequestOp::kPull) {
+    check(!saw_query_field && !saw_probe,
+          "pull requests take only 'op', 'id', 'limit' and 'offset'");
+    return request;
+  }
+  check(!saw_pull_field, "'limit' and 'offset' are pull-op members");
   if (request.op != RequestOp::kQuery) {
     check(!saw_query_field && !saw_probe,
           "stats/health/shutdown requests take only 'op', 'id' and 'timing'");
@@ -185,6 +201,10 @@ std::string cache_key(std::uint64_t kernel_hash, std::string_view kernel_name,
           '|', request.frontier ? request.budgets : std::to_string(request.budget), '|',
           fetch_name(request.fetch));
   return hex16(fnv1a64(material));
+}
+
+std::string payload_hash(std::string_view payload) {
+  return hex16(fnv1a64(payload));
 }
 
 // ------------------------------------------------- query report (cached unit)

@@ -23,7 +23,13 @@
 //    "timing": false}                       -- include elapsed_us
 //   {"op": "stats"}    -- server counters (hits/misses/coalesced/...)
 //   {"op": "health"}   -- store mode (ok|degraded|disabled), store/failure
-//                         counters, deadline closes (DESIGN.md §14)
+//                         counters, hit rate, eviction-policy counters
+//                         (DESIGN.md §14, §15)
+//   {"op": "pull", "limit": 256, "offset": 0}
+//                      -- page of stored entries, top recompute-cost-per-
+//                         byte score first: a cold daemon's warmup stream
+//                         (DESIGN.md §15); payloads travel as JSON strings
+//                         so the cached bytes survive verbatim
 //   {"op": "shutdown"} -- respond, then stop the serve loop
 //
 // Response envelope:
@@ -77,7 +83,7 @@ int extract_frame(std::string& buffer, std::string& payload);
 
 // ----------------------------------------------------------------- requests
 
-enum class RequestOp { kQuery, kStats, kHealth, kShutdown };
+enum class RequestOp { kQuery, kStats, kHealth, kShutdown, kPull };
 
 /// One parsed request. Defaults reproduce the paper's setup (CPA-RA at
 /// budget 64, concurrent fetch), matching the `srra run` CLI defaults.
@@ -94,6 +100,8 @@ struct Request {
   bool fetch = true;              ///< concurrent operand fetch
   bool probe = false;             ///< cache-only: report miss, never compute
   bool timing = false;            ///< include elapsed_us in the envelope
+  std::int64_t limit = 256;       ///< pull op: max entries per page
+  std::int64_t offset = 0;        ///< pull op: entries to skip (paging)
 };
 
 /// Parses and validates one request payload. Unknown members, wrong types,
@@ -111,6 +119,11 @@ Request parse_request(const std::string& payload);
 inline constexpr const char kKeyVersion[] = "srrad-key/v1";
 std::string cache_key(std::uint64_t kernel_hash, std::string_view kernel_name,
                       const Request& request);
+
+/// FNV-1a content hash of a stored payload, 16 lowercase hex characters —
+/// the integrity stamp in `srrad --export-manifest` output and the pull
+/// op's entries, so a warmed shard can prove it holds the peer's bytes.
+std::string payload_hash(std::string_view payload);
 
 // ------------------------------------------------- query report (cached unit)
 

@@ -19,6 +19,7 @@
 
 #include "dse/space.h"
 #include "ir/parser.h"
+#include "service/client.h"
 #include "ir/transform.h"
 #include "kernels/kernels.h"
 #include "support/error.h"
@@ -86,21 +87,23 @@ Server::Server(ServerOptions options)
 
 Server::~Server() = default;
 
-std::optional<std::string> Server::store_get(const std::string& key) {
+std::optional<std::string> Server::store_get(const std::string& key,
+                                             std::int64_t* cost_out) {
   // Compute-only mode skips reads too: a disk that fails writes is not a
   // disk to trust for reads, and every skipped call is latency saved.
   if (store_mode_ != StoreMode::kOk) return std::nullopt;
-  return store_.get(key);
+  return store_.get(key, cost_out);
 }
 
-void Server::store_put(const std::string& key, const std::string& payload) {
+void Server::store_put(const std::string& key, const std::string& payload,
+                       std::int64_t cost) {
   if (store_mode_ == StoreMode::kDisabled) return;
   if (store_mode_ == StoreMode::kDegraded) {
     if (++puts_since_probe_ < options_.store_probe_every) return;
     puts_since_probe_ = 0;
     ++stats_.store_probes;
   }
-  if (store_.put(key, payload)) {
+  if (store_.put(key, payload, cost)) {
     consecutive_store_failures_ = 0;
     store_mode_ = StoreMode::kOk;  // probe (or ordinary put) succeeded
     return;
@@ -123,6 +126,9 @@ std::string Server::health_response(const std::string& id) {
   health.set("store_mode", JsonValue::make_string(mode));
   health.set("store_entries", JsonValue::make_int(store_.entries()));
   health.set("store_evictions", JsonValue::make_int(store_.evictions()));
+  health.set("evicted_by_cost", JsonValue::make_int(store_.evicted_by_cost()));
+  health.set("evicted_lru", JsonValue::make_int(store_.evicted_lru()));
+  health.set("index_rebuilds", JsonValue::make_int(store_.index_rebuilds()));
   health.set("store_corrupt_dropped", JsonValue::make_int(store_.corrupt_dropped()));
   health.set("store_tmp_swept", JsonValue::make_int(store_.tmp_swept()));
   health.set("store_put_failures", JsonValue::make_int(stats_.store_put_failures));
@@ -135,12 +141,141 @@ std::string Server::health_response(const std::string& id) {
   }
   health.set("hits", JsonValue::make_int(stats_.hits));
   health.set("misses", JsonValue::make_int(stats_.misses));
+  const std::int64_t looked_up = stats_.hits + stats_.misses;
+  health.set("store_hit_rate",
+             JsonValue::make_double(
+                 looked_up == 0 ? 0.0
+                                : static_cast<double>(stats_.hits) /
+                                      static_cast<double>(looked_up)));
   health.set("computed", JsonValue::make_int(stats_.computed));
   health.set("coalesced", JsonValue::make_int(stats_.coalesced));
   health.set("errors", JsonValue::make_int(stats_.errors));
   health.set("deadline_closes", JsonValue::make_int(stats_.deadline_closes));
   health.set("fault_plan", JsonValue::make_bool(faultio::plan_installed()));
   return make_value_response(id, "health", health);
+}
+
+namespace {
+
+/// Per-page payload byte budget of the pull op: several pages stream a big
+/// store without ever approaching the 16 MiB frame cap.
+constexpr std::int64_t kMaxPullBytes = std::int64_t{4} << 20;
+
+}  // namespace
+
+std::string Server::pull_response(const Request& request) {
+  // Stored entries, highest recompute-cost-per-byte score first (ties:
+  // oldest arrival, then key) — the same ordering eviction respects, so a
+  // cold peer pulling a prefix adopts exactly the entries most worth
+  // keeping. Paged by entry count (limit/offset) and a payload byte cap.
+  std::vector<StoreEntryInfo> rows = store_.snapshot();
+  std::sort(rows.begin(), rows.end(),
+            [](const StoreEntryInfo& a, const StoreEntryInfo& b) {
+              const double sa = static_cast<double>(a.cost) /
+                                static_cast<double>(std::max<std::int64_t>(1, a.bytes));
+              const double sb = static_cast<double>(b.cost) /
+                                static_cast<double>(std::max<std::int64_t>(1, b.bytes));
+              if (sa != sb) return sa > sb;
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.key < b.key;
+            });
+
+  JsonValue page = JsonValue::make_object();
+  page.set("total", JsonValue::make_int(static_cast<std::int64_t>(rows.size())));
+  JsonValue entries = JsonValue::make_array();
+  std::int64_t consumed = request.offset;
+  std::int64_t page_bytes = 0;
+  std::int64_t emitted = 0;
+  for (std::size_t i = static_cast<std::size_t>(std::min<std::int64_t>(
+           request.offset, static_cast<std::int64_t>(rows.size())));
+       i < rows.size(); ++i) {
+    if (emitted >= request.limit) break;
+    // Always make progress: the first entry of a page ignores the byte cap.
+    if (emitted > 0 && page_bytes + rows[i].bytes > kMaxPullBytes) break;
+    ++consumed;
+    std::optional<std::string> payload = store_.get(rows[i].key);
+    if (!payload.has_value()) continue;  // evicted or corrupt since snapshot
+    JsonValue entry = JsonValue::make_object();
+    entry.set("key", JsonValue::make_string(rows[i].key));
+    entry.set("cost", JsonValue::make_int(rows[i].cost));
+    entry.set("hash", JsonValue::make_string(payload_hash(*payload)));
+    // The payload travels as a JSON string: escaped on the wire, decoded
+    // back to the exact stored bytes, so warmed answers stay byte-identical.
+    entry.set("payload", JsonValue::make_string(*payload));
+    page_bytes += static_cast<std::int64_t>(payload->size());
+    ++emitted;
+    entries.push_back(std::move(entry));
+  }
+  page.set("next_offset", JsonValue::make_int(consumed));
+  page.set("entries", std::move(entries));
+  return make_value_response(request.id, "pull", page);
+}
+
+int Server::warm_from_peer(const std::string& endpoint) {
+  ClientOptions copts;
+  copts.retries = 2;
+  Client client = [&] {
+    if (endpoint.find('/') != std::string::npos) {
+      return Client::connect_unix(endpoint, copts);
+    }
+    const std::size_t colon = endpoint.rfind(':');
+    check(colon != std::string::npos && colon + 1 < endpoint.size(),
+          cat("bad --warm-from endpoint '", endpoint,
+              "' (want a socket path or host:port)"));
+    int port = 0;
+    for (std::size_t i = colon + 1; i < endpoint.size(); ++i) {
+      check(std::isdigit(static_cast<unsigned char>(endpoint[i])) != 0,
+            cat("bad --warm-from port in '", endpoint, "'"));
+      port = port * 10 + (endpoint[i] - '0');
+      check(port < 65536, cat("bad --warm-from port in '", endpoint, "'"));
+    }
+    return Client::connect_tcp(endpoint.substr(0, colon), port, copts);
+  }();
+
+  int adopted = 0;
+  std::int64_t offset = 0;
+  for (;;) {
+    const std::string response = client.roundtrip(
+        cat("{\"op\": \"pull\", \"offset\": ", offset, ", \"limit\": 256}"));
+    const JsonValue doc = parse_json(response);
+    const JsonValue* ok = doc.find("ok");
+    if (ok == nullptr || !ok->as_bool()) {
+      const JsonValue* error = doc.find("error");
+      fail(cat("peer rejected pull: ",
+               error != nullptr && error->is_string() ? error->as_string()
+                                                      : response));
+    }
+    const JsonValue* page = doc.find("pull");
+    check(page != nullptr && page->is_object(),
+          "peer pull response has no 'pull' member");
+    const JsonValue* total = page->find("total");
+    const JsonValue* next_offset = page->find("next_offset");
+    const JsonValue* entries = page->find("entries");
+    check(total != nullptr && next_offset != nullptr && entries != nullptr &&
+              entries->is_array(),
+          "peer pull page is missing total/next_offset/entries");
+    for (const JsonValue& entry : entries->items()) {
+      const JsonValue* key = entry.find("key");
+      const JsonValue* cost = entry.find("cost");
+      const JsonValue* hash = entry.find("hash");
+      const JsonValue* payload = entry.find("payload");
+      check(key != nullptr && cost != nullptr && hash != nullptr &&
+                payload != nullptr,
+            "peer pull entry is missing key/cost/hash/payload");
+      // Integrity gate: adopt only bytes that hash to what the peer
+      // claimed — a torn frame or buggy peer must not seed this store.
+      if (payload_hash(payload->as_string()) != hash->as_string()) continue;
+      cache_insert(key->as_string(), payload->as_string(), cost->as_int());
+      store_put(key->as_string(), payload->as_string(), cost->as_int());
+      ++adopted;
+    }
+    if (entries->items().empty() || next_offset->as_int() >= total->as_int() ||
+        next_offset->as_int() <= offset) {
+      break;
+    }
+    offset = next_offset->as_int();
+  }
+  return adopted;
 }
 
 const Server::ResolvedVariant& Server::resolve_variant(const std::string& kernel_field,
@@ -196,15 +331,44 @@ const Server::ResolvedVariant& Server::resolve_variant(const std::string& kernel
   return ref;
 }
 
-void Server::cache_insert(const std::string& key, const std::string& payload) {
+void Server::cache_insert(const std::string& key, const std::string& payload,
+                          std::int64_t cost) {
   if (memory_cache_.count(key) != 0) return;
-  while (static_cast<std::int64_t>(memory_cache_.size()) >= options_.memory_max_entries &&
-         !memory_order_.empty()) {
-    memory_cache_.erase(memory_order_.front());
-    memory_order_.erase(memory_order_.begin());
+  // Same eviction policy as the persistent store: lowest recompute-cost-
+  // per-byte score first, ties least-recently-used, then oldest arrival —
+  // so an expensive frontier/BB-RA payload outlives cheap budget points in
+  // memory too.
+  while (static_cast<std::int64_t>(memory_cache_.size()) >=
+             options_.memory_max_entries &&
+         !memory_cache_.empty()) {
+    auto victim = memory_cache_.begin();
+    double victim_score = 0.0;
+    bool first = true;
+    for (auto it = memory_cache_.begin(); it != memory_cache_.end(); ++it) {
+      const MemEntry& e = it->second;
+      const double score =
+          static_cast<double>(e.cost) /
+          static_cast<double>(std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                                            e.payload.size())));
+      const bool better =
+          first || score < victim_score ||
+          (score == victim_score &&
+           (e.last_use < victim->second.last_use ||
+            (e.last_use == victim->second.last_use && e.seq < victim->second.seq)));
+      if (better) {
+        victim = it;
+        victim_score = score;
+        first = false;
+      }
+    }
+    memory_cache_.erase(victim);
   }
-  memory_cache_.emplace(key, payload);
-  memory_order_.push_back(key);
+  MemEntry entry;
+  entry.payload = payload;
+  entry.cost = std::max<std::int64_t>(1, cost);
+  entry.last_use = ++memory_tick_;
+  entry.seq = ++memory_seq_;
+  memory_cache_.emplace(key, std::move(entry));
 }
 
 std::vector<std::string> Server::handle_batch(const std::vector<std::string>& requests) {
@@ -271,13 +435,16 @@ std::vector<std::string> Server::handle_batch(const std::vector<std::string>& re
     const auto mem = memory_cache_.find(slot.key);
     if (mem != memory_cache_.end()) {
       slot.hit = true;
-      slot.payload = mem->second;
+      slot.payload = mem->second.payload;
+      mem->second.last_use = ++memory_tick_;
       continue;
     }
-    if (std::optional<std::string> stored = store_get(slot.key)) {
+    std::int64_t stored_cost = 1;
+    if (std::optional<std::string> stored = store_get(slot.key, &stored_cost)) {
       slot.hit = true;
       slot.payload = *stored;
-      cache_insert(slot.key, slot.payload);  // promote; already persistent
+      // Promote with the persisted cost; already persistent.
+      cache_insert(slot.key, slot.payload, stored_cost);
       continue;
     }
     if (slot.request.probe) continue;  // cache-only: report the miss
@@ -333,11 +500,19 @@ std::vector<std::string> Server::handle_batch(const std::vector<std::string>& re
   });
 
   // Phase 4 — publish computed payloads (serial, first-occurrence order,
-  // so the store's eviction order is arrival-deterministic too).
+  // so the store's eviction order is arrival-deterministic too). The
+  // recompute cost estimate drives eviction in both cache layers: a
+  // frontier sweep evaluates the whole budget axis and BB-RA certifies an
+  // optimum, each roughly two orders of magnitude more work than one
+  // single-budget heuristic point — those entries should be the last out.
   for (std::size_t j = 0; j < job_slots.size(); ++j) {
     if (!compute_errors[j].empty()) continue;
-    cache_insert(slots[static_cast<std::size_t>(job_slots[j])].key, computed[j]);
-    store_put(slots[static_cast<std::size_t>(job_slots[j])].key, computed[j]);
+    const Slot& slot = slots[static_cast<std::size_t>(job_slots[j])];
+    std::int64_t cost = 1;
+    if (slot.request.frontier) cost *= 100;
+    if (slot.algorithm == Algorithm::kBnbOptimal) cost *= 100;
+    cache_insert(slot.key, computed[j], cost);
+    store_put(slot.key, computed[j], cost);
     ++stats_.computed;
   }
 
@@ -373,6 +548,10 @@ std::vector<std::string> Server::handle_batch(const std::vector<std::string>& re
     }
     if (slot.request.op == RequestOp::kHealth) {
       responses[i] = health_response(slot.request.id);
+      continue;
+    }
+    if (slot.request.op == RequestOp::kPull) {
+      responses[i] = pull_response(slot.request);
       continue;
     }
     if (slot.request.op == RequestOp::kShutdown) {

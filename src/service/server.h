@@ -111,24 +111,48 @@ class Server {
   int serve_unix(const std::string& path);
   int serve_tcp(int port);
 
+  /// Streams the peer's stored entries into this daemon's store and memory
+  /// cache via paged `op:"pull"` requests, best-scoring entries first, so a
+  /// fresh shard answers warm from its first request (DESIGN.md §15).
+  /// `endpoint` is a Unix socket path (contains '/') or "host:port".
+  /// Returns the number of entries adopted; throws srra::Error when the
+  /// peer cannot be reached (callers typically warn and serve cold).
+  int warm_from_peer(const std::string& endpoint);
+
   const ServerStats& stats() const { return stats_; }
   const ResultStore& store() const { return store_; }
+  ResultStore& store() { return store_; }
   StoreMode store_mode() const { return store_mode_; }
 
  private:
   struct ResolvedVariant;  // memoized (kernel text, transforms) resolution
   struct Slot;             // per-request batch state
 
+  /// One in-memory payload-cache entry; evicted by the same
+  /// recompute-cost-per-byte policy as the persistent store.
+  struct MemEntry {
+    std::string payload;
+    std::int64_t cost = 1;
+    std::int64_t last_use = 0;
+    std::int64_t seq = 0;
+  };
+
   const ResolvedVariant& resolve_variant(const std::string& kernel_field,
                                          const std::string& transforms);
-  void cache_insert(const std::string& key, const std::string& payload);
+  void cache_insert(const std::string& key, const std::string& payload,
+                    std::int64_t cost);
   /// Store read honoring the health state machine (degraded = skip).
-  std::optional<std::string> store_get(const std::string& key);
+  std::optional<std::string> store_get(const std::string& key,
+                                       std::int64_t* cost_out);
   /// Store write through the health state machine: failures count toward
   /// the breaker; while degraded, only every Nth put probes the disk, and
   /// one probe success closes the breaker again.
-  void store_put(const std::string& key, const std::string& payload);
+  void store_put(const std::string& key, const std::string& payload,
+                 std::int64_t cost);
   std::string health_response(const std::string& id);
+  /// One `op:"pull"` page: stored entries ordered best-score-first, each
+  /// payload carried as a JSON string (verbatim bytes) with its hash.
+  std::string pull_response(const Request& request);
   int serve_fd(int listen_fd);
 
   ServerOptions options_;
@@ -140,8 +164,9 @@ class Server {
   int consecutive_store_failures_ = 0;
   int puts_since_probe_ = 0;
 
-  std::unordered_map<std::string, std::string> memory_cache_;
-  std::vector<std::string> memory_order_;  ///< eviction order, oldest first
+  std::unordered_map<std::string, MemEntry> memory_cache_;
+  std::int64_t memory_tick_ = 0;  ///< LRU clock of the payload cache
+  std::int64_t memory_seq_ = 0;   ///< arrival order of the payload cache
 
   std::unordered_map<std::string, std::unique_ptr<ResolvedVariant>> variants_;
 };

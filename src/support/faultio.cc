@@ -24,6 +24,7 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "client.connect", "client.read", "client.write",
     "server.read",    "server.write",
     "store.read",     "store.write", "store.rename", "store.flush",
+    "store.journal",
 };
 
 // The store write path's checkpoints, in write order (store.cc invokes

@@ -26,6 +26,7 @@
 //   SITE  := client.connect | client.read | client.write
 //          | server.read | server.write
 //          | store.read | store.write | store.rename | store.flush
+//          | store.journal
 //
 // Example: SRRA_FAULT_PLAN='seed=7;store.write=enospc@p=1;client.read=eintr@n=1@max=10,short@p=0.5'
 //
@@ -61,6 +62,7 @@ enum class Site {
   kStoreWrite,
   kStoreRename,
   kStoreFlush,
+  kStoreJournal,
   kCount,
 };
 

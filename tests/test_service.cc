@@ -203,6 +203,84 @@ TEST(Store, EvictsOldestBeyondCap) {
   EXPECT_EQ(store.get(k3).value(), "three");
 }
 
+TEST(Store, CostAwareEvictionRetainsExpensiveEntries) {
+  const std::string dir = fresh_store("cost_evict");
+  ResultStore store(dir, /*max_entries=*/2);
+  const std::string cheap1(16, '1');
+  const std::string pricey(16, '2');
+  const std::string cheap2(16, '3');
+  const std::string cheap3(16, '4');
+  const std::string payload(64, 'p');  // equal bytes: the score is the cost
+  store.put(cheap1, payload, /*cost=*/1);
+  store.put(pricey, payload, /*cost=*/100);
+  // Over the cap: the cheap entry loses to the 100x-recompute-cost one,
+  // even though the pricey entry is older — this is what keeps a frontier
+  // or BB-RA result resident while single-budget points churn.
+  store.put(cheap2, payload, /*cost=*/1);
+  EXPECT_FALSE(store.get(cheap1).has_value());
+  EXPECT_TRUE(store.get(pricey).has_value());
+  store.put(cheap3, payload, /*cost=*/1);
+  EXPECT_FALSE(store.get(cheap2).has_value());
+  EXPECT_TRUE(store.get(pricey).has_value());
+  EXPECT_EQ(store.evictions(), 2);
+  EXPECT_EQ(store.evicted_by_cost(), 2);
+  EXPECT_EQ(store.evicted_lru(), 0);
+
+  // The persisted cost rides the entry header back out on a hit.
+  std::int64_t cost = 0;
+  EXPECT_TRUE(store.get(pricey, &cost).has_value());
+  EXPECT_EQ(cost, 100);
+}
+
+TEST(Store, EvictionOrderDeterministicAcrossRestart) {
+  // Equal cost, equal bytes, and a reopened process (so every last_use tick
+  // is reset): the tie falls to the persisted arrival sequence number, not
+  // to filesystem timestamps — restarts cannot reorder eviction.
+  const std::string dir = fresh_store("seq_evict");
+  const std::string k1(16, 'a');
+  const std::string k2(16, 'b');
+  const std::string k3(16, 'c');
+  const std::string k4(16, 'd');
+  const std::string payload(64, 'q');
+  {
+    ResultStore store(dir, /*max_entries=*/3);
+    store.put(k2, payload);  // seq 1 (arrival order, not key order)
+    store.put(k1, payload);  // seq 2
+    store.put(k3, payload);  // seq 3
+  }
+  ResultStore reopened(dir, /*max_entries=*/3);
+  EXPECT_EQ(reopened.index_rebuilds(), 0);  // warm INDEX, no directory scan
+  reopened.put(k4, payload);
+  EXPECT_FALSE(reopened.get(k2).has_value());  // first arrival is the victim
+  EXPECT_TRUE(reopened.get(k1).has_value());
+  EXPECT_TRUE(reopened.get(k3).has_value());
+  EXPECT_EQ(reopened.evicted_lru(), 1);  // a pure tie-break eviction
+}
+
+TEST(Store, ConstructorRejectsNonPositiveCap) {
+  const std::string dir = fresh_store("badcap");
+  EXPECT_THROW(ResultStore(dir, /*max_entries=*/0), Error);
+  StoreOptions options;
+  options.max_entries = -5;
+  EXPECT_THROW(ResultStore(dir, options), Error);
+}
+
+TEST(Store, SnapshotIsSortedAndCarriesCosts) {
+  const std::string dir = fresh_store("snapshot");
+  ResultStore store(dir);
+  store.put(std::string(16, 'b'), "bee", /*cost=*/7);
+  store.put(std::string(16, 'a'), "ayy", /*cost=*/3);
+  const std::vector<StoreEntryInfo> rows = store.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, std::string(16, 'a'));
+  EXPECT_EQ(rows[0].cost, 3);
+  EXPECT_EQ(rows[0].bytes, 3);
+  EXPECT_EQ(rows[0].seq, 2);
+  EXPECT_EQ(rows[1].key, std::string(16, 'b'));
+  EXPECT_EQ(rows[1].cost, 7);
+  EXPECT_EQ(rows[1].seq, 1);
+}
+
 // --------------------------------------------------------------- the server
 
 // The headline determinism guarantee: the same request multiset, any jobs
@@ -466,6 +544,164 @@ TEST(Server, UnixSocketEndToEnd) {
   EXPECT_TRUE(member(parse_json(bye), "shutdown")->as_bool());
   daemon.join();
   EXPECT_FALSE(fs::exists(path));  // socket unlinked on clean exit
+}
+
+// ------------------------------------------- cost-aware caching and warmup
+
+// The acceptance pin of the cost-aware eviction work: under store pressure
+// from cheap single-budget queries, the ~100x-recompute-cost frontier and
+// BB-RA entries are the ones that survive in BOTH cache layers.
+TEST(Server, FrontierAndBnbEntriesSurviveCachePressure) {
+  ServerOptions options;
+  options.jobs = 1;
+  options.store_dir = fresh_store("pressure");
+  options.store_max_entries = 3;
+  options.memory_max_entries = 3;
+  Server server(options);
+
+  const std::string frontier_q =
+      R"({"kernel": "fir", "mode": "frontier", "budgets": "8:32"})";
+  const std::string bnb_q = query("mat", "bnb", 48);
+  EXPECT_EQ(cache_status(server.handle(frontier_q)), "miss");
+  EXPECT_EQ(cache_status(server.handle(bnb_q)), "miss");
+  // Churn far past the cap with cost-1 entries.
+  for (const std::int64_t budget : {16, 24, 32, 40, 48, 56}) {
+    server.handle(query("fir", "cpa", budget));
+  }
+  EXPECT_GT(server.store().evictions(), 0);
+  EXPECT_GT(server.store().evicted_by_cost(), 0);
+  // The expensive entries are still resident; the churned ones are not.
+  EXPECT_EQ(cache_status(server.handle(frontier_q)), "hit");
+  EXPECT_EQ(cache_status(server.handle(bnb_q)), "hit");
+  EXPECT_EQ(cache_status(server.handle(query("fir", "cpa", 16))), "miss");
+}
+
+// Same policy with no store at all: the in-memory payload cache evicts by
+// recompute-cost-per-byte too.
+TEST(Server, MemoryCacheRetainsExpensiveEntriesUnderPressure) {
+  ServerOptions options;
+  options.jobs = 1;
+  options.memory_max_entries = 2;
+  Server server(options);  // no store_dir: memory cache only
+
+  const std::string frontier_q =
+      R"({"kernel": "fir", "mode": "frontier", "budgets": "8:32"})";
+  server.handle(frontier_q);
+  server.handle(query("fir", "cpa", 16));
+  server.handle(query("fir", "cpa", 24));  // over the cap: evicts a cheap one
+  EXPECT_EQ(cache_status(server.handle(frontier_q)), "hit");
+  EXPECT_EQ(cache_status(server.handle(query("fir", "cpa", 16))), "miss");
+}
+
+TEST(Server, PullOpPagesStoredEntriesBestScoreFirst) {
+  ServerOptions options;
+  options.jobs = 1;
+  options.store_dir = fresh_store("pull");
+  Server server(options);
+  server.handle(query("fir", "cpa", 64));  // cost 1
+  server.handle(query("mat", "bnb", 48));  // cost 100
+  server.handle(query("imi", "cpa", 32));  // cost 1
+
+  const std::string page1 = server.handle(R"({"op": "pull", "limit": 2})");
+  const JsonValue doc1 = parse_json(page1);
+  ASSERT_TRUE(member(doc1, "ok")->as_bool()) << page1;
+  const JsonValue& pull1 = *member(doc1, "pull");
+  EXPECT_EQ(member(pull1, "total")->as_int(), 3);
+  EXPECT_EQ(member(pull1, "next_offset")->as_int(), 2);
+  const JsonValue& entries1 = *member(pull1, "entries");
+  ASSERT_EQ(entries1.items().size(), 2u);
+  // The BB-RA entry leads: highest recompute-cost-per-byte score.
+  EXPECT_EQ(member(entries1.items()[0], "cost")->as_int(), 100);
+  for (const JsonValue& entry : entries1.items()) {
+    EXPECT_EQ(payload_hash(member(entry, "payload")->as_string()),
+              member(entry, "hash")->as_string());
+  }
+
+  const std::string page2 = server.handle(R"({"op": "pull", "limit": 2, "offset": 2})");
+  const JsonValue doc2 = parse_json(page2);
+  const JsonValue& pull2 = *member(doc2, "pull");
+  EXPECT_EQ(member(pull2, "entries")->items().size(), 1u);
+  EXPECT_EQ(member(pull2, "next_offset")->as_int(), 3);
+
+  // Pull requests take no query members; queries take no pull members.
+  EXPECT_FALSE(
+      member(parse_json(server.handle(R"({"op": "pull", "kernel": "fir"})")), "ok")
+          ->as_bool());
+  EXPECT_FALSE(
+      member(parse_json(server.handle(R"({"kernel": "fir", "limit": 3})")), "ok")
+          ->as_bool());
+}
+
+TEST(Server, WarmFromPeerServesByteIdenticalAnswersOnFirstPass) {
+  const std::string dir = fresh_store("warm_peer");
+  fs::create_directories(dir);
+  const std::string path = dir + "/peer.sock";
+
+  ServerOptions peer_options;
+  peer_options.jobs = 1;
+  peer_options.store_dir = dir + "/store-a";
+  Server peer(peer_options);
+  const std::vector<std::string> warm_queries = {
+      query("fir", "cpa", 64, "w1"),
+      R"({"id": "w2", "kernel": "mat", "mode": "frontier", "budgets": "8:32"})",
+      query("imi", "bnb", 48, "w3"),
+  };
+  std::vector<std::string> expected;
+  for (const std::string& q : warm_queries) {
+    expected.push_back(member(parse_json(peer.handle(q)), "query")->to_string());
+  }
+  std::thread daemon([&] { peer.serve_unix(path); });
+
+  ServerOptions cold_options;
+  cold_options.jobs = 1;
+  cold_options.store_dir = dir + "/store-b";
+  Server cold(cold_options);
+  const int adopted = [&] {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return cold.warm_from_peer(path);
+      } catch (const Error&) {
+        if (attempt > 100) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }();
+  EXPECT_EQ(adopted, 3);
+  EXPECT_EQ(cold.store().entries(), 3);
+
+  // First pass on the warmed daemon: all hits, zero computes, and the
+  // served query objects are byte-for-byte the peer's.
+  for (std::size_t i = 0; i < warm_queries.size(); ++i) {
+    const std::string response = cold.handle(warm_queries[i]);
+    EXPECT_EQ(cache_status(response), "hit") << warm_queries[i];
+    EXPECT_EQ(member(parse_json(response), "query")->to_string(), expected[i]);
+  }
+  EXPECT_EQ(cold.stats().computed, 0);
+
+  Client shutdown_client = Client::connect_unix(path);
+  shutdown_client.roundtrip(R"({"op": "shutdown"})");
+  daemon.join();
+}
+
+TEST(Server, HealthReportsHitRateAndEvictionPolicyCounters) {
+  ServerOptions options;
+  options.jobs = 1;
+  options.store_dir = fresh_store("health_counters");
+  options.store_max_entries = 1;
+  options.memory_max_entries = 1;
+  Server server(options);
+  server.handle(query("fir", "cpa", 64));  // miss
+  server.handle(query("fir", "cpa", 32));  // miss, evicts (pure LRU tie)
+  server.handle(query("fir", "cpa", 32));  // hit
+
+  const JsonValue doc = parse_json(server.handle(R"({"op": "health"})"));
+  const JsonValue& health = *member(doc, "health");
+  EXPECT_NEAR(member(health, "store_hit_rate")->as_double(), 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(member(health, "evicted_by_cost")->as_int() +
+                member(health, "evicted_lru")->as_int(),
+            member(health, "store_evictions")->as_int());
+  EXPECT_EQ(member(health, "store_evictions")->as_int(), 1);
+  EXPECT_EQ(member(health, "index_rebuilds")->as_int(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// Multi-process shared-store tests (DESIGN.md §15): several ResultStore
+// instances — in-process and across fork()ed processes — over one
+// directory. Pins the coordination contract of the flock lease + journal +
+// epoch design:
+//  * a peer's put becomes visible through journal replay, no reopen needed;
+//  * eviction is coordinated — the cap holds across writers, a condemned
+//    key never resurrects, and no key is evicted twice (every journal D
+//    record pairs with a live P record);
+//  * three processes hammering one store under a seeded fault plan (failed
+//    and short writes, EINTR read storms) leave the index and the directory
+//    exactly consistent: every index row has its entry file and vice versa,
+//    zero *.tmp debris, and every surviving payload is byte-identical to
+//    what its writer stored (the plan injects no torn writes, so nothing
+//    may be silently corrupted).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/store.h"
+#include "support/error.h"
+#include "support/faultio.h"
+#include "support/str.h"
+
+namespace srra::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "srra_shared_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Deterministic disjoint key space: 16 decimal digits (valid hex) encoding
+// (writer, slot).
+std::string key_of(int writer, int slot) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%02d%014d", writer, slot);
+  return std::string(buf, 16);
+}
+
+std::string payload_of(int writer, int slot) {
+  return cat("payload-", writer, "-", slot, "-", std::string(64 + slot, 'x'));
+}
+
+int count_tmp(const std::string& dir) {
+  int n = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") ++n;
+  }
+  return n;
+}
+
+std::set<std::string> entry_files(const std::string& dir) {
+  std::set<std::string> keys;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() == 23 && name.front() == 'k' &&
+        entry.path().extension() == ".entry") {
+      keys.insert(name.substr(1, 16));
+    }
+  }
+  return keys;
+}
+
+// ----------------------------------------------------- in-process sharing
+
+TEST(SharedStore, PeerPutsBecomeVisibleThroughJournalReplay) {
+  const std::string dir = fresh_dir("visible");
+  ResultStore a(dir);
+  ResultStore b(dir);  // same directory, both live
+
+  a.put(key_of(0, 1), "from-a");
+  EXPECT_EQ(b.get(key_of(0, 1)).value(), "from-a");  // replayed, not reopened
+
+  b.put(key_of(1, 1), "from-b", /*cost=*/5);
+  std::int64_t cost = 0;
+  EXPECT_EQ(a.get(key_of(1, 1), &cost).value(), "from-b");
+  EXPECT_EQ(cost, 5);
+
+  // Overwrites propagate too.
+  a.put(key_of(0, 1), "from-a-v2");
+  EXPECT_EQ(b.get(key_of(0, 1)).value(), "from-a-v2");
+}
+
+TEST(SharedStore, EvictionIsCoordinatedAcrossPeers) {
+  const std::string dir = fresh_dir("coordinated");
+  ResultStore a(dir, /*max_entries=*/2);
+  ResultStore b(dir, /*max_entries=*/2);
+
+  const std::string payload(64, 'p');
+  a.put(key_of(0, 1), payload);
+  a.put(key_of(0, 2), payload);
+  // B inserts over the cap: it replays A's puts under the lease, then
+  // evicts the oldest-arrival entry exactly once.
+  b.put(key_of(1, 1), payload);
+  EXPECT_EQ(b.entries(), 2);
+  EXPECT_EQ(b.evictions(), 1);
+  EXPECT_FALSE(b.get(key_of(0, 1)).has_value());
+
+  // A sees the eviction as a plain miss — the entry file is gone, but the
+  // journal's epoch-stamped delete record tells A this was a peer eviction,
+  // not corruption, and the key must not resurrect from A's stale index.
+  EXPECT_FALSE(a.get(key_of(0, 1)).has_value());
+  EXPECT_EQ(a.corrupt_dropped(), 0);
+  EXPECT_EQ(a.entries(), 2);
+  EXPECT_EQ(a.get(key_of(0, 2)).value(), payload);
+  EXPECT_EQ(a.get(key_of(1, 1)).value(), payload);
+}
+
+// --------------------------------------------------- three-process torture
+
+// Journal parity check: replay every complete P/D record from byte zero.
+// A delete of a key with no live P record is a double-evict (or a
+// resurrection followed by a phantom delete) — the bug class the epoch
+// stamps exist to prevent. Returns the set of keys the journal says are
+// live. Sealed torn tails and partial lines parse as skippable garbage.
+std::set<std::string> journal_live_set(const std::string& dir, int* violations) {
+  std::ifstream in(fs::path(dir) / "JOURNAL", std::ios::binary);
+  std::set<std::string> live;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag, key;
+    if (!(fields >> tag >> key) || key.size() != 16) continue;
+    if (tag == "P") {
+      live.insert(key);
+    } else if (tag == "D") {
+      if (live.erase(key) == 0) ++*violations;
+    }
+  }
+  return live;
+}
+
+TEST(SharedStore, ThreeProcessTortureKeepsIndexAndDirectoryConsistent) {
+  const std::string dir = fresh_dir("torture");
+  constexpr int kWriters = 3;
+  constexpr int kSlots = 40;
+  constexpr int kCap = 24;
+  { ResultStore stamp(dir, kCap); }  // pre-stamp: children race on a live store
+
+  std::vector<pid_t> children;
+  for (int c = 0; c < kWriters; ++c) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: seeded fault plan (failed and short writes, EINTR read
+      // storms — no torn writes, so surviving bytes must be exact), then a
+      // deterministic put/get workload over its own key space plus reads
+      // of a sibling's keys to force journal replays mid-churn.
+      int rc = 0;
+      try {
+        faultio::install_plan(cat("seed=", 100 + c,
+                                  "; store.write=eio@p=0.1,short@p=0.2"
+                                  "; store.read=eintr@p=0.2"));
+        ResultStore store(dir, kCap);
+        for (int j = 0; j < kSlots; ++j) {
+          store.put(key_of(c, j), payload_of(c, j), /*cost=*/1 + j % 5);
+          const std::string sibling = key_of((c + 1) % kWriters, j);
+          if (std::optional<std::string> seen = store.get(sibling)) {
+            if (*seen != payload_of((c + 1) % kWriters, j)) rc = 3;
+          }
+        }
+      } catch (const Error&) {
+        rc = 2;
+      }
+      std::_Exit(rc);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // No crash debris, and the journal never double-evicted or resurrected.
+  EXPECT_EQ(count_tmp(dir), 0);
+  int violations = 0;
+  const std::set<std::string> live = journal_live_set(dir, &violations);
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(live, entry_files(dir));  // journal <-> directory consistency
+
+  // A fresh open agrees with both, respects the cap, and every surviving
+  // payload is byte-identical to what its writer stored.
+  ResultStore reopened(dir, kCap);
+  EXPECT_LE(reopened.entries(), kCap);
+  std::set<std::string> indexed;
+  for (const StoreEntryInfo& row : reopened.snapshot()) indexed.insert(row.key);
+  EXPECT_EQ(indexed, entry_files(dir));  // index <-> directory consistency
+  for (const std::string& key : indexed) {
+    const int writer = std::stoi(key.substr(0, 2));
+    const int slot = std::stoi(key.substr(2));
+    const std::optional<std::string> payload = reopened.get(key);
+    ASSERT_TRUE(payload.has_value()) << key;
+    EXPECT_EQ(*payload, payload_of(writer, slot)) << key;
+  }
+  EXPECT_EQ(reopened.corrupt_dropped(), 0);
+}
+
+}  // namespace
+}  // namespace srra::service
